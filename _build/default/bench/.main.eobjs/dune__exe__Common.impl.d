@@ -1,0 +1,1 @@
+bench/common.ml: List Printf String Unistore Unistore_sim Unistore_util Unistore_workload

@@ -1,0 +1,1 @@
+bench/exp_bootstrap.ml: Common List Printf String Unistore_pgrid Unistore_sim Unistore_util Unistore_workload

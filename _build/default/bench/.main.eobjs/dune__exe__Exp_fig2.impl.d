@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Common List Option Printf String Unistore Unistore_pgrid Unistore_triple Unistore_util

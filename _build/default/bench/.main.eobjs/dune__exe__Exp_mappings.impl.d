@@ -1,0 +1,1 @@
+bench/exp_mappings.ml: Common List Printf Unistore Unistore_qproc Unistore_util Unistore_workload

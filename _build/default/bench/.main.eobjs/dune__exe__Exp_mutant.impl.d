@@ -1,0 +1,1 @@
+bench/exp_mutant.ml: Common List Printf Unistore Unistore_qproc Unistore_sim

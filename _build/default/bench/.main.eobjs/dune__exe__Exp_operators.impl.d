@@ -1,0 +1,1 @@
+bench/exp_operators.ml: Common Format List Printf String Unistore Unistore_qproc Unistore_triple Unistore_util Unistore_vql Unistore_workload

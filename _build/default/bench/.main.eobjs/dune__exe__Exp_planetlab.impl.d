@@ -1,0 +1,1 @@
+bench/exp_planetlab.ml: Common Format List Printf Unistore Unistore_qproc Unistore_sim Unistore_util

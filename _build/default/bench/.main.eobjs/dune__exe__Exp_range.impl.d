@@ -1,0 +1,1 @@
+bench/exp_range.ml: Common List Option Printf String Unistore Unistore_pgrid Unistore_triple Unistore_workload

@@ -1,0 +1,1 @@
+bench/exp_routing.ml: Common List Printf Unistore Unistore_pgrid Unistore_sim Unistore_triple Unistore_util Unistore_workload

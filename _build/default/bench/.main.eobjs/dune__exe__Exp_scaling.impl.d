@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Common List Printf Unistore Unistore_pgrid Unistore_triple Unistore_util Unistore_workload

@@ -1,0 +1,1 @@
+bench/exp_simsel.ml: Common List Printf String Unistore Unistore_qproc Unistore_triple Unistore_util Unistore_workload

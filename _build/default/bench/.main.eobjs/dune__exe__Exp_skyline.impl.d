@@ -1,0 +1,1 @@
+bench/exp_skyline.ml: Common List Option Printf String Sys Unistore Unistore_qproc Unistore_util Unistore_vql Unistore_workload

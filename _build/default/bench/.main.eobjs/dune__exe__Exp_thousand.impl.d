@@ -1,0 +1,1 @@
+bench/exp_thousand.ml: Common Format List Printf Unistore_qproc Unistore_util Unistore_workload

@@ -1,0 +1,71 @@
+(* E12: schema heterogeneity via mapping triples.
+
+   Paper (§2): "we allow to store triples representing a simple kind of
+   schema mappings in order to overcome schema heterogeneities. This
+   additional metadata can be queried explicitly by the user — or even
+   automatically by the system to retrieve relevant data without needing
+   the user to interact."
+
+   Two communities publish the same kind of data under different
+   attribute names (plain vs. "dblp:"-prefixed). We measure query recall
+   with and without automatic mapping expansion, plus the expansion's
+   message overhead. *)
+
+module Rng = Unistore_util.Rng
+module Engine = Unistore_qproc.Engine
+module Publications = Unistore_workload.Publications
+
+let mapped_attrs = [ "name"; "age"; "num_of_pubs"; "title"; "year"; "series"; "confname" ]
+
+let run () =
+  Common.section "E12: schema mappings (instance, schema and metadata levels)"
+    "schema-mapping triples \"can be queried explicitly by the user — or even \
+     automatically by the system\"";
+  let rng = Rng.create 131 in
+  let ds1 = Publications.generate rng { Publications.default_params with n_authors = 15 } in
+  let ds2 =
+    Publications.generate rng
+      { Publications.default_params with n_authors = 15; namespace = "dblp" }
+  in
+  let store =
+    Unistore.create
+      ~sample_keys:(Publications.sample_keys ds1 @ Publications.sample_keys ds2)
+      { Unistore.default_config with peers = 64; seed = 13 }
+  in
+  ignore (Unistore.load store ds1.Publications.tuples);
+  ignore (Unistore.load store ds2.Publications.tuples);
+  Unistore.set_stats_of_triples store (ds1.Publications.triples @ ds2.Publications.triples);
+  List.iter (fun a -> ignore (Unistore.add_mapping store a ("dblp:" ^ a))) mapped_attrs;
+  Unistore.settle store;
+  let queries =
+    [
+      ("ages 30-40", "SELECT ?a, ?v WHERE { (?a,'age',?v) FILTER ?v >= 30 AND ?v < 40 }");
+      ("VLDB authors", "SELECT ?n WHERE { (?a,'name',?n) (?a,'has_published',?t) }");
+      ("2004+ titles", "SELECT ?t WHERE { (?p,'title',?t) (?p,'year',?y) FILTER ?y >= 2004 }");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let plain = Common.run_query_exn store ~origin:2 src in
+        let expanded = Common.run_query_exn store ~origin:2 ~expand_mappings:true src in
+        [
+          name;
+          Common.i (List.length plain.Engine.rows);
+          Common.i plain.Engine.messages;
+          Common.i (List.length expanded.Engine.rows);
+          Common.i expanded.Engine.messages;
+        ])
+      queries
+  in
+  Common.print_table
+    [ "query"; "rows"; "msgs"; "rows+mappings"; "msgs+mappings" ]
+    rows;
+  (* Metadata level: the correspondences themselves are queryable. *)
+  let meta = Common.run_query_exn store ~origin:0 "SELECT ?m, ?to WHERE { (?m,'sys:maps_to',?to) }" in
+  Printf.printf "\nmapping triples stored (queried at the metadata level): %d\n"
+    (List.length meta.Engine.rows);
+  Printf.printf
+    "verdict: with expansion enabled, queries written against one schema \
+     transparently retrieve the other community's data (~2x rows), paying the \
+     mapping lookups plus the extra index accesses\n"

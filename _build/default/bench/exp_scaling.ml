@@ -1,0 +1,70 @@
+(* E2: lookup scaling with network size.
+
+   Paper (§2, §3): structured overlays "offer logarithmic search
+   complexity in the number of nodes"; "for each physical operator ... we
+   can determine worst-case guarantees (almost all are logarithmic)".
+
+   We measure exact-match lookup hops/messages/latency for N = 16..1024
+   peers with a fixed dataset, and fit mean hops against log2(N). *)
+
+module Rng = Unistore_util.Rng
+module Stats = Unistore_util.Stats
+module Value = Unistore.Value
+module Triple = Unistore.Triple
+module Tstore = Unistore_triple.Tstore
+module Publications = Unistore_workload.Publications
+
+let run () =
+  Common.section "E2: logarithmic lookup scaling (N = 16 .. 1024)"
+    "\"logarithmic search complexity in the number of nodes\"; worst-case \
+     guarantees are logarithmic";
+  let sizes = [ 16; 32; 64; 128; 256; 512; 1024 ] in
+  let rows = ref [] in
+  let fit_points = ref [] in
+  List.iter
+    (fun peers ->
+      let store, ds = Common.build_pubs ~peers ~authors:40 ~qgrams:false ~seed:21 () in
+      let ts = Unistore.tstore store in
+      let rng = Rng.create (1000 + peers) in
+      (* Look up known A#v keys from random origins. *)
+      let samples = Rng.sample rng 100 ds.Publications.triples in
+      let hops = ref [] and msgs = ref [] and lats = ref [] in
+      let incomplete = ref 0 in
+      List.iter
+        (fun (tr : Triple.t) ->
+          let origin = Rng.int rng peers in
+          let _, meta =
+            Tstore.by_attr_value_sync ts ~origin ~attr:tr.Triple.attr tr.Triple.value
+          in
+          if not meta.Tstore.complete then incr incomplete;
+          hops := float_of_int meta.Tstore.hops :: !hops;
+          msgs := float_of_int meta.Tstore.messages :: !msgs;
+          lats := meta.Tstore.latency :: !lats)
+        samples;
+      let h = Stats.summarize !hops and m = Stats.summarize !msgs and l = Stats.summarize !lats in
+      let depth =
+        match Unistore.pgrid store with
+        | Some ov -> Unistore_pgrid.Overlay.depth ov
+        | None -> 0
+      in
+      fit_points := (log (float_of_int peers) /. log 2.0, h.Stats.mean) :: !fit_points;
+      rows :=
+        [
+          Common.i peers;
+          Common.i depth;
+          Common.f2 h.Stats.mean;
+          Common.f1 h.Stats.p99;
+          Common.f2 m.Stats.mean;
+          Common.f1 l.Stats.mean;
+          Common.i !incomplete;
+        ]
+        :: !rows)
+    sizes;
+  Common.print_table
+    [ "peers"; "depth"; "hops_mean"; "hops_p99"; "msgs_mean"; "lat_ms"; "failed" ]
+    (List.rev !rows);
+  let slope, intercept, r2 = Stats.linear_fit !fit_points in
+  Printf.printf "\nfit: mean_hops = %.3f * log2(N) + %.3f   (R^2 = %.3f)\n" slope intercept r2;
+  Printf.printf "verdict: %s\n"
+    (if r2 > 0.8 && slope > 0.0 then "hops grow logarithmically, as claimed"
+     else "WARNING: fit does not support the logarithmic claim")

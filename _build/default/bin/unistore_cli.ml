@@ -1,0 +1,221 @@
+(* unistore-cli: the command-line counterpart of the paper's demo UI.
+
+   Subcommands:
+   - query:   spin up a deployment, load the publications workload (or
+              demo restaurants), run one VQL query, print plan + results.
+   - repl:    interactive loop — type VQL queries against a live overlay
+              (plus \commands to inspect it), like the demo's tabbed UI.
+   - inspect: print the overlay structure: peer paths, routing-table and
+              storage-load distribution. *)
+
+module Latency = Unistore_sim.Latency
+module Publications = Unistore_workload.Publications
+module Demo_data = Unistore_workload.Demo_data
+module Node = Unistore_pgrid.Node
+module Overlay = Unistore_pgrid.Overlay
+module Store = Unistore_pgrid.Store
+module Bitkey = Unistore_util.Bitkey
+module Stats = Unistore_util.Stats
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let peers_t =
+  Arg.(value & opt int 32 & info [ "p"; "peers" ] ~docv:"N" ~doc:"Number of simulated peers.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let overlay_t =
+  let enumc = Arg.enum [ ("pgrid", Unistore.Pgrid); ("chord", Unistore.Chord_trie) ] in
+  Arg.(value & opt enumc Unistore.Pgrid & info [ "overlay" ] ~docv:"KIND" ~doc:"Overlay substrate: $(b,pgrid) or $(b,chord).")
+
+let latency_t =
+  let enumc = Arg.enum [ ("lan", Latency.Lan); ("planetlab", Latency.Planetlab) ] in
+  Arg.(value & opt enumc Latency.Lan & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model: $(b,lan) or $(b,planetlab).")
+
+let authors_t =
+  Arg.(value & opt int 20 & info [ "authors" ] ~docv:"N" ~doc:"Authors in the generated publications dataset.")
+
+let dataset_t =
+  let enumc = Arg.enum [ ("publications", `Publications); ("restaurants", `Restaurants) ] in
+  Arg.(value & opt enumc `Publications & info [ "dataset" ] ~docv:"NAME" ~doc:"Workload to preload: $(b,publications) or $(b,restaurants).")
+
+let strategy_t =
+  let enumc = Arg.enum [ ("centralized", Unistore.Centralized); ("mutant", Unistore.Mutant) ] in
+  Arg.(value & opt enumc Unistore.Centralized & info [ "strategy" ] ~docv:"S" ~doc:"Execution strategy: $(b,centralized) or $(b,mutant).")
+
+let setup ~peers ~seed ~overlay ~latency ~authors ~dataset =
+  let rng = Unistore_util.Rng.create (seed + 1) in
+  let tuples, triples, sample =
+    match dataset with
+    | `Publications ->
+      let ds =
+        Publications.generate rng { Publications.default_params with n_authors = authors; typo_rate = 0.1 }
+      in
+      (ds.Publications.tuples, ds.Publications.triples, Publications.sample_keys ds)
+    | `Restaurants ->
+      let tuples = Demo_data.restaurants in
+      let triples =
+        List.concat_map
+          (fun (oid, fields) -> Unistore.Triple.tuple_to_triples ~oid fields)
+          tuples
+      in
+      let sample =
+        List.map
+          (fun (tr : Unistore.Triple.t) ->
+            Unistore_triple.Keys.attr_value_key tr.Unistore.Triple.attr tr.Unistore.Triple.value)
+          triples
+      in
+      (tuples, triples, sample)
+  in
+  let store =
+    Unistore.create ~sample_keys:sample
+      { Unistore.default_config with peers; seed; overlay; latency }
+  in
+  let n = Unistore.load store tuples in
+  Unistore.set_stats_of_triples store triples;
+  Unistore.settle store;
+  Format.printf "[%d peers, %s overlay, %d triples loaded]@."
+    peers
+    (match overlay with Unistore.Pgrid -> "P-Grid" | Unistore.Chord_trie -> "Chord+trie")
+    n;
+  store
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let run_query peers seed overlay latency authors dataset strategy explain_only trace vql =
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  (match Unistore.explain store vql with
+  | Ok plan -> Format.printf "@.%a@." Unistore.pp_plan plan
+  | Error e ->
+    Format.printf "error: %s@." e;
+    exit 1);
+  if not explain_only then begin
+    match Unistore.query store ~strategy vql with
+    | Ok report ->
+      Format.printf "@.%a@." Unistore.pp_table report;
+      Format.printf "strategy=%a bytes_shipped=%d@." Unistore.Report.pp_strategy
+        report.Unistore.Report.strategy report.Unistore.Report.bytes_shipped;
+      if trace then begin
+        (* The paper's traceability story: per-step execution log. *)
+        Format.printf "@.execution trace:@.";
+        List.iter
+          (fun t -> Format.printf "  %a@." Unistore_qproc.Exec.pp_step_trace t)
+          report.Unistore.Report.traces
+      end
+    | Error e ->
+      Format.printf "error: %s@." e;
+      exit 1
+  end
+
+let query_cmd =
+  let vql_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"VQL" ~doc:"The VQL query.") in
+  let explain_t = Arg.(value & flag & info [ "explain" ] ~doc:"Only show the plan; do not execute.") in
+  let trace_t =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-step execution trace (operator, carrier peer, rows, messages).")
+  in
+  let term =
+    Term.(
+      const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
+      $ strategy_t $ explain_t $ trace_t $ vql_t)
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
+
+(* ------------------------------------------------------------------ *)
+(* repl                                                                *)
+
+let repl peers seed overlay latency authors dataset =
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  Format.printf
+    "Interactive VQL. End with ';' on its own line. Commands: \\help \\stats \\peers \\quit@.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buf = 0 then Format.printf "vql> @?" else Format.printf "...> @?";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if trimmed = "\\quit" || trimmed = "\\q" then ()
+      else if trimmed = "\\help" then begin
+        Format.printf
+          "Enter a VQL query terminated by ';'. \\stats = data statistics, \\peers = overlay \
+           summary, \\quit = exit.@.";
+        loop ()
+      end
+      else if trimmed = "\\stats" then begin
+        Format.printf "%a@." Unistore_qproc.Qstats.pp (Unistore.stats store);
+        loop ()
+      end
+      else if trimmed = "\\peers" then begin
+        (match Unistore.pgrid store with
+        | Some ov ->
+          List.iter (fun nd -> Format.printf "  %a@." Node.pp nd) (Overlay.nodes ov)
+        | None -> Format.printf "  (chord overlay: %d peers)@." peers);
+        loop ()
+      end
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';' then begin
+          let src = Buffer.contents buf in
+          Buffer.clear buf;
+          let src = String.sub src 0 (String.rindex src ';') in
+          (match Unistore.query store src with
+          | Ok report -> Format.printf "%a@." Unistore.pp_table report
+          | Error e -> Format.printf "error: %s@." e);
+          loop ()
+        end
+        else loop ()
+      end
+  in
+  loop ()
+
+let repl_cmd =
+  let term =
+    Term.(const repl $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t)
+  in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive VQL shell against a live simulated overlay") term
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                             *)
+
+let inspect peers seed overlay latency authors dataset =
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  match Unistore.pgrid store with
+  | None -> Format.printf "inspect currently supports the P-Grid overlay only@."
+  | Some ov ->
+    Format.printf "@.Trie depth: %d@." (Overlay.depth ov);
+    Format.printf "@.Peer paths, routing tables and storage load:@.";
+    List.iter
+      (fun (nd : Node.t) ->
+        Format.printf "  peer%-4d path=%-12s refs=%-3d replicas=%d items=%d@." nd.Node.id
+          (Bitkey.to_string nd.Node.path) (Node.table_size nd)
+          (List.length nd.Node.replicas) (Store.size nd.Node.store))
+      (Overlay.nodes ov);
+    let sizes =
+      Overlay.nodes ov |> List.map (fun (nd : Node.t) -> float_of_int (Store.size nd.Node.store))
+    in
+    let s = Stats.summarize sizes in
+    Format.printf "@.Storage balance: %a@." Stats.pp_summary s;
+    let violations = Unistore_pgrid.Build.check_invariants ov in
+    if violations = [] then Format.printf "Structural invariants: OK@."
+    else begin
+      Format.printf "Structural violations:@.";
+      List.iter (fun v -> Format.printf "  %s@." v) violations
+    end
+
+let inspect_cmd =
+  let term =
+    Term.(const inspect $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print overlay structure: paths, routing tables, storage balance")
+    term
+
+let () =
+  let doc = "UniStore: querying a DHT-based universal storage (simulated deployment)" in
+  let info = Cmd.info "unistore-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; repl_cmd; inspect_cmd ]))

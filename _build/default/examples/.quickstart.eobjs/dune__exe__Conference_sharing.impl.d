@@ -1,0 +1,1 @@
+examples/conference_sharing.ml: Format List Unistore Unistore_triple Unistore_workload

@@ -1,0 +1,1 @@
+examples/observability.ml: Format List Printf String Unistore Unistore_qproc Unistore_sim Unistore_util Unistore_workload

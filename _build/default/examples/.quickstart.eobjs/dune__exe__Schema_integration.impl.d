@@ -1,0 +1,1 @@
+examples/schema_integration.ml: Format List Unistore Unistore_util Unistore_workload

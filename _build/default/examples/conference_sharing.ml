@@ -1,0 +1,88 @@
+(* The demonstration scenario of Section 4: a conference data-sharing
+   system. Participants contribute restaurant tips around the venue and
+   query them with ranking operators ("people could also insert data
+   about restaurants ... and apply queries intended for such distributed
+   public data collections, e.g., skyline operators").
+
+   Also shows the robustness story: peers fail mid-conference and queries
+   keep working off replicas.
+
+   Run with: dune exec examples/conference_sharing.exe *)
+
+module Demo_data = Unistore_workload.Demo_data
+module Value = Unistore.Value
+module Triple = Unistore.Triple
+
+let () =
+  let sample =
+    List.concat_map
+      (fun (oid, fields) ->
+        Triple.tuple_to_triples ~oid fields
+        |> List.map (fun (tr : Triple.t) ->
+               Unistore_triple.Keys.attr_value_key tr.Triple.attr tr.Triple.value))
+      Demo_data.restaurants
+  in
+  let store =
+    Unistore.create ~sample_keys:sample
+      { Unistore.default_config with peers = 24; replication = 3; seed = 99 }
+  in
+  (* Each attendee inserts their own tips (round-robin origins). *)
+  let stored = Unistore.load store Demo_data.restaurants in
+  Format.printf "Conference data-sharing overlay: %d peers, %d triples of restaurant tips.@.@."
+    (List.length (Unistore.alive_peers store))
+    stored;
+  Unistore.set_stats_of_triples store
+    (List.concat_map
+       (fun (oid, fields) -> Triple.tuple_to_triples ~oid fields)
+       Demo_data.restaurants);
+  Unistore.settle store;
+
+  let run label src =
+    Format.printf "-- %s@.VQL> %s@." label src;
+    match Unistore.query store src with
+    | Ok report -> Format.printf "%a@.@." Unistore.pp_table report
+    | Error e -> Format.printf "error: %s@.@." e
+  in
+
+  run "Cheap and close? The lunch skyline (price MIN, distance MIN)"
+    "SELECT ?n, ?price, ?dist WHERE { (?r,'rest_name',?n) (?r,'price',?price) \
+     (?r,'distance',?dist) } ORDER BY SKYLINE OF ?price MIN, ?dist MIN";
+
+  run "Best dinner regardless of price: top-3 by rating"
+    "SELECT ?n, ?rating, ?price WHERE { (?r,'rest_name',?n) (?r,'rating',?rating) \
+     (?r,'price',?price) } ORDER BY ?rating DESC LIMIT 3";
+
+  run "Italian under 30"
+    "SELECT ?n, ?price WHERE { (?r,'rest_name',?n) (?r,'cuisine',?c) (?r,'price',?price) \
+     FILTER ?c = 'italian' AND ?price < 30 }";
+
+  run "Typo-tolerant cuisine search (edist <= 1 of 'frensh')"
+    "SELECT ?n WHERE { (?r,'rest_name',?n) (?r,'cuisine',?c) FILTER edist(?c,'frensh') <= 2 }";
+
+  run "Cheap OR highly rated (a UNION of two selections)"
+    "SELECT DISTINCT ?n WHERE { (?r,'rest_name',?n) (?r,'price',?p) FILTER ?p < 15 } UNION { \
+     (?r,'rest_name',?n) (?r,'rating',?g) FILTER ?g >= 9 }";
+
+  (* A latecomer's laptop joins the running overlay (paper section 4:
+     "allowing interested people to include their own machines ... into a
+     running P-Grid overlay"). *)
+  let ok = Unistore.join_peer store ~id:100 ~bootstrap:4 in
+  Format.printf "-- A new attendee's laptop joined the overlay (cloned peer 4): %b@.@." ok;
+
+  (* Robustness: a third of the laptops leave for the keynote. *)
+  let victims = [ 2; 5; 8; 11; 14; 17; 20; 23 ] in
+  Unistore.kill_peers store victims;
+  Format.printf "-- %d peers just left the network. Querying again:@." (List.length victims);
+  (match
+     Unistore.query store
+       "SELECT ?n, ?rating WHERE { (?r,'rest_name',?n) (?r,'rating',?rating) } ORDER BY \
+        ?rating DESC LIMIT 3"
+   with
+  | Ok report ->
+    Format.printf "%a@." Unistore.pp_table report;
+    Format.printf "(report flagged as %s)@.@."
+      (if report.Unistore.Report.complete then "complete" else "partial")
+  | Error e -> Format.printf "error: %s@." e);
+
+  Format.printf "Total messages: %d, simulated time: %.0f ms@." (Unistore.messages_sent store)
+    (Unistore.now store)

@@ -1,0 +1,1 @@
+lib/chord/chord.ml: Array Hashtbl List Option Printf Ring String Unistore_pgrid Unistore_sim Unistore_util

@@ -1,0 +1,1 @@
+lib/chord/chord.mli: Unistore_pgrid Unistore_sim Unistore_util

@@ -1,0 +1,1 @@
+lib/chord/ring.ml: Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/chord/trie_index.ml: Buffer Char Chord List Option Printf String Unistore_pgrid Unistore_sim

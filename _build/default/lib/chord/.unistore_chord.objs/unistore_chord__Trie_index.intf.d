@@ -1,0 +1,1 @@
+lib/chord/trie_index.mli: Chord Unistore_pgrid

@@ -1,0 +1,99 @@
+(** Chord DHT baseline.
+
+    A classic Chord ring with finger tables, successor lists and
+    successor-replication, implemented over the same simulated network as
+    P-Grid so that message/hop/latency costs are directly comparable.
+
+    Construction is oracle-based (the converged ring: exact successors,
+    predecessors and fingers); dynamic join/stabilize is out of scope for
+    the baseline — the experiments compare steady-state query processing.
+
+    Exact-match [put]/[get] are O(log n) hops, like P-Grid lookups. Range
+    queries, however, have no native support because the placement hash is
+    not order-preserving: use {!Trie_index} (extra distributed structure,
+    the approach the paper attributes to Chord) or {!broadcast}. *)
+
+module Store = Unistore_pgrid.Store
+
+type t
+
+type result = {
+  items : Store.item list;
+  hops : int;
+  peers_hit : int;
+  complete : bool;
+  latency : float;
+}
+
+type config = {
+  succ_list : int;  (** successor-list length; also the replication factor *)
+  timeout_ms : float;
+  retries : int;
+}
+
+val default_config : config
+
+(** [create sim ~latency ~rng ?drop ~config ~n ()] builds an [n]-peer ring
+    with exact routing state. *)
+val create :
+  Unistore_sim.Sim.t ->
+  latency:Unistore_sim.Latency.t ->
+  rng:Unistore_util.Rng.t ->
+  ?drop:float ->
+  config:config ->
+  n:int ->
+  unit ->
+  t
+
+val sim : t -> Unistore_sim.Sim.t
+val node_count : t -> int
+
+(** Number of alive peers whose local store holds at least one item. *)
+val stored_on : t -> int
+
+(** Ring id of a peer (for tests). *)
+val ring_id : t -> int -> int
+
+(** The peer responsible for a key (oracle view, for tests). *)
+val responsible : t -> string -> int
+
+val kill : t -> int -> unit
+val revive : t -> int -> unit
+val is_alive : t -> int -> bool
+val alive_peers : t -> int list
+
+(** Mean one-way latency of the underlying network model. *)
+val expected_latency : t -> float
+
+(** Network statistics of the underlying simulated network. *)
+val net_stats : t -> Unistore_sim.Net.stats
+
+val total_sent : t -> int
+
+(** {2 Operations} — key placement uses [Ring.hash_key key]. *)
+
+val put :
+  t -> origin:int -> key:string -> item_id:string -> payload:string -> ?version:int ->
+  k:(result -> unit) -> unit -> unit
+
+val get : t -> origin:int -> key:string -> k:(result -> unit) -> unit
+
+(** Remove one item (by key and item id) from the responsible peer and
+    its successor replicas. *)
+val del : t -> origin:int -> key:string -> item_id:string -> k:(result -> unit) -> unit
+
+(** Finger-tree broadcast: every alive peer scans its store with [pred];
+    O(n) messages, O(log n) latency depth. *)
+val broadcast : t -> origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit
+
+val put_sync :
+  t -> origin:int -> key:string -> item_id:string -> payload:string -> ?version:int -> unit ->
+  result
+
+val get_sync : t -> origin:int -> key:string -> result
+val del_sync : t -> origin:int -> key:string -> item_id:string -> result
+val broadcast_sync : t -> origin:int -> pred:(Store.item -> bool) -> result
+
+(** [await t f] runs the simulator until the continuation passed to [f]
+    fires (shared by {!Trie_index}). *)
+val await : t -> ((result -> unit) -> unit) -> result

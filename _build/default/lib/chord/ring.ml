@@ -1,0 +1,29 @@
+let bits = 30
+let size = 1 lsl bits
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+(* FNV's low bits avalanche poorly; finish with murmur3's fmix64. *)
+let fmix64 h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let hash_key s = Int64.to_int (Int64.logand (fmix64 (fnv1a s)) (Int64.of_int (size - 1)))
+let hash_peer id = hash_key (Printf.sprintf "peer:%d" id)
+
+let in_oc a b x = if a < b then a < x && x <= b else a = b || x > a || x <= b
+
+let in_oo a b x = if a < b then a < x && x < b else (a = b && x <> a) || x > a || x < b
+
+let add id k = (id + k) land (size - 1)
+let finger_start id i = add id (1 lsl i)

@@ -1,0 +1,31 @@
+(** Chord identifier-ring arithmetic.
+
+    Identifiers live in [0, 2^bits). Unlike P-Grid's order-preserving
+    hash, Chord's placement hash is uniform and destroys key order — the
+    reason Chord needs an extra distributed index for range queries
+    (see {!Trie_index}). *)
+
+(** Identifier width in bits. *)
+val bits : int
+
+(** Ring size [2^bits]. *)
+val size : int
+
+(** Uniform (non-order-preserving) hash of an arbitrary string into the
+    ring (FNV-1a folded). *)
+val hash_key : string -> int
+
+(** Ring id of a peer. *)
+val hash_peer : int -> int
+
+(** [in_oc a b x]: is [x] in the half-open arc ((a, b]] going clockwise? *)
+val in_oc : int -> int -> int -> bool
+
+(** [in_oo a b x]: is [x] in the open arc ((a, b))? *)
+val in_oo : int -> int -> int -> bool
+
+(** [add id k] is [(id + k) mod size]. *)
+val add : int -> int -> int
+
+(** [finger_start id i] is [id + 2^i mod size]. *)
+val finger_start : int -> int -> int

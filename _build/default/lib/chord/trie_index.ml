@@ -1,0 +1,132 @@
+module Store = Unistore_pgrid.Store
+module Sim = Unistore_sim.Sim
+
+let depth = 6
+
+let hex_digits = "0123456789abcdef"
+
+let hex_of_key key =
+  (* First [depth] hex digits (4 bits per digit) of the encoded key,
+     zero-padded: preserves byte-string order on the prefix. *)
+  let buf = Buffer.create depth in
+  let n = String.length key in
+  for d = 0 to depth - 1 do
+    let byte = d / 2 in
+    let v = if byte < n then Char.code key.[byte] else 0 in
+    let nibble = if d mod 2 = 0 then v lsr 4 else v land 0xF in
+    Buffer.add_char buf hex_digits.[nibble]
+  done;
+  Buffer.contents buf
+
+(* Bucket payloads embed the original key so that range filtering stays
+   exact after the placement hash destroyed key order. *)
+let encode_payload ~key ~payload = Printf.sprintf "%d:%s%s" (String.length key) key payload
+
+let decode_payload s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    let len = int_of_string_opt (String.sub s 0 i) in
+    (match len with
+    | Some len when String.length s >= i + 1 + len ->
+      let key = String.sub s (i + 1) len in
+      let payload = String.sub s (i + 1 + len) (String.length s - i - 1 - len) in
+      Some (key, payload)
+    | _ -> None)
+
+let insert chord ~origin ~key ~item_id ~payload ?(version = 0) ~k () =
+  let hex = hex_of_key key in
+  let outstanding = ref (depth + 1) in
+  let ok = ref true in
+  let step (r : Chord.result) =
+    if not r.Chord.complete then ok := false;
+    decr outstanding;
+    if !outstanding = 0 then k !ok
+  in
+  (* Trie markers: level-l node learns it has child hex.[l]. *)
+  for l = 0 to depth - 1 do
+    Chord.put chord ~origin
+      ~key:("T:" ^ String.sub hex 0 l)
+      ~item_id:(String.make 1 hex.[l])
+      ~payload:"" ~k:step ()
+  done;
+  (* Leaf bucket holds the datum. *)
+  Chord.put chord ~origin ~key:("B:" ^ hex) ~item_id:(item_id ^ "#" ^ key)
+    ~payload:(encode_payload ~key ~payload) ~version ~k:step ()
+
+let insert_sync chord ~origin ~key ~item_id ~payload ?version () =
+  let cell = ref None in
+  insert chord ~origin ~key ~item_id ~payload ?version ~k:(fun ok -> cell := Some ok) ();
+  ignore (Sim.run_until (Chord.sim chord) (fun () -> !cell <> None));
+  Option.value ~default:false !cell
+
+let range chord ~origin ~lo ~hi ~k =
+  (* A bucket prefix strictly below hex(lo) only holds keys < lo, and one
+     strictly above hex(hi) only keys > hi (byte-string order is decided
+     within the prefix); the boundary buckets filter exactly. *)
+  let hex_lo = hex_of_key lo in
+  let hex_hi = hex_of_key hi in
+  let started = Sim.now (Chord.sim chord) in
+  let outstanding = ref 0 in
+  let items = ref [] in
+  let hops = ref 0 in
+  let gets = ref 0 in
+  let complete = ref true in
+  let finished = ref false in
+  let check_done () =
+    if !outstanding = 0 && not !finished then begin
+      finished := true;
+      k
+        {
+          Chord.items = !items;
+          hops = !hops;
+          peers_hit = !gets;
+          complete = !complete;
+          latency = Sim.now (Chord.sim chord) -. started;
+        }
+    end
+  in
+  let intersects prefix =
+    let l = String.length prefix in
+    let pmin = prefix ^ String.make (depth - l) '0' in
+    let pmax = prefix ^ String.make (depth - l) 'f' in
+    String.compare pmax hex_lo >= 0 && String.compare pmin hex_hi <= 0
+  in
+  let rec visit prefix =
+    incr outstanding;
+    incr gets;
+    if String.length prefix = depth then
+      Chord.get chord ~origin ~key:("B:" ^ prefix) ~k:(fun r ->
+          if not r.Chord.complete then complete := false;
+          hops := max !hops r.Chord.hops;
+          List.iter
+            (fun (i : Store.item) ->
+              match decode_payload i.payload with
+              | Some (key, payload) when String.compare key lo >= 0 && String.compare key hi <= 0 ->
+                let item_id =
+                  match String.index_opt i.item_id '#' with
+                  | Some j -> String.sub i.item_id 0 j
+                  | None -> i.item_id
+                in
+                items := { Store.key; item_id; payload; version = i.version } :: !items
+              | _ -> ())
+            r.Chord.items;
+          decr outstanding;
+          check_done ())
+    else
+      Chord.get chord ~origin ~key:("T:" ^ prefix) ~k:(fun r ->
+          if not r.Chord.complete then complete := false;
+          hops := max !hops r.Chord.hops;
+          List.iter
+            (fun (i : Store.item) ->
+              let child = prefix ^ i.Store.item_id in
+              if intersects child then visit child)
+            r.Chord.items;
+          decr outstanding;
+          check_done ())
+  in
+  visit "";
+  (* [visit] is fully asynchronous; nothing to do here. *)
+  ()
+
+let range_sync chord ~origin ~lo ~hi = Chord.await chord (fun k -> range chord ~origin ~lo ~hi ~k)

@@ -1,0 +1,52 @@
+(** Distributed trie index for range queries over Chord.
+
+    Chord's placement hash destroys key order, so range queries need an
+    additional structure: "in Chord an additional trie-structure is
+    constructed on top of its ring-based overlay to support range queries"
+    (paper §2). This module hosts that trie {e inside} the DHT itself:
+
+    - a trie node for hex-digit prefix [p] is the set of items stored
+      under key ["T:" ^ p], one item per present child digit;
+    - leaf buckets at depth {!depth} store the actual data items under
+      ["B:" ^ p].
+
+    Every insert therefore costs [depth + 1] DHT puts (each O(log n)
+    hops), and a range query is a client-driven parallel DFS of the trie,
+    one DHT get per visited trie node — this is exactly the overhead the
+    paper's P-Grid-native ranges avoid. *)
+
+module Store = Unistore_pgrid.Store
+
+(** Trie depth in hex digits (4 bits per level). *)
+val depth : int
+
+(** First {!depth} hex digits of an encoded key (bucket address). *)
+val hex_of_key : string -> string
+
+(** Unwrap a bucket payload into [(original_key, original_payload)]. *)
+val decode_payload : string -> (string * string) option
+
+(** [insert chord ~origin ~key ~item_id ~payload ()] stores an item and
+    threads it through the trie. The continuation receives [false] if any
+    constituent put failed. *)
+val insert :
+  Chord.t ->
+  origin:int ->
+  key:string ->
+  item_id:string ->
+  payload:string ->
+  ?version:int ->
+  k:(bool -> unit) ->
+  unit ->
+  unit
+
+val insert_sync :
+  Chord.t -> origin:int -> key:string -> item_id:string -> payload:string -> ?version:int ->
+  unit -> bool
+
+(** [range chord ~origin ~lo ~hi ~k] retrieves all items with
+    [lo <= key <= hi] by DFS over the trie. The result's [peers_hit] counts
+    DHT gets issued. *)
+val range : Chord.t -> origin:int -> lo:string -> hi:string -> k:(Chord.result -> unit) -> unit
+
+val range_sync : Chord.t -> origin:int -> lo:string -> hi:string -> Chord.result

@@ -1,0 +1,198 @@
+module Rng = Unistore_util.Rng
+module Sim = Unistore_sim.Sim
+module Latency = Unistore_sim.Latency
+module Config = Unistore_pgrid.Config
+module Build = Unistore_pgrid.Build
+module Overlay = Unistore_pgrid.Overlay
+module Gossip = Unistore_pgrid.Gossip
+module Chord = Unistore_chord.Chord
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Dht = Unistore_triple.Dht
+module Tstore = Unistore_triple.Tstore
+module Qstats = Unistore_qproc.Qstats
+module Engine = Unistore_qproc.Engine
+module Physical = Unistore_qproc.Physical
+module Report = Unistore_qproc.Engine
+
+type overlay_kind = Pgrid | Chord_trie
+
+type config = {
+  peers : int;
+  replication : int;
+  refs_per_level : int;
+  seed : int;
+  latency : Latency.model;
+  drop : float;
+  overlay : overlay_kind;
+  qgram_index : bool;
+  load_balanced : bool;
+}
+
+let default_config =
+  {
+    peers = 32;
+    replication = 2;
+    refs_per_level = 3;
+    seed = 42;
+    latency = Latency.Lan;
+    drop = 0.0;
+    overlay = Pgrid;
+    qgram_index = true;
+    load_balanced = true;
+  }
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  rng : Rng.t;
+  dht : Dht.t;
+  tstore : Tstore.t;
+  pgrid : Overlay.t option;
+  chord : Chord.t option;
+  mutable stats : Qstats.t;
+  mutable next_origin : int;
+}
+
+let create ?(sample_keys = []) config =
+  let sim = Sim.create () in
+  let rng = Rng.create config.seed in
+  let latency = Latency.create config.latency ~n:config.peers ~rng in
+  let pgrid, chord, dht =
+    match config.overlay with
+    | Pgrid ->
+      let pconfig =
+        {
+          Config.default with
+          Config.replication = config.replication;
+          refs_per_level = config.refs_per_level;
+        }
+      in
+      let ov =
+        Build.oracle sim ~latency ~rng ~drop:config.drop ~config:pconfig ~n:config.peers
+          ~sample_keys ~balanced:(not config.load_balanced) ()
+      in
+      (Some ov, None, Dht.of_pgrid ov)
+    | Chord_trie ->
+      let cconfig = { Chord.default_config with Chord.succ_list = max 2 config.replication } in
+      let c =
+        Chord.create sim ~latency ~rng ~drop:config.drop ~config:cconfig ~n:config.peers ()
+      in
+      (None, Some c, Dht.of_chord_trie c)
+  in
+  let tstore = Tstore.create ~qgrams:config.qgram_index dht in
+  {
+    config;
+    sim;
+    rng;
+    dht;
+    tstore;
+    pgrid;
+    chord;
+    stats = Qstats.empty;
+    next_origin = 0;
+  }
+
+let config t = t.config
+let sim t = t.sim
+let tstore t = t.tstore
+let dht t = t.dht
+let pgrid t = t.pgrid
+
+let pick_origin t =
+  let o = t.next_origin in
+  t.next_origin <- (t.next_origin + 1) mod t.config.peers;
+  o
+
+let insert_triple t ?origin tr =
+  let origin = match origin with Some o -> o | None -> pick_origin t in
+  Tstore.insert_sync t.tstore ~origin tr
+
+let insert_tuple t ?origin ~oid fields =
+  let origin = match origin with Some o -> o | None -> pick_origin t in
+  Tstore.insert_tuple_sync t.tstore ~origin ~oid fields
+
+let delete_triple t ?origin tr =
+  let origin = match origin with Some o -> o | None -> pick_origin t in
+  Tstore.delete_sync t.tstore ~origin tr
+
+let update_value t ?origin ~oid ~attr ~old_value new_value =
+  let origin = match origin with Some o -> o | None -> pick_origin t in
+  Tstore.update_value_sync t.tstore ~origin ~oid ~attr ~old_value new_value
+
+let load t tuples =
+  List.fold_left (fun acc (oid, fields) -> acc + insert_tuple t ~oid fields) 0 tuples
+
+let add_mapping t ?origin a b =
+  let origin = match origin with Some o -> o | None -> pick_origin t in
+  Tstore.add_mapping_sync t.tstore ~origin a b
+
+let refresh_stats t = t.stats <- Qstats.collect t.tstore ~origin:0
+let set_stats_of_triples t triples = t.stats <- Qstats.of_triples triples
+let stats t = t.stats
+
+type strategy = Engine.strategy = Centralized | Mutant
+
+let query t ?(origin = 0) ?strategy ?expand_mappings src =
+  Engine.run_string t.tstore t.stats ~replication:t.config.replication ?strategy ?expand_mappings
+    ~origin src
+
+let explain t ?(origin = 0) ?expand_mappings src =
+  match Unistore_vql.Parser.parse src with
+  | Error e -> Error e
+  | Ok q ->
+    Ok
+      (Engine.plan_query t.tstore t.stats ~replication:t.config.replication ?expand_mappings
+         ~origin q)
+
+let pp_table = Engine.pp_table
+let pp_plan = Physical.pp
+
+let kill_peers t ids =
+  List.iter
+    (fun id ->
+      match (t.pgrid, t.chord) with
+      | Some ov, _ -> Overlay.kill ov id
+      | _, Some c -> Chord.kill c id
+      | None, None -> ())
+    ids
+
+let revive_peers t ids =
+  List.iter
+    (fun id ->
+      match (t.pgrid, t.chord) with
+      | Some ov, _ -> Overlay.revive ov id
+      | _, Some c -> Chord.revive c id
+      | None, None -> ())
+    ids
+
+let alive_peers t = t.dht.Dht.alive_peers ()
+
+let join_peer t ~id ~bootstrap =
+  match t.pgrid with Some ov -> Build.join ov ~id ~bootstrap | None -> false
+
+let anti_entropy_round t =
+  match t.pgrid with
+  | Some ov ->
+    Gossip.anti_entropy_round ov;
+    Sim.run_all t.sim
+  | None -> ()
+
+(* Message-level tracing (paper section 3: results are "traceable,
+   analyzable and (in limits) repeatable"). *)
+let start_trace t =
+  let tr = Unistore_sim.Trace.create () in
+  (match (t.pgrid, t.chord) with
+  | Some ov, _ -> Unistore_sim.Net.set_trace (Overlay.net ov) (Some tr)
+  | _, Some _ -> ()
+  | None, None -> ());
+  tr
+
+let stop_trace t =
+  match t.pgrid with
+  | Some ov -> Unistore_sim.Net.set_trace (Overlay.net ov) None
+  | None -> ()
+
+let settle t = Sim.run_all t.sim
+let messages_sent t = t.dht.Dht.total_sent ()
+let now t = Sim.now t.sim

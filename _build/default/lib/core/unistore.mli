@@ -1,0 +1,145 @@
+(** UniStore: a DHT-based universal storage — the public facade.
+
+    One value of type {!t} is a whole simulated deployment: a structured
+    overlay (P-Grid by default, Chord+trie as baseline) of [peers]
+    simulated nodes, the triple storage layer with its three-way
+    indexing, and the VQL query processor with cost-based adaptive
+    optimization.
+
+    {[
+      let store =
+        Unistore.create { Unistore.default_config with peers = 64 }
+      in
+      ignore (Unistore.insert_tuple store ~oid:"a1"
+                [ ("name", Value.S "alice"); ("age", Value.I 30) ]);
+      Unistore.refresh_stats store;
+      match Unistore.query store "SELECT ?n WHERE { (?a,'name',?n) }" with
+      | Ok report -> Format.printf "%a@." Unistore.pp_table report
+      | Error e -> prerr_endline e
+    ]} *)
+
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Report = Unistore_qproc.Engine
+
+type overlay_kind =
+  | Pgrid  (** the paper's substrate: order-preserving trie overlay *)
+  | Chord_trie  (** baseline: Chord ring + DHT-hosted trie for ranges *)
+
+type config = {
+  peers : int;
+  replication : int;
+  refs_per_level : int;
+  seed : int;
+  latency : Unistore_sim.Latency.model;
+  drop : float;  (** iid message-loss probability *)
+  overlay : overlay_kind;
+  qgram_index : bool;  (** maintain the string-similarity index *)
+  load_balanced : bool;  (** P-Grid data-aware partitioning (needs sample) *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?sample_keys config] builds a fresh deployment. For a
+    load-balanced P-Grid overlay, pass the (encoded) keys of the data you
+    are about to insert — e.g. [Publications.sample_keys ds] — so the
+    trie can be shaped to the distribution (the converged state of
+    P-Grid's load balancing). *)
+val create : ?sample_keys:string list -> config -> t
+
+val config : t -> config
+val sim : t -> Unistore_sim.Sim.t
+val tstore : t -> Unistore_triple.Tstore.t
+val dht : t -> Unistore_triple.Dht.t
+
+(** The P-Grid overlay handle, when [overlay = Pgrid]. *)
+val pgrid : t -> Unistore_pgrid.Overlay.t option
+
+(** {2 Loading data} *)
+
+(** [insert_triple t tr] returns [true] if all index entries stored. *)
+val insert_triple : t -> ?origin:int -> Triple.t -> bool
+
+(** [insert_tuple t ~oid fields] returns the number of triples stored. *)
+val insert_tuple : t -> ?origin:int -> oid:string -> (string * Value.t) list -> int
+
+(** [delete_triple t tr] removes a triple and all its index entries.
+    (Deletes are not tombstoned — see {!Unistore_triple.Tstore}.) *)
+val delete_triple : t -> ?origin:int -> Triple.t -> bool
+
+(** [update_value t ~oid ~attr ~old_value v] replaces one field of a
+    logical tuple (delete + re-insert, since index keys embed values). *)
+val update_value :
+  t -> ?origin:int -> oid:string -> attr:string -> old_value:Value.t -> Value.t -> bool
+
+(** [load t tuples] inserts tuples from round-robin origins (as if each
+    participant contributed its own data); returns triples stored. *)
+val load : t -> (string * (string * Value.t) list) list -> int
+
+(** [add_mapping t a b] publishes an attribute correspondence. *)
+val add_mapping : t -> ?origin:int -> string -> string -> bool
+
+(** {2 Statistics} — the cost model's input. [refresh_stats] floods the
+    network once (decentralized collection); [set_stats_of_triples] is
+    the zero-cost oracle variant when the dataset is known. *)
+
+val refresh_stats : t -> unit
+val set_stats_of_triples : t -> Triple.t list -> unit
+val stats : t -> Unistore_qproc.Qstats.t
+
+(** {2 Querying} *)
+
+type strategy = Unistore_qproc.Engine.strategy = Centralized | Mutant
+
+(** [query t vql] parses, optimizes and executes a VQL query.
+    [expand_mappings] rewrites constant attributes through published
+    schema correspondences. *)
+val query :
+  t ->
+  ?origin:int ->
+  ?strategy:strategy ->
+  ?expand_mappings:bool ->
+  string ->
+  (Unistore_qproc.Engine.report, string) result
+
+(** The static physical plan, without executing (EXPLAIN). *)
+val explain :
+  t -> ?origin:int -> ?expand_mappings:bool -> string ->
+  (Unistore_qproc.Physical.t, string) result
+
+val pp_table : Format.formatter -> Unistore_qproc.Engine.report -> unit
+val pp_plan : Format.formatter -> Unistore_qproc.Physical.t -> unit
+
+(** {2 Operations & failure injection} *)
+
+val kill_peers : t -> int list -> unit
+val revive_peers : t -> int list -> unit
+val alive_peers : t -> int list
+
+(** [join_peer t ~id ~bootstrap] adds a brand-new peer to the running
+    overlay by cloning [bootstrap] (P-Grid only; false on Chord or if the
+    bootstrap peer is dead). *)
+val join_peer : t -> id:int -> bootstrap:int -> bool
+
+(** One anti-entropy round among replica groups (P-Grid only; no-op on
+    Chord). *)
+val anti_entropy_round : t -> unit
+
+(** [start_trace t] attaches a fresh message-level trace to the overlay
+    network and returns it; analyze with {!Unistore_sim.Trace.pp_summary},
+    [by_kind], [busiest_peers], [timeline]. P-Grid only (no-op handle on
+    Chord). *)
+val start_trace : t -> Unistore_sim.Trace.t
+
+val stop_trace : t -> unit
+
+(** Let background traffic (replication pushes, gossip) drain. *)
+val settle : t -> unit
+
+(** Network messages sent since creation. *)
+val messages_sent : t -> int
+
+(** Simulated time (ms). *)
+val now : t -> float

@@ -1,0 +1,1 @@
+lib/pgrid/build.ml: Array Bytes Char Config Float Format List Node Overlay Sim Store String Unistore_util

@@ -1,0 +1,1 @@
+lib/pgrid/build.mli: Config Latency Overlay Sim Store Unistore_util

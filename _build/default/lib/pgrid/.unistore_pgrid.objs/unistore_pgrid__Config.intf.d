@@ -1,0 +1,1 @@
+lib/pgrid/config.mli:

@@ -1,0 +1,1 @@
+lib/pgrid/gossip.ml: List Message Net Node Option Overlay Store String Unistore_util

@@ -1,0 +1,1 @@
+lib/pgrid/gossip.mli: Overlay

@@ -1,0 +1,1 @@
+lib/pgrid/latency.ml: Unistore_sim

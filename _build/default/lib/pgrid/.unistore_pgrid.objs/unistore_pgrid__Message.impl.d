@@ -1,0 +1,1 @@
+lib/pgrid/message.ml: Format List Store String

@@ -1,0 +1,1 @@
+lib/pgrid/message.mli: Format Store

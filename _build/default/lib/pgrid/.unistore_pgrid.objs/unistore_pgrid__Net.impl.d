@@ -1,0 +1,1 @@
+lib/pgrid/net.ml: Unistore_sim

@@ -1,0 +1,1 @@
+lib/pgrid/node.ml: Array Format List Store String Unistore_util

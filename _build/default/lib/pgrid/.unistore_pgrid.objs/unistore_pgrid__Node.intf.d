@@ -1,0 +1,1 @@
+lib/pgrid/node.mli: Format Store Unistore_util

@@ -1,0 +1,1 @@
+lib/pgrid/overlay.ml: Array Config Hashtbl Latency List Message Net Node Option Printf Sim Store String Unistore_util

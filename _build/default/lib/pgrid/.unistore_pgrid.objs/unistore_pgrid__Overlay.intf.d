@@ -1,0 +1,1 @@
+lib/pgrid/overlay.mli: Config Latency Message Net Node Sim Store Unistore_util

@@ -1,0 +1,1 @@
+lib/pgrid/sim.ml: Unistore_sim

@@ -1,0 +1,1 @@
+lib/pgrid/store.ml: Format List Map Option Seq String

@@ -1,0 +1,1 @@
+lib/pgrid/store.mli: Format

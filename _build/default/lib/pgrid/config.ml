@@ -1,0 +1,22 @@
+type t = {
+  refs_per_level : int;
+  replication : int;
+  max_depth : int;
+  timeout_ms : float;
+  retries : int;
+  proximity_routing : bool;
+  gossip_fanout : int;
+  max_hops : int;
+}
+
+let default =
+  {
+    refs_per_level = 3;
+    replication = 2;
+    max_depth = 96;
+    timeout_ms = 10_000.0;
+    retries = 2;
+    proximity_routing = false;
+    gossip_fanout = 2;
+    max_hops = 128;
+  }

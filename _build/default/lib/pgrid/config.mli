@@ -1,0 +1,21 @@
+(** P-Grid overlay parameters. *)
+
+type t = {
+  refs_per_level : int;
+      (** routing references kept per trie level (fan-out of the routing
+          table); P-Grid keeps several for fault tolerance *)
+  replication : int;  (** desired number of peers per leaf (replica group size) *)
+  max_depth : int;  (** maximum trie depth (paths never grow beyond this) *)
+  timeout_ms : float;  (** request timeout before retry / partial completion *)
+  retries : int;  (** end-to-end retries for lookups and inserts *)
+  proximity_routing : bool;
+      (** when true, forward to the ref with the lowest base latency
+          (topology-aware routing); otherwise pick uniformly *)
+  gossip_fanout : int;
+      (** replicas contacted per rumor-spreading round for updates *)
+  max_hops : int;
+      (** messages are dropped beyond this hop count (loop protection in
+          not-yet-converged overlays) *)
+}
+
+val default : t

@@ -1,0 +1,36 @@
+module Ophash = Unistore_util.Ophash
+module Rng = Unistore_util.Rng
+
+let anti_entropy_round ov =
+  let net = Overlay.net ov in
+  let rng = Overlay.rng ov in
+  List.iter
+    (fun (nd : Node.t) ->
+      if Net.is_alive net nd.id then begin
+        match List.filter (Net.is_alive net) nd.replicas with
+        | [] -> ()
+        | alive ->
+          let target = Rng.pick_list rng alive in
+          Net.send net ~src:nd.id ~dst:target
+            (Message.SyncDigest { digest = Store.digest nd.store })
+      end)
+    (Overlay.nodes ov)
+
+let replica_versions ov ~key ~item_id =
+  Overlay.responsible ov key
+  |> List.map (fun (nd : Node.t) ->
+         let v =
+           Store.find nd.store key
+           |> List.find_opt (fun (i : Store.item) -> String.equal i.item_id item_id)
+           |> Option.map (fun (i : Store.item) -> i.version)
+         in
+         (nd.id, v))
+
+let staleness ov ~key ~item_id ~version =
+  match replica_versions ov ~key ~item_id with
+  | [] -> 1.0
+  | vs ->
+    let stale =
+      List.length (List.filter (fun (_, v) -> match v with Some x -> x < version | None -> true) vs)
+    in
+    float_of_int stale /. float_of_int (List.length vs)

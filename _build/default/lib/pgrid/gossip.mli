@@ -1,0 +1,22 @@
+(** Replica maintenance: anti-entropy and staleness measurement.
+
+    Updates themselves are issued through {!Overlay.update} (route to the
+    responsible peer, rumor-spread to replicas). Rumors can miss replicas
+    (fanout limits, failures); periodic anti-entropy rounds reconcile the
+    rest — together these give the loose consistency guarantees of Datta et
+    al. (ICDCS'03) that the paper's update functionality relies on. *)
+
+(** [anti_entropy_round ov] makes every alive peer exchange digests with
+    one random alive replica (push-pull). Runs inside the simulator; call
+    [Sim.run_all] (or further operations) to let the exchanges complete. *)
+val anti_entropy_round : Overlay.t -> unit
+
+(** [replica_versions ov ~key ~item_id] lists, for every peer responsible
+    for [key], the version of the item it currently holds ([None] =
+    missing). Measurement helper for convergence experiments. *)
+val replica_versions :
+  Overlay.t -> key:string -> item_id:string -> (int * int option) list
+
+(** [staleness ov ~key ~item_id ~version] is the fraction of responsible
+    peers that do NOT yet hold [version] (0.0 = fully converged). *)
+val staleness : Overlay.t -> key:string -> item_id:string -> version:int -> float

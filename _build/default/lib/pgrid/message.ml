@@ -1,0 +1,87 @@
+type range_strategy = Shower | Sequential
+
+let pp_strategy fmt = function
+  | Shower -> Format.pp_print_string fmt "shower"
+  | Sequential -> Format.pp_print_string fmt "sequential"
+
+type t =
+  | Insert of { rid : int; item : Store.item; origin : int; hops : int }
+  | Update of { rid : int; item : Store.item; origin : int; hops : int; rounds : int }
+  | Delete of { rid : int; key : string; item_id : string; origin : int; hops : int }
+  | Replicate of { item : Store.item; rounds_left : int }
+  | Unreplicate of { key : string; item_id : string }
+  | Ack of { rid : int; hops : int }
+  | Lookup of { rid : int; key : string; origin : int; hops : int }
+  | Found of { rid : int; items : Store.item list; hops : int }
+  | Range of {
+      rid : int;
+      token : int;  (** unique per message; echoed by the receiver's hit *)
+      lo : string;
+      hi : string;
+      clip_lo : string;  (** inclusive *)
+      clip_hi : string option;  (** exclusive; [None] = unbounded *)
+      origin : int;
+      hops : int;
+      strategy : range_strategy;
+      budget : int option;
+          (** remaining result budget for sequential top-N traversals:
+              stop forwarding once this many items were produced *)
+    }
+  | RangeHit of { rid : int; token : int; items : Store.item list; targets : int list; hops : int }
+  | Probe of {
+      rid : int;
+      token : int;
+      clip_lo : string;
+      clip_hi : string option;
+      origin : int;
+      hops : int;
+      pred : Store.item -> bool;
+    }
+  | Task of { bytes : int; run : int -> unit }
+  | SyncDigest of { digest : (string * string * int) list }
+  | SyncRequest of { wanted : (string * string) list }
+  | SyncItems of { items : Store.item list }
+  | Exchange of { bytes : int; run : int -> unit }
+
+let header = 20
+
+let items_bytes items = List.fold_left (fun acc i -> acc + Store.item_bytes i) 0 items
+
+let size = function
+  | Insert { item; _ } -> header + Store.item_bytes item
+  | Update { item; _ } -> header + Store.item_bytes item
+  | Delete { key; item_id; _ } -> header + String.length key + String.length item_id
+  | Replicate { item; _ } -> header + Store.item_bytes item
+  | Unreplicate { key; item_id } -> header + String.length key + String.length item_id
+  | Ack _ -> header
+  | Lookup { key; _ } -> header + String.length key
+  | Found { items; _ } -> header + items_bytes items
+  | Range { lo; hi; _ } -> header + 16 + String.length lo + String.length hi
+  | RangeHit { items; _ } -> header + items_bytes items
+  | Probe _ -> header + 32
+  | Task { bytes; _ } -> header + bytes
+  | SyncDigest { digest } ->
+    header
+    + List.fold_left (fun acc (k, id, _) -> acc + String.length k + String.length id + 8) 0 digest
+  | SyncRequest { wanted } ->
+    header + List.fold_left (fun acc (k, id) -> acc + String.length k + String.length id) 0 wanted
+  | SyncItems { items } -> header + items_bytes items
+  | Exchange { bytes; _ } -> header + bytes
+
+let kind = function
+  | Insert _ -> "insert"
+  | Update _ -> "update"
+  | Delete _ -> "delete"
+  | Replicate _ -> "replicate"
+  | Unreplicate _ -> "unreplicate"
+  | Ack _ -> "ack"
+  | Lookup _ -> "lookup"
+  | Found _ -> "found"
+  | Range _ -> "range"
+  | RangeHit _ -> "range-hit"
+  | Probe _ -> "probe"
+  | Task _ -> "task"
+  | SyncDigest _ -> "sync-digest"
+  | SyncRequest _ -> "sync-request"
+  | SyncItems _ -> "sync-items"
+  | Exchange _ -> "exchange"

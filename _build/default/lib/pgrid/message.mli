@@ -1,0 +1,69 @@
+(** P-Grid wire messages.
+
+    Routing is by full encoded keys (byte strings): every node knows its
+    own split boundaries, so a key is enough to route greedily. Closures
+    appear in two places ([Probe] predicates and [Task] payloads): the
+    simulator ships OCaml values instead of serialized bytes, with [size]
+    estimating what the wire encoding would cost so that bandwidth
+    accounting stays meaningful. *)
+
+type range_strategy =
+  | Shower  (** parallel: split the range across complementary subtrees *)
+  | Sequential  (** serial min-bound traversal: answer, then forward the rest *)
+
+val pp_strategy : Format.formatter -> range_strategy -> unit
+
+type t =
+  | Insert of { rid : int; item : Store.item; origin : int; hops : int }
+  | Update of { rid : int; item : Store.item; origin : int; hops : int; rounds : int }
+      (** versioned write propagated to replicas by rumor spreading with
+          [rounds] residual hops (Datta et al., ICDCS'03 style) *)
+  | Delete of { rid : int; key : string; item_id : string; origin : int; hops : int }
+      (** remove one item (routed like an insert; replicas notified) *)
+  | Replicate of { item : Store.item; rounds_left : int }
+      (** rumor-spreading replica update *)
+  | Unreplicate of { key : string; item_id : string }
+      (** replica-side removal matching a [Delete] *)
+  | Ack of { rid : int; hops : int }
+  | Lookup of { rid : int; key : string; origin : int; hops : int }
+  | Found of { rid : int; items : Store.item list; hops : int }
+  | Range of {
+      rid : int;
+      token : int;  (** unique per message; echoed by the receiver's hit *)
+      lo : string;  (** exact inclusive bounds for local filtering *)
+      hi : string;
+      clip_lo : string;  (** routing clip, inclusive *)
+      clip_hi : string option;  (** routing clip, exclusive; [None] = +inf *)
+      origin : int;
+      hops : int;
+      strategy : range_strategy;
+      budget : int option;
+          (** remaining result budget for sequential top-N traversals:
+              stop forwarding once this many items were produced *)
+    }
+  | RangeHit of { rid : int; token : int; items : Store.item list; targets : int list; hops : int }
+      (** [token] identifies which message this hit answers; [targets]
+          lists the tokens of the messages the sender forwarded *)
+  | Probe of {
+      rid : int;
+      token : int;
+      clip_lo : string;
+      clip_hi : string option;
+      origin : int;
+      hops : int;
+      pred : Store.item -> bool;
+    }  (** broadcast a local scan predicate to every peer intersecting the clip *)
+  | Task of { bytes : int; run : int -> unit }
+      (** application-shipped computation (mutant query plans); [run]
+          receives the executing peer id *)
+  | SyncDigest of { digest : (string * string * int) list }
+  | SyncRequest of { wanted : (string * string) list }
+  | SyncItems of { items : Store.item list }
+  | Exchange of { bytes : int; run : int -> unit }
+      (** bootstrap pairwise exchange step (see {!Build.bootstrap}) *)
+
+(** Estimated wire size in bytes. *)
+val size : t -> int
+
+(** Constructor name for tracing, e.g. ["lookup"], ["range"]. *)
+val kind : t -> string

@@ -1,0 +1,76 @@
+module Bitkey = Unistore_util.Bitkey
+
+type t = {
+  id : int;
+  mutable path : Bitkey.t;
+  mutable splits : string array;
+  mutable refs : int list array;
+  mutable replicas : int list;
+  store : Store.t;
+}
+
+let create id =
+  { id; path = Bitkey.empty; splits = [||]; refs = [||]; replicas = []; store = Store.create () }
+
+let set_path t path splits =
+  let len = Bitkey.length path in
+  if Array.length splits <> len then invalid_arg "Node.set_path: splits/path length mismatch";
+  let refs = Array.make len [] in
+  Array.blit t.refs 0 refs 0 (min (Array.length t.refs) len);
+  t.path <- path;
+  t.splits <- splits;
+  t.refs <- refs
+
+let extend t ~bit ~boundary =
+  set_path t (Bitkey.append_bit t.path bit) (Array.append t.splits [| boundary |])
+
+let refs_at t l = if l >= 0 && l < Array.length t.refs then t.refs.(l) else []
+
+let add_ref t ~level peer ~cap =
+  if level >= 0 && level < Array.length t.refs && peer <> t.id then begin
+    let cur = t.refs.(level) in
+    if not (List.mem peer cur) then begin
+      let updated = peer :: cur in
+      let updated =
+        if List.length updated > cap then List.filteri (fun i _ -> i < cap) updated else updated
+      in
+      t.refs.(level) <- updated
+    end
+  end
+
+let remove_ref t peer =
+  Array.iteri (fun l refs -> t.refs.(l) <- List.filter (fun p -> p <> peer) refs) t.refs
+
+let add_replica t peer =
+  if peer <> t.id && not (List.mem peer t.replicas) then t.replicas <- peer :: t.replicas
+
+let remove_replica t peer = t.replicas <- List.filter (fun p -> p <> peer) t.replicas
+
+let region t =
+  let lo = ref "" and hi = ref None in
+  Array.iteri
+    (fun l boundary ->
+      if Bitkey.get t.path l then begin
+        if String.compare boundary !lo > 0 then lo := boundary
+      end
+      else
+        match !hi with
+        | Some h when String.compare h boundary <= 0 -> ()
+        | _ -> hi := Some boundary)
+    t.splits;
+  (!lo, !hi)
+
+let covers t key =
+  let lo, hi = region t in
+  String.compare key lo >= 0
+  && match hi with None -> true | Some h -> String.compare key h < 0
+
+let key_side t ~level key =
+  if level < 0 || level >= Array.length t.splits then invalid_arg "Node.key_side";
+  String.compare key t.splits.(level) >= 0
+
+let table_size t = Array.fold_left (fun acc refs -> acc + List.length refs) 0 t.refs
+
+let pp fmt t =
+  Format.fprintf fmt "peer%d@%a[refs=%d,replicas=%d,items=%d]" t.id Bitkey.pp t.path (table_size t)
+    (List.length t.replicas) (Store.size t.store)

@@ -1,0 +1,63 @@
+(** A P-Grid peer.
+
+    Each peer sits at a leaf of the virtual binary trie: its [path] is the
+    sequence of branch choices from the root. Unlike a plain hash-prefix
+    trie, P-Grid's load balancing chooses every split point from the
+    {e data distribution} (Aberer et al., VLDB'05): level [l] of the trie
+    divides its region at boundary [splits.(l)] (an encoded key); bit 0
+    means "keys below the boundary", bit 1 "keys at or above it". A peer
+    therefore knows, for every level of its own path, the boundary that
+    was used — that is all the state greedy prefix routing needs.
+
+    For every level [l] it also keeps references to peers of the
+    complementary subtree, which makes any key reachable in at most
+    [length path] hops. *)
+
+type t = {
+  id : int;
+  mutable path : Unistore_util.Bitkey.t;
+  mutable splits : string array;  (** boundary key per level; length = path length *)
+  mutable refs : int list array;  (** level -> complementary-subtree peers *)
+  mutable replicas : int list;  (** other peers with an identical path *)
+  store : Store.t;
+}
+
+val create : int -> t
+
+(** [set_path t path splits] updates position and boundaries together
+    ([splits] must have one entry per path level). Existing refs at
+    surviving levels are preserved. *)
+val set_path : t -> Unistore_util.Bitkey.t -> string array -> unit
+
+(** [extend t ~bit ~boundary] descends one level. *)
+val extend : t -> bit:bool -> boundary:string -> unit
+
+(** [refs_at t l] is the (possibly empty) reference list at level [l]. *)
+val refs_at : t -> int -> int list
+
+(** [add_ref t ~level peer ~cap] adds [peer] at [level] unless present,
+    evicting the oldest entry beyond [cap]. *)
+val add_ref : t -> level:int -> int -> cap:int -> unit
+
+val remove_ref : t -> int -> unit
+
+(** [add_replica t peer] records a same-path replica (idempotent). *)
+val add_replica : t -> int -> unit
+
+val remove_replica : t -> int -> unit
+
+(** Key region covered by this peer: [(lo, hi)] with [lo] inclusive and
+    [hi] exclusive; [hi = None] means unbounded above. *)
+val region : t -> string * string option
+
+(** [covers t key] holds iff [key] lies in {!region}. *)
+val covers : t -> string -> bool
+
+(** [key_side t ~level key] is the branch ([false] = below the boundary)
+    the key takes at one of this peer's levels. *)
+val key_side : t -> level:int -> string -> bool
+
+(** Total routing-table entries (for table-size experiments). *)
+val table_size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,582 @@
+module Bitkey = Unistore_util.Bitkey
+module Rng = Unistore_util.Rng
+
+type result = {
+  items : Store.item list;
+  hops : int;
+  peers_hit : int;
+  complete : bool;
+  latency : float;
+}
+
+type pending =
+  | Psingle of {
+      resend : unit -> unit;
+      mutable attempts : int;
+      started : float;
+      k : result -> unit;
+    }
+  | Pmulti of {
+      expected : (int, unit) Hashtbl.t;  (* message tokens announced as forwards *)
+      received : (int, unit) Hashtbl.t;  (* tokens whose hit arrived *)
+      mutable missing : int;  (* |expected \ received| *)
+      mutable peers : (int, unit) Hashtbl.t;  (* distinct peers that reported *)
+      mutable items : Store.item list;
+      mutable hops : int;
+      started : float;
+      k : result -> unit;
+    }
+
+type t = {
+  sim : Sim.t;
+  net : Message.t Net.t;
+  config : Config.t;
+  rng : Rng.t;
+  nodes : (int, Node.t) Hashtbl.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_rid : int;
+}
+
+let create sim ~latency ~rng ?(drop = 0.0) ~config () =
+  let rng = Rng.split rng in
+  let net = Net.create sim ~latency ~rng ~drop ~size:Message.size ~kind:Message.kind () in
+  { sim; net; config; rng; nodes = Hashtbl.create 256; pending = Hashtbl.create 64; next_rid = 0 }
+
+let sim t = t.sim
+let net t = t.net
+let config t = t.config
+let rng t = t.rng
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Overlay.node: unknown peer %d" id)
+
+let nodes t =
+  Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
+  |> List.sort (fun a b -> compare a.Node.id b.Node.id)
+
+let node_count t = Hashtbl.length t.nodes
+
+let depth t = Hashtbl.fold (fun _ n acc -> max acc (Bitkey.length n.Node.path)) t.nodes 0
+
+let responsible t key = List.filter (fun n -> Node.covers n key) (nodes t)
+
+let kill t id = Net.kill t.net id
+let revive t id = Net.revive t.net id
+let alive t id = Net.is_alive t.net id
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+(* ------------------------------------------------------------------ *)
+(* Key intervals: inclusive lo, exclusive optional hi                   *)
+
+let interval_intersect (lo1, hi1) (lo2, hi2) =
+  let lo = if String.compare lo1 lo2 >= 0 then lo1 else lo2 in
+  let hi =
+    match (hi1, hi2) with
+    | None, h | h, None -> h
+    | Some a, Some b -> Some (if String.compare a b <= 0 then a else b)
+  in
+  match hi with Some h when String.compare lo h >= 0 -> None | _ -> Some (lo, hi)
+
+(* Exclusive upper bound capturing all keys <= hi (no byte string lies
+   strictly between hi and hi ^ "\x00"). *)
+let after_inclusive hi = Some (hi ^ "\x00")
+
+(* ------------------------------------------------------------------ *)
+(* Result assembly                                                     *)
+
+let dedupe_items items =
+  let tbl = Hashtbl.create (List.length items) in
+  List.iter
+    (fun (i : Store.item) ->
+      let k = (i.key, i.item_id) in
+      match Hashtbl.find_opt tbl k with
+      | Some (j : Store.item) when j.version >= i.version -> ()
+      | _ -> Hashtbl.replace tbl k i)
+    items;
+  Hashtbl.fold (fun _ i acc -> i :: acc) tbl []
+  |> List.sort (fun (a : Store.item) b ->
+         match String.compare a.key b.key with 0 -> String.compare a.item_id b.item_id | c -> c)
+
+let finish_single t rid ~items ~hops ~complete =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Psingle p) ->
+    Hashtbl.remove t.pending rid;
+    p.k
+      {
+        items = dedupe_items items;
+        hops;
+        peers_hit = 1;
+        complete;
+        latency = Sim.now t.sim -. p.started;
+      }
+  | _ -> ()
+
+let finish_multi t rid ~complete =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Pmulti p) ->
+    Hashtbl.remove t.pending rid;
+    p.k
+      {
+        items = dedupe_items p.items;
+        hops = p.hops;
+        peers_hit = Hashtbl.length p.peers;
+        complete;
+        latency = Sim.now t.sim -. p.started;
+      }
+  | _ -> ()
+
+(* Termination detection is order-independent: every Range/Probe message
+   carries a unique token; its receiver's hit echoes that token and names
+   the tokens of the messages it forwarded in turn. The operation is done
+   when every announced token has been answered — a grandchild's hit
+   racing past its parent's (easy under heavy-tailed wide-area latencies)
+   cannot end the operation early, and a peer participating several times
+   (router now, processor later, as in sequential traversals) is counted
+   per message. *)
+let deliver_hit t rid ~from ~token ~items ~targets ~hops =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Pmulti p) ->
+    Hashtbl.replace p.peers from ();
+    if not (Hashtbl.mem p.received token) then begin
+      Hashtbl.replace p.received token ();
+      if Hashtbl.mem p.expected token then p.missing <- p.missing - 1
+      else Hashtbl.replace p.expected token ()
+    end;
+    List.iter
+      (fun q ->
+        if not (Hashtbl.mem p.expected q) then begin
+          Hashtbl.replace p.expected q ();
+          if not (Hashtbl.mem p.received q) then p.missing <- p.missing + 1
+        end)
+      targets;
+    p.items <- List.rev_append items p.items;
+    p.hops <- max p.hops hops;
+    if p.missing <= 0 then finish_multi t rid ~complete:true
+  | _ -> ()
+
+let arm_single_timeout t rid =
+  let rec arm () =
+    Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
+        match Hashtbl.find_opt t.pending rid with
+        | Some (Psingle p) ->
+          if p.attempts < t.config.retries then begin
+            p.attempts <- p.attempts + 1;
+            p.resend ();
+            arm ()
+          end
+          else finish_single t rid ~items:[] ~hops:0 ~complete:false
+        | _ -> ())
+  in
+  arm ()
+
+let arm_multi_timeout t rid =
+  Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
+      if Hashtbl.mem t.pending rid then finish_multi t rid ~complete:false)
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+
+(* Peers are assumed to detect failures of their direct references (via
+   keep-alive pings, as deployed DHTs do), so routing prefers alive refs;
+   if every ref of a level looks dead we still try one, and the request
+   times out and retries. *)
+let choose_ref t (me : Node.t) level =
+  let candidates =
+    match List.filter (Net.is_alive t.net) (Node.refs_at me level) with
+    | [] -> Node.refs_at me level
+    | alive -> alive
+  in
+  match candidates with
+  | [] -> None
+  | refs when t.config.proximity_routing ->
+    let lat = Net.latency t.net in
+    let best =
+      List.fold_left
+        (fun acc p ->
+          let c = Latency.base lat ~src:me.id ~dst:p in
+          match acc with Some (_, c0) when c0 <= c -> acc | _ -> Some (p, c))
+        None refs
+    in
+    Option.map fst best
+  | refs -> Some (Rng.pick_list t.rng refs)
+
+(* [`Local] if [me] covers [key]: greedy prefix routing forwards at the
+   first level where the key branches away from [me]'s path. *)
+let route_step t (me : Node.t) key =
+  let len = Bitkey.length me.path in
+  let rec go l =
+    if l >= len then `Local
+    else if Node.key_side me ~level:l key <> Bitkey.get me.path l then begin
+      match choose_ref t me l with Some p -> `Forward p | None -> `Stuck
+    end
+    else go (l + 1)
+  in
+  go 0
+
+let too_far t hops = hops >= t.config.max_hops
+
+(* ------------------------------------------------------------------ *)
+(* Handlers: each takes the acting node and may be invoked directly     *)
+(* (origin-side) or from the message dispatcher.                        *)
+
+let handle_lookup t (me : Node.t) ~rid ~key ~origin ~hops =
+  match route_step t me key with
+  | `Local ->
+    let items = Store.find me.store key in
+    if me.id = origin then finish_single t rid ~items ~hops ~complete:true
+    else Net.send t.net ~src:me.id ~dst:origin (Message.Found { rid; items; hops })
+  | `Forward p when not (too_far t hops) ->
+    Net.send t.net ~src:me.id ~dst:p (Message.Lookup { rid; key; origin; hops = hops + 1 })
+  | `Forward _ | `Stuck -> ()
+
+let handle_insert t (me : Node.t) ~rid ~item ~origin ~hops =
+  match route_step t me item.Store.key with
+  | `Local ->
+    ignore (Store.put me.store item);
+    List.iter
+      (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.Replicate { item; rounds_left = 0 }))
+      me.replicas;
+    if me.id = origin then finish_single t rid ~items:[ item ] ~hops ~complete:true
+    else Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops })
+  | `Forward p when not (too_far t hops) ->
+    Net.send t.net ~src:me.id ~dst:p (Message.Insert { rid; item; origin; hops = hops + 1 })
+  | `Forward _ | `Stuck -> ()
+
+let handle_delete t (me : Node.t) ~rid ~key ~item_id ~origin ~hops =
+  match route_step t me key with
+  | `Local ->
+    Store.remove me.store ~key ~item_id;
+    List.iter
+      (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.Unreplicate { key; item_id }))
+      me.replicas;
+    if me.id = origin then finish_single t rid ~items:[] ~hops ~complete:true
+    else Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops })
+  | `Forward p when not (too_far t hops) ->
+    Net.send t.net ~src:me.id ~dst:p (Message.Delete { rid; key; item_id; origin; hops = hops + 1 })
+  | `Forward _ | `Stuck -> ()
+
+let handle_update t (me : Node.t) ~rid ~item ~origin ~hops ~rounds =
+  match route_step t me item.Store.key with
+  | `Local ->
+    ignore (Store.put me.store item);
+    let targets = Rng.sample t.rng t.config.gossip_fanout me.replicas in
+    List.iter
+      (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.Replicate { item; rounds_left = rounds }))
+      targets;
+    if me.id = origin then finish_single t rid ~items:[ item ] ~hops ~complete:true
+    else Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops })
+  | `Forward p when not (too_far t hops) ->
+    Net.send t.net ~src:me.id ~dst:p (Message.Update { rid; item; origin; hops = hops + 1; rounds })
+  | `Forward _ | `Stuck -> ()
+
+(* Shower range/probe processing: partition the clip among my own region
+   and my complementary subtrees (computed level by level from my own
+   split boundaries), forward each non-empty sub-clip to one reference of
+   that subtree, answer my own region locally. *)
+let process_shower t (me : Node.t) ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward =
+  let targets = ref [] in
+  let len = Bitkey.length me.path in
+  let plo = ref "" and phi = ref None in
+  for l = 0 to len - 1 do
+    let boundary = me.splits.(l) in
+    let mybit = Bitkey.get me.path l in
+    let sibling = if mybit then (!plo, Some boundary) else (boundary, !phi) in
+    (match interval_intersect (clip_lo, clip_hi) sibling with
+    | Some (lo', hi') when not (too_far t hops) -> (
+      match choose_ref t me l with
+      | Some p ->
+        let tok = fresh_rid t in
+        targets := tok :: !targets;
+        forward ~dst:p ~token:tok ~clip_lo:lo' ~clip_hi:hi'
+      | None -> ())
+    | _ -> ());
+    if mybit then plo := boundary else phi := Some boundary
+  done;
+  let items = local () in
+  if me.id = origin then deliver_hit t rid ~from:me.id ~token ~items ~targets:!targets ~hops
+  else
+    Net.send t.net ~src:me.id ~dst:origin
+      (Message.RangeHit { rid; token; items; targets = !targets; hops })
+
+let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~hops ~strategy
+    ~budget =
+  match (strategy : Message.range_strategy) with
+  | Shower ->
+    let local () = Store.range me.store ~lo ~hi in
+    let forward ~dst ~token ~clip_lo ~clip_hi =
+      Net.send t.net ~src:me.id ~dst
+        (Message.Range
+           { rid; token; lo; hi; clip_lo; clip_hi; origin; hops = hops + 1; strategy; budget })
+    in
+    process_shower t me ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward
+  | Sequential ->
+    (* Every receiving peer reports a hit (routing-only peers report an
+       empty one naming their next hop) so the origin's termination
+       tracking stays exact. *)
+    let emit items targets =
+      if me.id = origin then deliver_hit t rid ~from:me.id ~token ~items ~targets ~hops
+      else
+        Net.send t.net ~src:me.id ~dst:origin (Message.RangeHit { rid; token; items; targets; hops })
+    in
+    if not (Node.covers me clip_lo) then begin
+      (* Still routing toward the low end of the remaining range. *)
+      match route_step t me clip_lo with
+      | `Forward p when not (too_far t hops) ->
+        let tok = fresh_rid t in
+        Net.send t.net ~src:me.id ~dst:p
+          (Message.Range
+             { rid; token = tok; lo; hi; clip_lo; clip_hi; origin; hops = hops + 1; strategy; budget });
+        emit [] [ tok ]
+      | `Forward _ | `Local | `Stuck -> emit [] []
+    end
+    else begin
+      let items = Store.range me.store ~lo ~hi in
+      (* Key order = value order (order-preserving encodings), so a
+         result budget lets top-N traversals stop early. *)
+      let items, budget_left =
+        match budget with
+        | None -> (items, None)
+        | Some b ->
+          let kept = List.filteri (fun i _ -> i < b) items in
+          (kept, Some (b - List.length kept))
+      in
+      let _, region_hi = Node.region me in
+      let continue_key =
+        match region_hi with
+        | Some h when String.compare h hi <= 0 -> Some h
+        | _ -> None
+      in
+      let exhausted = match budget_left with Some b when b <= 0 -> true | _ -> false in
+      let targets =
+        match continue_key with
+        | None -> []
+        | Some _ when exhausted -> []
+        | Some nxt when too_far t hops ->
+          ignore nxt;
+          []
+        | Some nxt -> (
+          match route_step t me nxt with
+          | `Forward p ->
+            let tok = fresh_rid t in
+            Net.send t.net ~src:me.id ~dst:p
+              (Message.Range
+                 {
+                   rid;
+                   token = tok;
+                   lo;
+                   hi;
+                   clip_lo = nxt;
+                   clip_hi;
+                   origin;
+                   hops = hops + 1;
+                   strategy;
+                   budget = budget_left;
+                 });
+            [ tok ]
+          | `Local | `Stuck -> [])
+      in
+      emit items targets
+    end
+
+let handle_probe t (me : Node.t) ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred =
+  let local () =
+    let acc = ref [] in
+    Store.iter me.store (fun i -> if pred i then acc := i :: !acc);
+    !acc
+  in
+  let forward ~dst ~token ~clip_lo ~clip_hi =
+    Net.send t.net ~src:me.id ~dst
+      (Message.Probe { rid; token; clip_lo; clip_hi; origin; hops = hops + 1; pred })
+  in
+  process_shower t me ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward
+
+(* ------------------------------------------------------------------ *)
+(* Replica synchronization (rumor spreading + anti-entropy)             *)
+
+let handle_replicate t (me : Node.t) ~item ~rounds_left =
+  let changed = Store.put me.store item in
+  if changed && rounds_left > 0 && me.replicas <> [] then begin
+    let targets = Rng.sample t.rng t.config.gossip_fanout me.replicas in
+    List.iter
+      (fun r ->
+        Net.send t.net ~src:me.id ~dst:r (Message.Replicate { item; rounds_left = rounds_left - 1 }))
+      targets
+  end
+
+let handle_sync t ~(me : Node.t) ~src msg =
+  match (msg : Message.t) with
+  | SyncDigest { digest } ->
+    let theirs = Hashtbl.create (List.length digest) in
+    List.iter (fun (k, id, v) -> Hashtbl.replace theirs (k, id) v) digest;
+    (* Items they are missing or hold stale. *)
+    let to_send = ref [] in
+    Store.iter me.store (fun i ->
+        match Hashtbl.find_opt theirs (i.key, i.item_id) with
+        | Some v when v >= i.version -> ()
+        | _ -> to_send := i :: !to_send);
+    if !to_send <> [] then Net.send t.net ~src:me.id ~dst:src (Message.SyncItems { items = !to_send });
+    (* Items I am missing or hold stale. *)
+    let wanted =
+      List.filter_map
+        (fun (k, id, v) ->
+          let mine = Store.find me.store k in
+          match List.find_opt (fun (i : Store.item) -> String.equal i.item_id id) mine with
+          | Some i when i.version >= v -> None
+          | _ -> Some (k, id))
+        digest
+    in
+    if wanted <> [] then Net.send t.net ~src:me.id ~dst:src (Message.SyncRequest { wanted })
+  | SyncRequest { wanted } ->
+    let items =
+      List.filter_map
+        (fun (k, id) ->
+          List.find_opt (fun (i : Store.item) -> String.equal i.item_id id) (Store.find me.store k))
+        wanted
+    in
+    if items <> [] then Net.send t.net ~src:me.id ~dst:src (Message.SyncItems { items })
+  | SyncItems { items } -> List.iter (fun i -> ignore (Store.put me.store i)) items
+  | _ -> invalid_arg "Overlay.handle_sync: not a sync message"
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+
+let dispatch t (me : Node.t) ~src msg =
+  match (msg : Message.t) with
+  | Lookup { rid; key; origin; hops } -> handle_lookup t me ~rid ~key ~origin ~hops
+  | Insert { rid; item; origin; hops } -> handle_insert t me ~rid ~item ~origin ~hops
+  | Update { rid; item; origin; hops; rounds } -> handle_update t me ~rid ~item ~origin ~hops ~rounds
+  | Found { rid; items; hops } -> finish_single t rid ~items ~hops ~complete:true
+  | Ack { rid; hops } -> finish_single t rid ~items:[] ~hops ~complete:true
+  | Range { rid; token; lo; hi; clip_lo; clip_hi; origin; hops; strategy; budget } ->
+    handle_range t me ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~hops ~strategy ~budget
+  | RangeHit { rid; token; items; targets; hops } ->
+    deliver_hit t rid ~from:src ~token ~items ~targets ~hops
+  | Probe { rid; token; clip_lo; clip_hi; origin; hops; pred } ->
+    handle_probe t me ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred
+  | Replicate { item; rounds_left } -> handle_replicate t me ~item ~rounds_left
+  | Delete { rid; key; item_id; origin; hops } -> handle_delete t me ~rid ~key ~item_id ~origin ~hops
+  | Unreplicate { key; item_id } -> Store.remove me.store ~key ~item_id
+  | Task { run; _ } -> run me.id
+  | Exchange { run; _ } -> run me.id
+  | (SyncDigest _ | SyncRequest _ | SyncItems _) as m -> handle_sync t ~me ~src m
+
+let add_node t id =
+  if Hashtbl.mem t.nodes id then invalid_arg "Overlay.add_node: duplicate id";
+  let n = Node.create id in
+  Hashtbl.replace t.nodes id n;
+  Net.register t.net id (fun ~src msg -> dispatch t n ~src msg);
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+
+let insert t ~origin ~key ~item_id ~payload ?(version = 0) ~k () =
+  let rid = fresh_rid t in
+  let item = { Store.key; item_id; payload; version } in
+  let me = node t origin in
+  let resend () = handle_insert t me ~rid ~item ~origin ~hops:0 in
+  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  arm_single_timeout t rid;
+  resend ()
+
+let update t ~origin ~key ~item_id ~payload ~version ?(rounds = 3) ~k () =
+  let rid = fresh_rid t in
+  let item = { Store.key; item_id; payload; version } in
+  let me = node t origin in
+  let resend () = handle_update t me ~rid ~item ~origin ~hops:0 ~rounds in
+  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  arm_single_timeout t rid;
+  resend ()
+
+let delete t ~origin ~key ~item_id ~k =
+  let rid = fresh_rid t in
+  let me = node t origin in
+  let resend () = handle_delete t me ~rid ~key ~item_id ~origin ~hops:0 in
+  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  arm_single_timeout t rid;
+  resend ()
+
+let lookup t ~origin ~key ~k =
+  let rid = fresh_rid t in
+  let me = node t origin in
+  let resend () = handle_lookup t me ~rid ~key ~origin ~hops:0 in
+  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  arm_single_timeout t rid;
+  resend ()
+
+let start_multi t ~k =
+  let rid = fresh_rid t in
+  Hashtbl.replace t.pending rid
+    (Pmulti
+       {
+         expected = Hashtbl.create 16;
+         received = Hashtbl.create 16;
+         missing = 0;
+         peers = Hashtbl.create 16;
+         items = [];
+         hops = 0;
+         started = Sim.now t.sim;
+         k;
+       });
+  arm_multi_timeout t rid;
+  rid
+
+let range t ~origin ?(strategy = Message.Shower) ?budget ~lo ~hi ~k () =
+  (match (budget, strategy) with
+  | Some _, Message.Shower -> invalid_arg "Overlay.range: budget requires Sequential"
+  | _ -> ());
+  let rid = start_multi t ~k in
+  let me = node t origin in
+  handle_range t me ~rid ~token:(fresh_rid t) ~lo ~hi ~clip_lo:lo ~clip_hi:(after_inclusive hi)
+    ~origin ~hops:0 ~strategy ~budget
+
+let prefix t ~origin ~prefix:p ~k =
+  let rid = start_multi t ~k in
+  let me = node t origin in
+  (* All keys extending [p]: inclusive bounds for local filtering, and the
+     exclusive clip just past the last extension. *)
+  let hi = p ^ String.make 64 '\xff' in
+  handle_range t me ~rid ~token:(fresh_rid t) ~lo:p ~hi ~clip_lo:p ~clip_hi:(after_inclusive hi)
+    ~origin ~hops:0 ~strategy:Message.Shower ~budget:None
+
+let broadcast t ~origin ~pred ~k =
+  let rid = start_multi t ~k in
+  let me = node t origin in
+  handle_probe t me ~rid ~token:(fresh_rid t) ~clip_lo:"" ~clip_hi:None ~origin ~hops:0 ~pred
+
+let send_task t ~src ~dst ~bytes run = Net.send t.net ~src ~dst (Message.Task { bytes; run })
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous wrappers                                                *)
+
+let await t f =
+  let cell = ref None in
+  f (fun r -> cell := Some r);
+  let completed = Sim.run_until t.sim (fun () -> !cell <> None) in
+  match !cell with
+  | Some r -> r
+  | None ->
+    ignore completed;
+    { items = []; hops = 0; peers_hit = 0; complete = false; latency = 0.0 }
+
+let insert_sync t ~origin ~key ~item_id ~payload ?version () =
+  await t (fun k -> insert t ~origin ~key ~item_id ~payload ?version ~k ())
+
+let lookup_sync t ~origin ~key = await t (fun k -> lookup t ~origin ~key ~k)
+
+let delete_sync t ~origin ~key ~item_id = await t (fun k -> delete t ~origin ~key ~item_id ~k)
+
+let update_sync t ~origin ~key ~item_id ~payload ~version ?rounds () =
+  await t (fun k -> update t ~origin ~key ~item_id ~payload ~version ?rounds ~k ())
+
+let range_sync t ~origin ?strategy ?budget ~lo ~hi () =
+  await t (fun k -> range t ~origin ?strategy ?budget ~lo ~hi ~k ())
+
+let prefix_sync t ~origin ~prefix:p = await t (fun k -> prefix t ~origin ~prefix:p ~k)
+let broadcast_sync t ~origin ~pred = await t (fun k -> broadcast t ~origin ~pred ~k)

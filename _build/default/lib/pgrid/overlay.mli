@@ -1,0 +1,171 @@
+(** The P-Grid overlay: routing and data-access protocols.
+
+    All operations are asynchronous (continuation-passing) because they are
+    implemented as real message exchanges inside the discrete-event
+    simulator; [*_sync] wrappers drive the event loop until the
+    continuation fires and are what most callers use.
+
+    Guarantees (demonstrated by the E2 benchmark):
+    - [lookup]/[insert] resolve in at most [depth] overlay hops, i.e.
+      O(log n) for a balanced trie;
+    - [range ~strategy:Shower] reaches every peer intersecting the range
+      with one message each, after O(depth) splitting hops;
+    - [range ~strategy:Sequential] visits intersecting leaves one after the
+      other, each reached by greedy routing. *)
+
+type t
+
+(** Outcome of a data-access operation. *)
+type result = {
+  items : Store.item list;
+  hops : int;  (** longest message chain involved *)
+  peers_hit : int;  (** peers that executed local work *)
+  complete : bool;  (** false on timeout / unreachable region *)
+  latency : float;  (** simulated ms from issue to completion *)
+}
+
+val create :
+  Sim.t ->
+  latency:Latency.t ->
+  rng:Unistore_util.Rng.t ->
+  ?drop:float ->
+  config:Config.t ->
+  unit ->
+  t
+
+val sim : t -> Sim.t
+val net : t -> Message.t Net.t
+val config : t -> Config.t
+val rng : t -> Unistore_util.Rng.t
+
+(** [add_node t id] creates, registers and returns a node with an empty
+    path (responsible for the whole key space until paths are assigned). *)
+val add_node : t -> int -> Node.t
+
+val node : t -> int -> Node.t
+val nodes : t -> Node.t list
+val node_count : t -> int
+
+(** Maximum path length over all nodes (trie depth). *)
+val depth : t -> int
+
+(** Peers whose region covers the encoded key (oracle view, used by tests
+    and for choosing mutant-plan carriers). *)
+val responsible : t -> string -> Node.t list
+
+(** {2 Failure injection} *)
+
+val kill : t -> int -> unit
+val revive : t -> int -> unit
+val alive : t -> int -> bool
+
+(** {2 Asynchronous operations} *)
+
+(** [insert t ~origin ~key ~item_id ~payload ()] routes the item to the
+    responsible peer, stores it there and pushes it to that peer's replica
+    group. The continuation receives [complete = false] if every retry
+    timed out. *)
+val insert :
+  t ->
+  origin:int ->
+  key:string ->
+  item_id:string ->
+  payload:string ->
+  ?version:int ->
+  k:(result -> unit) ->
+  unit ->
+  unit
+
+(** [lookup t ~origin ~key] retrieves all items whose full encoded key
+    equals [key]. *)
+val lookup : t -> origin:int -> key:string -> k:(result -> unit) -> unit
+
+(** [delete t ~origin ~key ~item_id] removes one item from the
+    responsible peer and its replicas. *)
+val delete : t -> origin:int -> key:string -> item_id:string -> k:(result -> unit) -> unit
+
+(** [update t ~origin ~key ~item_id ~payload ~version ()] is a versioned
+    write with loose consistency: the responsible peer applies it (LWW) and
+    rumor-spreads it to [gossip_fanout] replicas for [rounds] residual
+    hops. Replicas missed by the rumor converge later through
+    {!Gossip.anti_entropy_round}. *)
+val update :
+  t ->
+  origin:int ->
+  key:string ->
+  item_id:string ->
+  payload:string ->
+  version:int ->
+  ?rounds:int ->
+  k:(result -> unit) ->
+  unit ->
+  unit
+
+(** [range t ~origin ~lo ~hi] retrieves all items with
+    [lo <= key <= hi]. With [budget = Some n] (Sequential only) the
+    traversal stops after producing [n] items — since key order equals
+    value order this yields the [n] smallest matches (a distributed
+    top-N with early termination). *)
+val range :
+  t ->
+  origin:int ->
+  ?strategy:Message.range_strategy ->
+  ?budget:int ->
+  lo:string ->
+  hi:string ->
+  k:(result -> unit) ->
+  unit ->
+  unit
+
+(** [prefix t ~origin ~prefix] retrieves all items whose key extends
+    [prefix] (substring/prefix search on the indexed encodings). *)
+val prefix : t -> origin:int -> prefix:string -> k:(result -> unit) -> unit
+
+(** [broadcast t ~origin ~pred] floods the whole overlay (every alive peer
+    scans its local store with [pred]); the expensive fallback when no
+    index applies. *)
+val broadcast : t -> origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit
+
+(** [send_task t ~src ~dst ~bytes f] ships an application-level computation
+    (e.g. a mutant query plan) to [dst]; [f] runs there on arrival. Counted
+    as one message of [bytes] payload. [f] is not run if [dst] is dead. *)
+val send_task : t -> src:int -> dst:int -> bytes:int -> (int -> unit) -> unit
+
+(** {2 Synchronous wrappers} (drive the simulator until completion) *)
+
+val insert_sync :
+  t -> origin:int -> key:string -> item_id:string -> payload:string -> ?version:int -> unit ->
+  result
+
+val lookup_sync : t -> origin:int -> key:string -> result
+val delete_sync : t -> origin:int -> key:string -> item_id:string -> result
+
+val update_sync :
+  t ->
+  origin:int ->
+  key:string ->
+  item_id:string ->
+  payload:string ->
+  version:int ->
+  ?rounds:int ->
+  unit ->
+  result
+
+val range_sync :
+  t ->
+  origin:int ->
+  ?strategy:Message.range_strategy ->
+  ?budget:int ->
+  lo:string ->
+  hi:string ->
+  unit ->
+  result
+
+val prefix_sync : t -> origin:int -> prefix:string -> result
+val broadcast_sync : t -> origin:int -> pred:(Store.item -> bool) -> result
+
+(** {2 Replica maintenance} (see {!Gossip}) *)
+
+(** Used by {!Gossip}: handle replica-synchronization messages. Exposed so
+    the message dispatcher lives in one place. *)
+val handle_sync : t -> me:Node.t -> src:int -> Message.t -> unit

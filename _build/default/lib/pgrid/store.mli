@@ -1,0 +1,56 @@
+(** Per-peer local data store.
+
+    Items are keyed by their full order-preserving encoding (a byte
+    string), so local range/prefix filtering is exact even though routing
+    uses only the first {!Unistore_util.Ophash.routing_bits} bits. An
+    [item_id] distinguishes distinct items that share a key (e.g. two
+    triples with the same attribute/value); versions give last-writer-wins
+    semantics for the update/replication protocol. *)
+
+type item = {
+  key : string;  (** full order-preserving encoding; routing uses its prefix *)
+  item_id : string;  (** identity for updates; unique per logical datum *)
+  payload : string;  (** opaque application payload (a serialized triple) *)
+  version : int;  (** LWW version; inserts start at 0 *)
+}
+
+val pp_item : Format.formatter -> item -> unit
+
+(** Approximate wire size of an item in bytes (for bandwidth accounting). *)
+val item_bytes : item -> int
+
+type t
+
+val create : unit -> t
+
+(** [put t item] inserts or updates. An existing entry with the same
+    [(key, item_id)] is replaced iff the new version is greater or equal.
+    Returns [true] if the store changed. *)
+val put : t -> item -> bool
+
+(** [remove t ~key ~item_id] removes an entry if present. *)
+val remove : t -> key:string -> item_id:string -> unit
+
+(** All items with exactly this key. *)
+val find : t -> string -> item list
+
+(** All items with [lo <= key <= hi] (byte-string order). *)
+val range : t -> lo:string -> hi:string -> item list
+
+(** All items whose key starts with [prefix]. *)
+val with_prefix : t -> string -> item list
+
+(** Number of stored items. *)
+val size : t -> int
+
+val iter : t -> (item -> unit) -> unit
+val to_list : t -> item list
+
+(** [filter_partition t pred] keeps items satisfying [pred] and returns the
+    removed ones (used when a peer splits its path and hands data over). *)
+val filter_partition : t -> (item -> bool) -> item list
+
+(** [digest t] lists [(key, item_id, version)] for anti-entropy. *)
+val digest : t -> (string * string * int) list
+
+val clear : t -> unit

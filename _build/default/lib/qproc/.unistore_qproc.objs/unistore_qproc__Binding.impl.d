@@ -1,0 +1,1 @@
+lib/qproc/binding.ml: Buffer Format List Map Option String Unistore_triple Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/binding.mli: Format Unistore_triple Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/cost.ml: Float Format List Option Qstats Unistore_triple Unistore_util Unistore_vql

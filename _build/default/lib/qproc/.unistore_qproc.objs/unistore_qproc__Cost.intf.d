@@ -1,0 +1,1 @@
+lib/qproc/cost.mli: Format Qstats Unistore_triple Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/engine.ml: Binding Cost Exec Format List Optimizer Physical String Unistore_triple Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/engine.mli: Binding Exec Format Physical Qstats Unistore_triple Unistore_vql

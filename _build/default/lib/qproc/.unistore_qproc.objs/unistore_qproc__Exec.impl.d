@@ -1,0 +1,1 @@
+lib/qproc/exec.ml: Binding Cost Format Hashtbl List Optimizer Option Physical Ranking Unistore_sim Unistore_triple Unistore_vql

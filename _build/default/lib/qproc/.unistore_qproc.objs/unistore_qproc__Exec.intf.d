@@ -1,0 +1,1 @@
+lib/qproc/exec.mli: Binding Cost Format Physical Qstats Unistore_triple Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/optimizer.ml: Cost Float List Option Physical String Unistore_triple Unistore_util Unistore_vql

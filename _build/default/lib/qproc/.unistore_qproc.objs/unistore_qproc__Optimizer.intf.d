@@ -1,0 +1,1 @@
+lib/qproc/optimizer.mli: Cost Physical Qstats Unistore_vql

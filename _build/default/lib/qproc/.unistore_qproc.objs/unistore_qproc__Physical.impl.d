@@ -1,0 +1,1 @@
+lib/qproc/physical.ml: Cost Format List String Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/physical.mli: Cost Format Unistore_vql

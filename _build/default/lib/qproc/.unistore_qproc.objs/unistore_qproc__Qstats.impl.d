@@ -1,0 +1,1 @@
+lib/qproc/qstats.ml: Float Format Hashtbl List Option Unistore_triple

@@ -1,0 +1,1 @@
+lib/qproc/qstats.mli: Format Unistore_triple

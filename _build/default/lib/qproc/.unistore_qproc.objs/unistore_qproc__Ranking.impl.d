@@ -1,0 +1,1 @@
+lib/qproc/ranking.ml: Binding Float List Unistore_triple Unistore_vql

@@ -1,0 +1,1 @@
+lib/qproc/ranking.mli: Binding Unistore_vql

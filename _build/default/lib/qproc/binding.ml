@@ -1,0 +1,87 @@
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Ast = Unistore_vql.Ast
+module SMap = Map.Make (String)
+
+type t = Value.t SMap.t
+
+let empty = SMap.empty
+let find t v = SMap.find_opt v t
+let bindings t = SMap.bindings t
+let vars t = SMap.bindings t |> List.map fst
+
+let bind t v x =
+  match SMap.find_opt v t with
+  | Some existing -> if Value.equal existing x then Some t else None
+  | None -> Some (SMap.add v x t)
+
+let bind_term t term (value : Value.t) =
+  match (term : Ast.term) with
+  | Ast.TConst c -> if Value.equal c value then Some t else None
+  | Ast.TVar v -> bind t v value
+
+let match_triple_into base (p : Ast.pattern) (tr : Triple.t) =
+  Option.bind (bind_term base p.Ast.subj (Value.S tr.Triple.oid)) (fun b ->
+      Option.bind (bind_term b p.Ast.attr (Value.S tr.Triple.attr)) (fun b ->
+          bind_term b p.Ast.obj tr.Triple.value))
+
+let match_triple p tr = match_triple_into empty p tr
+
+let compatible a b =
+  let ok = ref true in
+  let merged =
+    SMap.union
+      (fun _ va vb ->
+        if Value.equal va vb then Some va
+        else begin
+          ok := false;
+          Some va
+        end)
+      a b
+  in
+  if !ok then Some merged else None
+
+let join_key vs t =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | [] -> Some (Buffer.contents buf)
+    | v :: rest -> (
+      match SMap.find_opt v t with
+      | Some value ->
+        Buffer.add_string buf (Value.encode value);
+        Buffer.add_char buf '\000';
+        go rest
+      | None -> None)
+  in
+  go vs
+
+let project vs t = SMap.filter (fun v _ -> List.mem v vs) t
+
+let fingerprint t =
+  let buf = Buffer.create 32 in
+  SMap.iter
+    (fun v x ->
+      Buffer.add_string buf v;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (Value.encode x);
+      Buffer.add_char buf ';')
+    t;
+  Buffer.contents buf
+
+let bytes t =
+  SMap.fold (fun v x acc -> acc + String.length v + String.length (Value.encode x) + 4) t 8
+
+let equal a b = SMap.equal Value.equal a b
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  SMap.iter
+    (fun v x ->
+      if not !first then Format.fprintf fmt ", ";
+      first := false;
+      Format.fprintf fmt "?%s=%a" v Value.pp x)
+    t;
+  Format.fprintf fmt "}"
+
+let lookup t v = find t v

@@ -1,0 +1,48 @@
+(** Variable bindings: the tuples flowing through query plans. *)
+
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Ast = Unistore_vql.Ast
+
+type t
+
+val empty : t
+val find : t -> string -> Value.t option
+val bindings : t -> (string * Value.t) list
+val vars : t -> string list
+
+(** [bind t v x] extends; [None] if [v] is already bound to a different
+    value (consistency check). *)
+val bind : t -> string -> Value.t -> t option
+
+(** [match_triple pattern triple] tries to unify a triple with a pattern
+    (constants must match; variables bind). *)
+val match_triple : Ast.pattern -> Triple.t -> t option
+
+(** [match_triple_into base pattern triple] unifies under an existing
+    binding. *)
+val match_triple_into : t -> Ast.pattern -> Triple.t -> t option
+
+(** [compatible a b] merges two bindings if they agree on shared
+    variables. *)
+val compatible : t -> t -> t option
+
+(** [join_key vars t] projects the join attributes to a hashable key;
+    [None] if some var is unbound. *)
+val join_key : string list -> t -> string option
+
+(** [project vars t] keeps only [vars] (unbound projected vars are
+    dropped silently). *)
+val project : string list -> t -> t
+
+(** Stable fingerprint of the full binding (for DISTINCT). *)
+val fingerprint : t -> string
+
+(** Approximate wire size in bytes (for plan-shipping accounting). *)
+val bytes : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** SPARQL-style lookup function for {!Unistore_vql.Algebra.eval_pred}. *)
+val lookup : t -> string -> Value.t option

@@ -1,0 +1,144 @@
+module Value = Unistore_triple.Value
+module Ast = Unistore_vql.Ast
+module Strdist = Unistore_util.Strdist
+module Keys = Unistore_triple.Keys
+
+type access =
+  | AOid of string
+  | AAttrValue of string * Value.t
+  | AAttrRange of string * Value.t option * Value.t option
+  | AAttrAll of string
+  | AAttrPrefix of string * string
+  | AValue of Value.t
+  | ASim of string option * string * int
+  | ASubstring of string option * string
+  | ATopN of string * int
+  | ABroadcast
+
+let pp_access fmt = function
+  | AOid oid -> Format.fprintf fmt "oid-lookup(%s)" oid
+  | AAttrValue (a, v) -> Format.fprintf fmt "av-lookup(%s=%a)" a Value.pp v
+  | AAttrRange (a, lo, hi) ->
+    let p = function Some v -> Format.asprintf "%a" Value.pp v | None -> "·" in
+    Format.fprintf fmt "av-range(%s in [%s,%s])" a (p lo) (p hi)
+  | AAttrAll a -> Format.fprintf fmt "av-scan(%s)" a
+  | AAttrPrefix (a, p) -> Format.fprintf fmt "av-prefix(%s,'%s')" a p
+  | AValue v -> Format.fprintf fmt "v-lookup(%a)" Value.pp v
+  | ASim (a, p, d) ->
+    Format.fprintf fmt "qgram-sim(%s,'%s',%d)" (Option.value ~default:"*" a) p d
+  | ASubstring (a, p) ->
+    Format.fprintf fmt "qgram-substr(%s,'%s')" (Option.value ~default:"*" a) p
+  | ATopN (a, n) -> Format.fprintf fmt "topn-traversal(%s,%d)" a n
+  | ABroadcast -> Format.fprintf fmt "flood"
+
+type env = { peers : int; depth : int; replication : int; expected_latency : float }
+
+let env_of_dht (dht : Unistore_triple.Dht.t) ~replication =
+  {
+    peers = dht.Unistore_triple.Dht.peers;
+    depth = max 1 (dht.Unistore_triple.Dht.depth ());
+    replication = max 1 replication;
+    expected_latency = dht.Unistore_triple.Dht.expected_latency;
+  }
+
+type estimate = { messages : float; latency : float; cardinality : float }
+
+let pp_estimate fmt e =
+  Format.fprintf fmt "msgs=%.1f latency=%.0fms card=%.1f" e.messages e.latency e.cardinality
+
+let leaves env = Float.max 1.0 (float_of_int env.peers /. (float_of_int env.replication +. 0.5))
+
+(* A point lookup: expected hops is about half the trie depth, plus the
+   direct reply to the origin. *)
+let lookup_cost env ~cardinality =
+  let hops = (float_of_int env.depth /. 2.0) +. 1.0 in
+  { messages = hops +. 1.0; latency = (hops +. 1.0) *. env.expected_latency; cardinality }
+
+(* A shower range scan: O(depth) splitting messages reach each of the
+   [touched] leaves, each answering directly; latency is parallel:
+   depth+1 sequential message delays. *)
+let shower_cost env ~fraction ~cardinality =
+  let touched = Float.max 1.0 (leaves env *. Float.min 1.0 fraction) in
+  {
+    messages = touched +. float_of_int env.depth +. touched;
+    latency = (float_of_int env.depth +. 2.0) *. env.expected_latency;
+    cardinality;
+  }
+
+(* Flooding visits one replica per leaf (a message in, a reply out). *)
+let flood_cost env ~cardinality =
+  {
+    messages = 2.0 *. leaves env;
+    latency = (float_of_int env.depth +. 2.0) *. env.expected_latency;
+    cardinality;
+  }
+
+(* Fraction of the key space (hence leaves) an attribute region covers:
+   its share of all triples. *)
+let attr_fraction stats a =
+  let total = Float.max 1.0 (float_of_int stats.Qstats.total_triples) in
+  Qstats.est_attr stats a /. total
+
+let estimate_access env stats access =
+  match access with
+  | AOid _ ->
+    (* A logical tuple has total/oids triples on average. *)
+    let card =
+      float_of_int stats.Qstats.total_triples
+      /. Float.max 1.0 (float_of_int stats.Qstats.distinct_oids)
+    in
+    lookup_cost env ~cardinality:(Float.max 1.0 card)
+  | AAttrValue (a, _) -> lookup_cost env ~cardinality:(Float.max 0.1 (Qstats.est_eq stats a))
+  | AAttrRange (a, lo, hi) ->
+    let card = Qstats.est_range stats a lo hi in
+    let afrac = attr_fraction stats a in
+    let range_frac = card /. Float.max 1.0 (Qstats.est_attr stats a) in
+    shower_cost env ~fraction:(afrac *. range_frac) ~cardinality:card
+  | AAttrAll a ->
+    shower_cost env ~fraction:(attr_fraction stats a) ~cardinality:(Qstats.est_attr stats a)
+  | AAttrPrefix (a, _) ->
+    (* Assume a prefix narrows to ~10% of the attribute's values. *)
+    let card = Float.max 1.0 (Qstats.est_attr stats a *. 0.1) in
+    shower_cost env ~fraction:(attr_fraction stats a *. 0.1) ~cardinality:card
+  | AValue _ -> lookup_cost env ~cardinality:(Float.max 0.1 (Qstats.est_value stats))
+  | ASim (a, pattern, _) ->
+    let grams = List.length (Strdist.distinct_qgrams ~q:Keys.q pattern) in
+    let per = lookup_cost env ~cardinality:0.0 in
+    {
+      messages = float_of_int grams *. per.messages;
+      (* Gram lookups run in parallel. *)
+      latency = per.latency;
+      cardinality = Qstats.est_sim stats a;
+    }
+  | ASubstring (a, _) ->
+    (* Three parallel gram lookups plus local verification. *)
+    let per = lookup_cost env ~cardinality:0.0 in
+    {
+      messages = 3.0 *. per.messages;
+      latency = per.latency;
+      cardinality = Qstats.est_sim stats a;
+    }
+  | ATopN (a, n) ->
+    (* Route to the region start, then visit just enough leaves in key
+       order (serial). *)
+    let region_leaves = Float.max 1.0 (leaves env *. attr_fraction stats a) in
+    let per_leaf = Float.max 1.0 (Qstats.est_attr stats a /. region_leaves) in
+    let touched = Float.min region_leaves (Float.of_int n /. per_leaf |> Float.ceil |> Float.max 1.0) in
+    let route = float_of_int env.depth /. 2.0 in
+    {
+      messages = route +. (2.0 *. touched);
+      latency = (route +. touched +. 1.0) *. env.expected_latency;
+      cardinality = Float.min (float_of_int n) (Qstats.est_attr stats a);
+    }
+  | ABroadcast ->
+    (* Flooding returns whatever the residual pattern matches; assume an
+       attribute's worth of data as a neutral middle ground. *)
+    flood_cost env
+      ~cardinality:(Float.max 1.0 (float_of_int stats.Qstats.total_triples *. 0.05))
+
+let ship_estimate env ~bytes =
+  (* One direct task message; size matters for bandwidth, not count. *)
+  ignore bytes;
+  { messages = 1.0; latency = env.expected_latency; cardinality = 0.0 }
+
+let objective e = e.messages +. (e.latency /. 50.0)

@@ -1,0 +1,59 @@
+(** Access paths and the cost model.
+
+    For each logical triple-pattern scan there are several physical
+    implementations (the paper's "several physical operators per logical
+    operator"); this module enumerates them and predicts their cost from
+    overlay characteristics (peer count, trie depth, expected latency)
+    and data statistics ({!Qstats}).
+
+    Worst-case guarantees: every access except [ABroadcast] costs
+    O(depth) = O(log n) routing hops; [ARange]/[AAttrAll] add one message
+    per peer intersecting the region; [ABroadcast] costs Θ(n). *)
+
+module Value = Unistore_triple.Value
+module Ast = Unistore_vql.Ast
+
+type access =
+  | AOid of string  (** O-index lookup by constant OID *)
+  | AAttrValue of string * Value.t  (** A#v exact lookup *)
+  | AAttrRange of string * Value.t option * Value.t option
+      (** A#v range scan (open bounds use type min/max) *)
+  | AAttrAll of string  (** whole-attribute region scan *)
+  | AAttrPrefix of string * string  (** string-prefix scan on one attribute *)
+  | AValue of Value.t  (** v-index lookup (any attribute) *)
+  | ASim of string option * string * int  (** q-gram similarity selection *)
+  | ASubstring of string option * string  (** q-gram substring search *)
+  | ATopN of string * int
+      (** the [n] smallest values of an attribute via an early-terminating
+          sequential traversal of its A#v region *)
+  | ABroadcast  (** flooding fallback *)
+
+val pp_access : Format.formatter -> access -> unit
+
+(** Overlay parameters the model is calibrated on. *)
+type env = {
+  peers : int;
+  depth : int;  (** trie depth / log2 ring *)
+  replication : int;
+  expected_latency : float;  (** mean one-way ms *)
+}
+
+val env_of_dht : Unistore_triple.Dht.t -> replication:int -> env
+
+type estimate = {
+  messages : float;
+  latency : float;  (** ms *)
+  cardinality : float;  (** triples returned *)
+}
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
+(** [estimate_access env stats access] predicts one access path's cost. *)
+val estimate_access : env -> Qstats.t -> access -> estimate
+
+(** Cost of shipping [bytes] of plan+bindings to another peer. *)
+val ship_estimate : env -> bytes:int -> estimate
+
+(** Scalar objective used to rank plans: messages plus a latency term
+    weighted to prefer parallel strategies under wide-area latencies. *)
+val objective : estimate -> float

@@ -1,0 +1,185 @@
+module Ast = Unistore_vql.Ast
+module Parser = Unistore_vql.Parser
+module Value = Unistore_triple.Value
+module Tstore = Unistore_triple.Tstore
+module Dht = Unistore_triple.Dht
+
+type strategy = Centralized | Mutant
+
+let pp_strategy fmt = function
+  | Centralized -> Format.pp_print_string fmt "centralized"
+  | Mutant -> Format.pp_print_string fmt "mutant"
+
+type report = {
+  columns : string list;
+  rows : Binding.t list;
+  messages : int;
+  latency : float;
+  complete : bool;
+  plan : Physical.t;
+  strategy : strategy;
+  traces : Exec.step_trace list;
+  bytes_shipped : int;
+}
+
+let columns_of (q : Ast.query) =
+  match q.Ast.projection with Some vs -> vs | None -> Ast.query_vars q
+
+let pp_table fmt r =
+  let cell row col =
+    match Binding.find row col with Some v -> Value.to_display v | None -> ""
+  in
+  let widths =
+    List.map
+      (fun col ->
+        List.fold_left
+          (fun w row -> max w (String.length (cell row col)))
+          (String.length col + 1) r.rows)
+      r.columns
+  in
+  let hline () =
+    Format.fprintf fmt "+";
+    List.iter (fun w -> Format.fprintf fmt "%s+" (String.make (w + 2) '-')) widths;
+    Format.fprintf fmt "@,"
+  in
+  Format.fprintf fmt "@[<v>";
+  hline ();
+  Format.fprintf fmt "|";
+  List.iter2 (fun col w -> Format.fprintf fmt " %-*s |" w ("?" ^ col)) r.columns widths;
+  Format.fprintf fmt "@,";
+  hline ();
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "|";
+      List.iter2 (fun col w -> Format.fprintf fmt " %-*s |" w (cell row col)) r.columns widths;
+      Format.fprintf fmt "@,")
+    r.rows;
+  hline ();
+  Format.fprintf fmt "%d row(s), %d msgs, %.0f ms simulated, %s@]" (List.length r.rows)
+    r.messages r.latency
+    (if r.complete then "complete" else "PARTIAL")
+
+let const_attrs (q : Ast.query) =
+  let of_patterns ps =
+    List.filter_map
+      (fun (p : Ast.pattern) ->
+        match p.Ast.attr with Ast.TConst (Value.S a) -> Some a | _ -> None)
+      ps
+  in
+  of_patterns q.Ast.patterns
+  @ List.concat_map (fun (ps, _) -> of_patterns ps) q.Ast.union_branches
+  |> List.sort_uniq compare
+
+(* A UNION branch runs as a stand-alone sub-query: its own patterns and
+   filters, no post-processing (that happens once, over the combined
+   rows). *)
+let branch_query (q : Ast.query) (ps, fs) =
+  ignore q;
+  {
+    Ast.patterns = ps;
+    filters = fs;
+    union_branches = [];
+    order = None;
+    projection = None;
+    distinct = false;
+    limit = None;
+  }
+
+let fetch_expansions ts ~origin q =
+  List.filter_map
+    (fun a ->
+      match Tstore.equivalent_attrs_sync ts ~origin a with
+      | [] | [ _ ] -> None
+      | eqs -> Some (a, eqs))
+    (const_attrs q)
+
+let plan_query ts stats ~replication ?(expand_mappings = false) ~origin q =
+  let env = Cost.env_of_dht (Tstore.dht ts) ~replication in
+  let expansions = if expand_mappings then fetch_expansions ts ~origin q else [] in
+  let qgrams = Tstore.qgrams_enabled ts in
+  let main =
+    Optimizer.plan env stats ~qgrams ~expansions { q with Ast.union_branches = [] }
+  in
+  let branches =
+    List.map (fun b -> Optimizer.plan env stats ~qgrams ~expansions (branch_query q b))
+      q.Ast.union_branches
+  in
+  { main with Physical.branches }
+
+let run ts stats ~replication ?(strategy = Centralized) ?(expand_mappings = false) ~origin q =
+  let env = Cost.env_of_dht (Tstore.dht ts) ~replication in
+  let expansions = if expand_mappings then fetch_expansions ts ~origin q else [] in
+  let qgrams = Tstore.qgrams_enabled ts in
+  let strategy =
+    match strategy with
+    | Mutant when (Tstore.dht ts).Dht.send_task = None -> Centralized
+    | s -> s
+  in
+  (* Each UNION branch executes independently; the combined rows then go
+     through the query's post-processing exactly once. *)
+  let run_branch (bq : Ast.query) =
+    let plan = Optimizer.plan env stats ~qgrams ~expansions bq in
+    let result =
+      match strategy with
+      | Centralized -> Exec.run_centralized ts ~origin plan
+      | Mutant -> Exec.run_mutant ts stats env ~origin bq ~expansions
+    in
+    (plan, result)
+  in
+  match q.Ast.union_branches with
+  | [] ->
+    let plan, result = run_branch q in
+    {
+      columns = columns_of q;
+      rows = result.Exec.rows;
+      messages = result.Exec.messages;
+      latency = result.Exec.latency;
+      complete = result.Exec.complete;
+      plan;
+      strategy;
+      traces = result.Exec.traces;
+      bytes_shipped = result.Exec.bytes_shipped;
+    }
+  | union_branches ->
+    let sub_queries =
+      branch_query q (q.Ast.patterns, q.Ast.filters)
+      :: List.map (branch_query q) union_branches
+    in
+    let results = List.map run_branch sub_queries in
+    let rows = List.concat_map (fun (_, r) -> r.Exec.rows) results in
+    let post_plan =
+      {
+        Physical.steps = [];
+        post_filters = [];
+        order = q.Ast.order;
+        projection = q.Ast.projection;
+        distinct = q.Ast.distinct;
+        limit = q.Ast.limit;
+        expansions;
+        total_est = { Cost.messages = 0.0; latency = 0.0; cardinality = 0.0 };
+        branches = [];
+      }
+    in
+    let rows = Exec.postprocess post_plan rows in
+    let plans = List.map fst results in
+    let plan =
+      match plans with
+      | main :: rest -> { main with Physical.branches = rest }
+      | [] -> assert false
+    in
+    {
+      columns = columns_of q;
+      rows;
+      messages = List.fold_left (fun acc (_, r) -> acc + r.Exec.messages) 0 results;
+      latency = List.fold_left (fun acc (_, r) -> acc +. r.Exec.latency) 0.0 results;
+      complete = List.for_all (fun (_, r) -> r.Exec.complete) results;
+      plan;
+      strategy;
+      traces = List.concat_map (fun (_, r) -> r.Exec.traces) results;
+      bytes_shipped = List.fold_left (fun acc (_, r) -> acc + r.Exec.bytes_shipped) 0 results;
+    }
+
+let run_string ts stats ~replication ?strategy ?expand_mappings ~origin src =
+  match Parser.parse src with
+  | Error e -> Error e
+  | Ok q -> Ok (run ts stats ~replication ?strategy ?expand_mappings ~origin q)

@@ -1,0 +1,65 @@
+(** Query engine: parse → optimize → execute → report.
+
+    The top of the query-processing stack; {!Unistore.Unistore} (the
+    public facade) wraps this. *)
+
+module Ast = Unistore_vql.Ast
+module Tstore = Unistore_triple.Tstore
+
+type strategy =
+  | Centralized  (** the origin pulls everything and joins locally *)
+  | Mutant  (** adaptive plan shipping (Mutant Query Plans) *)
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+type report = {
+  columns : string list;
+  rows : Binding.t list;
+  messages : int;
+  latency : float;  (** simulated ms *)
+  complete : bool;
+  plan : Physical.t;
+  strategy : strategy;
+  traces : Exec.step_trace list;
+  bytes_shipped : int;
+}
+
+(** Render rows as an aligned text table (the CLI's result view). *)
+val pp_table : Format.formatter -> report -> unit
+
+(** [plan_query ts stats ~replication ?expand_mappings ~origin q] builds
+    the static physical plan (the EXPLAIN view). When [expand_mappings]
+    is set, schema correspondences are fetched from the store and
+    constant attributes are expanded to their equivalence classes. *)
+val plan_query :
+  Tstore.t ->
+  Qstats.t ->
+  replication:int ->
+  ?expand_mappings:bool ->
+  origin:int ->
+  Ast.query ->
+  Physical.t
+
+(** [run ts stats ~replication ?strategy ?expand_mappings ~origin q]
+    executes a parsed query. Default strategy: [Centralized]; [Mutant]
+    falls back to [Centralized] if the substrate cannot ship plans. *)
+val run :
+  Tstore.t ->
+  Qstats.t ->
+  replication:int ->
+  ?strategy:strategy ->
+  ?expand_mappings:bool ->
+  origin:int ->
+  Ast.query ->
+  report
+
+(** [run_string ...] parses and runs VQL source. *)
+val run_string :
+  Tstore.t ->
+  Qstats.t ->
+  replication:int ->
+  ?strategy:strategy ->
+  ?expand_mappings:bool ->
+  origin:int ->
+  string ->
+  (report, string) result

@@ -1,0 +1,464 @@
+module Ast = Unistore_vql.Ast
+module Algebra = Unistore_vql.Algebra
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Tstore = Unistore_triple.Tstore
+module Dht = Unistore_triple.Dht
+module Keys = Unistore_triple.Keys
+module Sim = Unistore_sim.Sim
+
+type step_trace = { step : Physical.step; actual_card : int; messages : int; carrier : int }
+
+let pp_step_trace fmt t =
+  Format.fprintf fmt "%a via %a at peer%d: %d rows, %d msgs" Ast.pp_pattern
+    t.step.Physical.pattern Cost.pp_access t.step.Physical.access t.carrier t.actual_card
+    t.messages
+
+type run_result = {
+  rows : Binding.t list;
+  messages : int;
+  latency : float;
+  complete : bool;
+  traces : step_trace list;
+  bytes_shipped : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Access execution (synchronous, from a given origin)                 *)
+
+let expansions_for plan_expansions attr =
+  match List.assoc_opt attr plan_expansions with
+  | Some eqs when eqs <> [] -> if List.mem attr eqs then eqs else attr :: eqs
+  | _ -> [ attr ]
+
+let access_with_attr access attr =
+  match (access : Cost.access) with
+  | Cost.AAttrValue (_, v) -> Cost.AAttrValue (attr, v)
+  | Cost.AAttrRange (_, lo, hi) -> Cost.AAttrRange (attr, lo, hi)
+  | Cost.AAttrAll _ -> Cost.AAttrAll attr
+  | Cost.AAttrPrefix (_, p) -> Cost.AAttrPrefix (attr, p)
+  | Cost.ASim (Some _, p, d) -> Cost.ASim (Some attr, p, d)
+  | Cost.ASubstring (Some _, p) -> Cost.ASubstring (Some attr, p)
+  | Cost.ATopN (_, n) -> Cost.ATopN (attr, n)
+  | other -> other
+
+let pattern_with_attr (p : Ast.pattern) attr =
+  match p.Ast.attr with
+  | Ast.TConst (Value.S _) -> { p with Ast.attr = Ast.TConst (Value.S attr) }
+  | _ -> p
+
+let range_defaults lo hi =
+  (* Open bounds fall back to the type extremes of the present bound. *)
+  match (lo, hi) with
+  | Some l, Some h -> (l, h)
+  | Some l, None -> (l, Option.get (Value.decode (Value.type_max l)))
+  | None, Some h -> (Option.get (Value.decode (Value.type_min h)), h)
+  | None, None -> invalid_arg "Exec: unbounded range access"
+
+let exec_single_access ts ~origin (access : Cost.access) (p : Ast.pattern) =
+  match access with
+  | Cost.AOid oid -> Tstore.by_oid_sync ts ~origin oid
+  | Cost.AAttrValue (a, v) -> Tstore.by_attr_value_sync ts ~origin ~attr:a v
+  | Cost.AAttrRange (a, lo, hi) ->
+    let lo, hi = range_defaults lo hi in
+    Tstore.by_attr_range_sync ts ~origin ~attr:a ~lo ~hi
+  | Cost.AAttrAll a -> Tstore.by_attr_all_sync ts ~origin ~attr:a
+  | Cost.AAttrPrefix (a, pre) -> Tstore.by_attr_string_prefix_sync ts ~origin ~attr:a ~string_prefix:pre
+  | Cost.AValue v -> Tstore.by_value_sync ts ~origin v
+  | Cost.ASim (a, pat, d) -> Tstore.similar_sync ts ~origin ?attr:a ~pattern:pat ~d ()
+  | Cost.ASubstring (a, pat) -> Tstore.containing_sync ts ~origin ?attr:a ~pattern:pat ()
+  | Cost.ATopN (a, n) -> Tstore.top_n_by_attr_sync ts ~origin ~attr:a ~n ()
+  | Cost.ABroadcast ->
+    Tstore.scan_sync ts ~origin ~pred:(fun tr -> Option.is_some (Binding.match_triple p tr))
+
+(* Execute an access, unioned over mapping expansions of its attribute.
+   Returns (bindings producible by [p] or an expanded variant, ok). *)
+let exec_access ts ~origin ~expansions access (p : Ast.pattern) =
+  let attrs =
+    match access with
+    | Cost.AAttrValue (a, _) | Cost.AAttrRange (a, _, _) | Cost.AAttrAll a | Cost.AAttrPrefix (a, _)
+    | Cost.ASim (Some a, _, _) | Cost.ASubstring (Some a, _) | Cost.ATopN (a, _) ->
+      expansions_for expansions a
+    | _ -> [ "" ]
+  in
+  let runs =
+    match attrs with
+    | [ "" ] -> [ (access, p) ]
+    | _ -> List.map (fun a -> (access_with_attr access a, pattern_with_attr p a)) attrs
+  in
+  let ok = ref true in
+  let bindings =
+    List.concat_map
+      (fun (acc, pat) ->
+        let triples, meta = exec_single_access ts ~origin acc pat in
+        if not meta.Tstore.complete then ok := false;
+        List.filter_map (Binding.match_triple pat) triples)
+      runs
+  in
+  (bindings, !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Bind-join: one parallel round of deduplicated direct lookups        *)
+
+type bind_lookup = LOid of string | LAttrValue of string * Value.t
+
+let bind_lookup_for (p : Ast.pattern) binding =
+  match p.Ast.subj with
+  | Ast.TVar v when Option.is_some (Binding.find binding v) -> (
+    match Binding.find binding v with
+    | Some (Value.S oid) -> Some (LOid oid)
+    | _ -> None)
+  | _ -> (
+    match (p.Ast.attr, p.Ast.obj) with
+    | Ast.TConst (Value.S a), Ast.TVar ov -> (
+      match Binding.find binding ov with Some v -> Some (LAttrValue (a, v)) | None -> None)
+    | _ -> None)
+
+let lookup_key_of ~expansions = function
+  | LOid oid -> [ Keys.oid_key oid ]
+  | LAttrValue (a, v) ->
+    List.map (fun a' -> Keys.attr_value_key a' v) (expansions_for expansions a)
+
+let exec_bindjoin ts ~origin ~expansions (p : Ast.pattern) left =
+  let dht = Tstore.dht ts in
+  (* Dedupe lookup keys across the left side (semi-join optimization). *)
+  let keymap = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      match bind_lookup_for p b with
+      | Some l -> List.iter (fun key -> Hashtbl.replace keymap key ()) (lookup_key_of ~expansions l)
+      | None -> ())
+    left;
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) keymap [] in
+  (* One parallel round of lookups. *)
+  let results = Hashtbl.create (List.length keys) in
+  let outstanding = ref (List.length keys) in
+  let ok = ref true in
+  List.iter
+    (fun key ->
+      dht.Dht.lookup ~origin ~key ~k:(fun r ->
+          if not r.Dht.complete then ok := false;
+          Hashtbl.replace results key r.Dht.items;
+          decr outstanding))
+    keys;
+  ignore (Sim.run_until dht.Dht.sim (fun () -> !outstanding <= 0));
+  if !outstanding > 0 then ok := false;
+  let triples_for key =
+    match Hashtbl.find_opt results key with
+    | None -> []
+    | Some items -> List.filter_map (fun (i : Dht.Store.item) -> Triple.deserialize i.Dht.Store.payload) items
+  in
+  let joined =
+    List.concat_map
+      (fun b ->
+        match bind_lookup_for p b with
+        | None -> []
+        | Some l ->
+          let keys = lookup_key_of ~expansions l in
+          List.concat_map
+            (fun key ->
+              triples_for key
+              |> List.filter_map (fun tr ->
+                     (* Accept mapping-equivalent attributes by rewriting
+                        the pattern to the triple's attribute — but only
+                        when that attribute really is in the expansion
+                        set; anything else must fail the match. *)
+                     let pat =
+                       match p.Ast.attr with
+                       | Ast.TConst (Value.S a)
+                         when List.mem tr.Triple.attr (expansions_for expansions a) ->
+                         pattern_with_attr p tr.Triple.attr
+                       | _ -> p
+                     in
+                     Binding.match_triple_into b pat tr))
+            keys)
+      left
+  in
+  (joined, !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Joins and filters                                                   *)
+
+let hash_join left right =
+  match (left, right) with
+  | [], _ | _, [] -> []
+  | l0 :: _, r0 :: _ ->
+    let shared =
+      List.filter (fun v -> List.mem v (Binding.vars r0)) (Binding.vars l0)
+      (* Vars of one representative suffice: all bindings of a side share
+         the same variable set (they come from the same pattern chain). *)
+    in
+    if shared = [] then
+      (* Cartesian product. *)
+      List.concat_map (fun l -> List.filter_map (Binding.compatible l) right) left
+    else begin
+      let tbl = Hashtbl.create (List.length right) in
+      List.iter
+        (fun r ->
+          match Binding.join_key shared r with
+          | Some k -> Hashtbl.add tbl k r
+          | None -> ())
+        right;
+      List.concat_map
+        (fun l ->
+          match Binding.join_key shared l with
+          | Some k -> Hashtbl.find_all tbl k |> List.filter_map (Binding.compatible l)
+          | None -> [])
+        left
+    end
+
+let apply_filters filters rows =
+  List.fold_left
+    (fun rows f -> List.filter (fun b -> Algebra.eval_pred (Binding.lookup b) f) rows)
+    rows filters
+
+(* ------------------------------------------------------------------ *)
+(* Post-processing (ranking, projection, distinct, limit)              *)
+
+let postprocess (plan : Physical.t) rows =
+  let rows = apply_filters plan.Physical.post_filters rows in
+  let rows =
+    match plan.Physical.order with
+    | Some (Ast.OrderBy items) -> (
+      match plan.Physical.limit with
+      | Some n -> Ranking.top_n n items rows
+      | None -> Ranking.order_by items rows)
+    | Some (Ast.Skyline items) -> Ranking.skyline items rows
+    | None -> rows
+  in
+  let rows =
+    match plan.Physical.projection with
+    | Some vs -> List.map (Binding.project vs) rows
+    | None -> rows
+  in
+  let rows =
+    if plan.Physical.distinct then begin
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun b ->
+          let fp = Binding.fingerprint b in
+          if Hashtbl.mem seen fp then false
+          else begin
+            Hashtbl.replace seen fp ();
+            true
+          end)
+        rows
+    end
+    else rows
+  in
+  (* top_n already truncated ordered results; truncation is idempotent,
+     so apply it uniformly. *)
+  match plan.Physical.limit with
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+  | None -> rows
+
+(* ------------------------------------------------------------------ *)
+(* Centralized execution                                               *)
+
+let run_centralized ts ~origin (plan : Physical.t) =
+  let dht = Tstore.dht ts in
+  let t0 = Sim.now dht.Dht.sim in
+  let m0 = dht.Dht.total_sent () in
+  let complete = ref true in
+  let traces = ref [] in
+  let expansions = plan.Physical.expansions in
+  let rows =
+    List.fold_left
+      (fun (acc : Binding.t list option) (step : Physical.step) ->
+        let step_m0 = dht.Dht.total_sent () in
+        let produced =
+          match acc with
+          | None ->
+            let bindings, ok = exec_access ts ~origin ~expansions step.Physical.access step.Physical.pattern in
+            if not ok then complete := false;
+            bindings
+          | Some left when step.Physical.bindjoin ->
+            let joined, ok = exec_bindjoin ts ~origin ~expansions step.Physical.pattern left in
+            if not ok then complete := false;
+            joined
+          | Some left ->
+            let right, ok = exec_access ts ~origin ~expansions step.Physical.access step.Physical.pattern in
+            if not ok then complete := false;
+            hash_join left right
+        in
+        let produced = apply_filters step.Physical.residual produced in
+        traces :=
+          {
+            step;
+            actual_card = List.length produced;
+            messages = dht.Dht.total_sent () - step_m0;
+            carrier = origin;
+          }
+          :: !traces;
+        Some produced)
+      None plan.Physical.steps
+    |> Option.value ~default:[]
+  in
+  let rows = postprocess plan rows in
+  {
+    rows;
+    messages = dht.Dht.total_sent () - m0;
+    latency = Sim.now dht.Dht.sim -. t0;
+    complete = !complete;
+    traces = List.rev !traces;
+    bytes_shipped = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mutant (adaptive) execution                                         *)
+
+let carrier_key_of_access = function
+  | Cost.AOid oid -> Some (Keys.oid_key oid)
+  | Cost.AAttrValue (a, v) -> Some (Keys.attr_value_key a v)
+  | Cost.AAttrRange (a, Some lo, _) -> Some (Keys.attr_value_key a lo)
+  | Cost.AAttrRange (a, None, _) | Cost.AAttrAll a -> Some (Keys.attr_prefix a)
+  | Cost.AAttrPrefix (a, p) -> Some (Keys.attr_string_prefix a ~string_prefix:p)
+  | Cost.AValue v -> Some (Keys.value_key v)
+  | Cost.ATopN (a, _) -> Some (Keys.attr_prefix a)
+  | Cost.ASim _ | Cost.ASubstring _ | Cost.ABroadcast -> None
+
+let plan_overhead_bytes = 256
+
+let run_mutant ts stats env ~origin (q : Ast.query) ~expansions =
+  let dht = Tstore.dht ts in
+  let send_task =
+    match dht.Dht.send_task with
+    | Some f -> f
+    | None -> invalid_arg "Exec.run_mutant: substrate does not support plan shipping"
+  in
+  let t0 = Sim.now dht.Dht.sim in
+  let m0 = dht.Dht.total_sent () in
+  let complete = ref true in
+  let traces = ref [] in
+  let bytes_shipped = ref 0 in
+  let qgrams = Tstore.qgrams_enabled ts in
+  let cmap = Algebra.var_constraints q.Ast.filters in
+  (* Ship the plan (plus current bindings) to [dst]; returns the new
+     carrier, or the old one if shipping failed. *)
+  let ship ~from ~dst ~rows =
+    if from = dst then from
+    else begin
+      let bytes =
+        plan_overhead_bytes + List.fold_left (fun acc b -> acc + Binding.bytes b) 0 rows
+      in
+      let arrived = ref false in
+      send_task ~src:from ~dst ~bytes (fun _ -> arrived := true);
+      ignore (Sim.run_until dht.Dht.sim (fun () -> !arrived));
+      if !arrived then begin
+        bytes_shipped := !bytes_shipped + bytes;
+        dst
+      end
+      else begin
+        complete := false;
+        from
+      end
+    end
+  in
+  let exec_step ~carrier (step : Physical.step) rows_opt =
+    let step_m0 = dht.Dht.total_sent () in
+    let produced =
+      match rows_opt with
+      | None ->
+        let bindings, ok = exec_access ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
+        if not ok then complete := false;
+        bindings
+      | Some left when step.Physical.bindjoin ->
+        let joined, ok = exec_bindjoin ts ~origin:carrier ~expansions step.Physical.pattern left in
+        if not ok then complete := false;
+        joined
+      | Some left ->
+        let right, ok = exec_access ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
+        if not ok then complete := false;
+        hash_join left right
+    in
+    let produced = apply_filters step.Physical.residual produced in
+    traces :=
+      {
+        step;
+        actual_card = List.length produced;
+        messages = dht.Dht.total_sent () - step_m0;
+        carrier;
+      }
+      :: !traces;
+    produced
+  in
+  (* First step: move the plan to the data, evaluate there. *)
+  let fs, remaining0 = Optimizer.first_step env stats ~qgrams cmap q.Ast.patterns in
+  let fs = { fs with Physical.residual = [] } in
+  let applied_filters = ref [] in
+  let attach rows bound =
+    (* Apply every filter that just became fully bound. *)
+    let ready =
+      List.filter
+        (fun f ->
+          (not (List.memq f !applied_filters))
+          && List.for_all (fun v -> List.mem v bound) (Ast.expr_vars f))
+        q.Ast.filters
+    in
+    applied_filters := ready @ !applied_filters;
+    apply_filters ready rows
+  in
+  let carrier = ref origin in
+  (match carrier_key_of_access fs.Physical.access with
+  | Some key -> (
+    match dht.Dht.responsible_peer key with
+    | Some p -> carrier := ship ~from:!carrier ~dst:p ~rows:[]
+    | None -> ())
+  | None -> ());
+  let rows = ref (exec_step ~carrier:!carrier fs None) in
+  let bound = ref (Ast.pattern_vars fs.Physical.pattern) in
+  rows := attach !rows !bound;
+  let remaining = ref remaining0 in
+  while !remaining <> [] do
+    (* Re-optimize the remainder with the observed cardinality. *)
+    let step, rest =
+      Optimizer.choose_next env stats ~qgrams cmap ~bound:!bound
+        ~card_left:(float_of_int (List.length !rows))
+        !remaining
+    in
+    let step = { step with Physical.residual = [] } in
+    remaining := rest;
+    (if not step.Physical.bindjoin then
+       match carrier_key_of_access step.Physical.access with
+       | Some key -> (
+         match dht.Dht.responsible_peer key with
+         | Some p -> carrier := ship ~from:!carrier ~dst:p ~rows:!rows
+         | None -> ())
+       | None -> ());
+    rows := exec_step ~carrier:!carrier step (Some !rows);
+    bound := List.sort_uniq compare (!bound @ Ast.pattern_vars step.Physical.pattern);
+    rows := attach !rows !bound
+  done;
+  (* Bring the result home. *)
+  if !carrier <> origin then begin
+    let bytes = List.fold_left (fun acc b -> acc + Binding.bytes b) 0 !rows + 32 in
+    let arrived = ref false in
+    send_task ~src:!carrier ~dst:origin ~bytes (fun _ -> arrived := true);
+    ignore (Sim.run_until dht.Dht.sim (fun () -> !arrived));
+    if !arrived then bytes_shipped := !bytes_shipped + bytes else complete := false
+  end;
+  (* Post-processing happens at the origin; reuse the static plan shape
+     for order/projection/distinct/limit. *)
+  let post_plan =
+    {
+      Physical.steps = [];
+      post_filters =
+        List.filter (fun f -> not (List.memq f !applied_filters)) q.Ast.filters;
+      order = q.Ast.order;
+      projection = q.Ast.projection;
+      distinct = q.Ast.distinct;
+      limit = q.Ast.limit;
+      expansions;
+      total_est = { Cost.messages = 0.0; latency = 0.0; cardinality = 0.0 };
+      branches = [];
+    }
+  in
+  let rows = postprocess post_plan !rows in
+  {
+    rows;
+    messages = dht.Dht.total_sent () - m0;
+    latency = Sim.now dht.Dht.sim -. t0;
+    complete = !complete;
+    traces = List.rev !traces;
+    bytes_shipped = !bytes_shipped;
+  }

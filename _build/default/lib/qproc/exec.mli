@@ -1,0 +1,57 @@
+(** Plan execution.
+
+    Two strategies, compared by experiments E8/E9:
+
+    - {!run_centralized}: the query origin evaluates every step itself,
+      pulling index regions / issuing bind-join lookups and joining
+      locally. Simple, but every intermediate result crosses the network
+      back to the origin.
+
+    - {!run_mutant}: Mutant-Query-Plan-style adaptive execution. The plan
+      (with the bindings accumulated so far) travels to a peer responsible
+      for the next pattern's index region; at each carrier the remainder
+      of the plan is {e re-optimized} with the observed intermediate
+      cardinality before the next step is chosen. Finally the result ships
+      back to the origin. *)
+
+module Ast = Unistore_vql.Ast
+module Tstore = Unistore_triple.Tstore
+
+type step_trace = {
+  step : Physical.step;
+  actual_card : int;  (** bindings after the step *)
+  messages : int;
+  carrier : int;  (** peer that executed it *)
+}
+
+val pp_step_trace : Format.formatter -> step_trace -> unit
+
+type run_result = {
+  rows : Binding.t list;  (** final rows (after ranking/projection/limit) *)
+  messages : int;
+  latency : float;  (** simulated ms *)
+  complete : bool;
+  traces : step_trace list;
+  bytes_shipped : int;  (** plan/binding bytes moved between carriers *)
+}
+
+(** [postprocess plan rows] applies a plan's post-join stages (residual
+    filters, order/skyline, projection, distinct, limit). Exposed for the
+    engine's UNION combination step. *)
+val postprocess : Physical.t -> Binding.t list -> Binding.t list
+
+(** [run_centralized ts ~origin plan] executes a static plan at the
+    origin. *)
+val run_centralized : Tstore.t -> origin:int -> Physical.t -> run_result
+
+(** [run_mutant ts stats env ~origin query ~expansions] plans the first
+    step statically, then adapts. Requires the substrate to support plan
+    shipping ([Dht.send_task]); raises [Invalid_argument] otherwise. *)
+val run_mutant :
+  Tstore.t ->
+  Qstats.t ->
+  Cost.env ->
+  origin:int ->
+  Ast.query ->
+  expansions:(string * string list) list ->
+  run_result

@@ -1,0 +1,59 @@
+(** Cost-based query optimization.
+
+    Per pattern, the optimizer enumerates the applicable physical access
+    paths (exploiting the three indexes, the q-gram index and the
+    filter constraints), estimates each with {!Cost}, and greedily builds
+    a join order: start from the most selective pattern, repeatedly add a
+    connected pattern, choosing bind-join vs. bulk-access-plus-hash-join
+    by predicted message cost. Filters attach to the earliest step that
+    binds their variables.
+
+    The same entry points are re-invoked during adaptive (mutant)
+    execution with the {e observed} intermediate cardinality, "resulting
+    in an adaptive query processing approach" (paper §2). *)
+
+module Ast = Unistore_vql.Ast
+
+(** Candidate access paths for one pattern under the given filter
+    constraints, best first. *)
+val access_candidates :
+  Cost.env ->
+  Qstats.t ->
+  qgrams:bool ->
+  (string * Unistore_vql.Algebra.constraint_ list) list ->
+  Ast.pattern ->
+  (Cost.access * Cost.estimate) list
+
+(** [choose_next env stats ~qgrams constraints ~bound ~card_left remaining]
+    picks the next pattern to evaluate given the variables already bound
+    and the observed/estimated size of the intermediate result. Returns
+    the step and the remaining patterns. *)
+val choose_next :
+  Cost.env ->
+  Qstats.t ->
+  qgrams:bool ->
+  (string * Unistore_vql.Algebra.constraint_ list) list ->
+  bound:string list ->
+  card_left:float ->
+  Ast.pattern list ->
+  Physical.step * Ast.pattern list
+
+(** The globally most selective pattern with its best bulk access — the
+    starting point shared by static planning and mutant execution.
+    Returns the step and the remaining patterns. *)
+val first_step :
+  Cost.env ->
+  Qstats.t ->
+  qgrams:bool ->
+  (string * Unistore_vql.Algebra.constraint_ list) list ->
+  Ast.pattern list ->
+  Physical.step * Ast.pattern list
+
+(** Full static plan for a query. *)
+val plan :
+  Cost.env ->
+  Qstats.t ->
+  qgrams:bool ->
+  ?expansions:(string * string list) list ->
+  Ast.query ->
+  Physical.t

@@ -1,0 +1,58 @@
+module Ast = Unistore_vql.Ast
+module Value = Unistore_triple.Value
+
+let compare_opt_values a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> 1 (* unbound last *)
+  | Some _, None -> -1
+  | Some x, Some y -> (
+    match (Value.to_float x, Value.to_float y) with
+    | Some fx, Some fy -> Float.compare fx fy
+    | _ -> Value.compare x y)
+
+let order_by items rows =
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (v, dir) :: rest ->
+        let c = compare_opt_values (Binding.find a v) (Binding.find b v) in
+        let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+        if c <> 0 then c else go rest
+    in
+    go items
+  in
+  List.stable_sort cmp rows
+
+let top_n n items rows = List.filteri (fun i _ -> i < n) (order_by items rows)
+
+let dominates goals a b =
+  let strictly_better = ref false in
+  let ok =
+    List.for_all
+      (fun (v, goal) ->
+        match (Binding.find a v, Binding.find b v) with
+        | Some xa, Some xb -> (
+          match (Value.to_float xa, Value.to_float xb) with
+          | Some fa, Some fb ->
+            let better, worse =
+              match goal with Ast.Min -> (fa < fb, fa > fb) | Ast.Max -> (fa > fb, fa < fb)
+            in
+            if better then strictly_better := true;
+            not worse
+          | _ -> false)
+        | _ -> false)
+      goals
+  in
+  ok && !strictly_better
+
+(* Block-nested-loop skyline: keep a window of non-dominated rows. *)
+let skyline goals rows =
+  let window = ref [] in
+  List.iter
+    (fun row ->
+      let dominated = List.exists (fun w -> dominates goals w row) !window in
+      if not dominated then
+        window := row :: List.filter (fun w -> not (dominates goals row w)) !window)
+    rows;
+  List.rev !window

@@ -1,0 +1,22 @@
+(** Ranking operators: ORDER BY, top-N, skyline.
+
+    These are the paper's "advanced" operators ([SKYLINE OF], top-N);
+    they run at the query origin over the joined bindings. The skyline
+    uses block-nested-loop with dominance pruning. *)
+
+module Ast = Unistore_vql.Ast
+
+(** Stable sort by the given variables/directions. Unbound values sort
+    last; numeric types unify. *)
+val order_by : (string * Ast.dir) list -> Binding.t list -> Binding.t list
+
+(** [top_n n items rows]: ORDER BY + LIMIT fused. *)
+val top_n : int -> (string * Ast.dir) list -> Binding.t list -> Binding.t list
+
+(** [dominates goals a b]: [a] is at least as good as [b] on every goal
+    dimension and strictly better on at least one. Rows with missing or
+    non-comparable dimensions never dominate nor get dominated. *)
+val dominates : (string * Ast.goal) list -> Binding.t -> Binding.t -> bool
+
+(** The Pareto-optimal subset under the goal list. *)
+val skyline : (string * Ast.goal) list -> Binding.t list -> Binding.t list

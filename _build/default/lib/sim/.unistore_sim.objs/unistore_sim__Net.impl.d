@@ -1,0 +1,1 @@
+lib/sim/net.ml: Format Hashtbl Latency List Sim Trace Unistore_util

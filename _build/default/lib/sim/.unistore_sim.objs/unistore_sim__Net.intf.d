@@ -1,0 +1,1 @@
+lib/sim/net.mli: Format Latency Sim Trace Unistore_util

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Float Format Hashtbl List Option

@@ -1,0 +1,96 @@
+module Rng = Unistore_util.Rng
+
+type stats = { sent : int; delivered : int; dropped : int; to_dead : int; bytes : int }
+
+let zero_stats = { sent = 0; delivered = 0; dropped = 0; to_dead = 0; bytes = 0 }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "sent=%d delivered=%d dropped=%d to_dead=%d bytes=%d" s.sent s.delivered
+    s.dropped s.to_dead s.bytes
+
+type 'msg t = {
+  sim : Sim.t;
+  latency : Latency.t;
+  rng : Rng.t;
+  drop : float;
+  size : 'msg -> int;
+  kind : 'msg -> string;
+  handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
+  dead : (int, unit) Hashtbl.t;
+  mutable stats : stats;
+  mutable total_sent : int;
+  mutable tracer : Trace.t option;
+}
+
+let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ -> "msg") () =
+  {
+    sim;
+    latency;
+    rng = Rng.split rng;
+    drop;
+    size;
+    kind;
+    handlers = Hashtbl.create 256;
+    dead = Hashtbl.create 16;
+    stats = zero_stats;
+    total_sent = 0;
+    tracer = None;
+  }
+
+let set_trace t tr = t.tracer <- tr
+let trace t = t.tracer
+
+let register t peer handler =
+  Hashtbl.replace t.handlers peer handler;
+  Hashtbl.remove t.dead peer
+
+let is_alive t peer = Hashtbl.mem t.handlers peer && not (Hashtbl.mem t.dead peer)
+
+let kill t peer = if Hashtbl.mem t.handlers peer then Hashtbl.replace t.dead peer ()
+let revive t peer = Hashtbl.remove t.dead peer
+
+let peers t = Hashtbl.fold (fun id _ acc -> id :: acc) t.handlers [] |> List.sort compare
+
+let alive_peers t = List.filter (is_alive t) (peers t)
+
+let send t ~src ~dst msg =
+  let nbytes = t.size msg in
+  t.stats <- { t.stats with sent = t.stats.sent + 1; bytes = t.stats.bytes + nbytes };
+  t.total_sent <- t.total_sent + 1;
+  let event =
+    match t.tracer with
+    | Some tr ->
+      Some (Trace.record tr ~time:(Sim.now t.sim) ~src ~dst ~kind:(t.kind msg) ~bytes:nbytes)
+    | None -> None
+  in
+  let resolve outcome =
+    match event with Some e -> e.Trace.outcome <- outcome | None -> ()
+  in
+  if t.drop > 0.0 && Rng.bool t.rng ~p:t.drop then begin
+    t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+    resolve Trace.Dropped
+  end
+  else begin
+    let delay = if src = dst then 0.01 else Latency.sample t.latency ~src ~dst in
+    Sim.schedule t.sim ~delay (fun () ->
+        if is_alive t dst then begin
+          match Hashtbl.find_opt t.handlers dst with
+          | Some handler ->
+            t.stats <- { t.stats with delivered = t.stats.delivered + 1 };
+            resolve Trace.Delivered;
+            handler ~src msg
+          | None ->
+            t.stats <- { t.stats with to_dead = t.stats.to_dead + 1 };
+            resolve Trace.To_dead
+        end
+        else begin
+          t.stats <- { t.stats with to_dead = t.stats.to_dead + 1 };
+          resolve Trace.To_dead
+        end)
+  end
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+let total_sent t = t.total_sent
+let sim t = t.sim
+let latency t = t.latency

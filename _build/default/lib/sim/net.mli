@@ -1,0 +1,70 @@
+(** Simulated message-passing network.
+
+    Peers are integers; each registers a handler. [send] draws a one-way
+    latency, applies message loss, and schedules the delivery event.
+    Messages to dead peers vanish (the sender learns nothing — protocols
+    must use timeouts). All traffic is counted, which is how experiments
+    measure message/bandwidth cost. *)
+
+type 'msg t
+
+type stats = {
+  sent : int;  (** messages handed to the network *)
+  delivered : int;  (** messages that reached a live handler *)
+  dropped : int;  (** lost to the iid loss process *)
+  to_dead : int;  (** addressed to a dead peer at delivery time *)
+  bytes : int;  (** total payload bytes sent *)
+}
+
+val zero_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [create sim ~latency ~rng ?drop ?size ?kind ()] builds a network.
+    [drop] is the iid message-loss probability (default [0.]). [size]
+    estimates payload bytes for bandwidth accounting (default
+    [fun _ -> 64]). [kind] names a message's constructor for tracing
+    (default [fun _ -> "msg"]). *)
+val create :
+  Sim.t ->
+  latency:Latency.t ->
+  rng:Unistore_util.Rng.t ->
+  ?drop:float ->
+  ?size:('msg -> int) ->
+  ?kind:('msg -> string) ->
+  unit ->
+  'msg t
+
+(** [set_trace t (Some tr)] starts recording every message into [tr];
+    [None] stops. Tracing off costs nothing. *)
+val set_trace : 'msg t -> Trace.t option -> unit
+
+val trace : 'msg t -> Trace.t option
+
+(** [register t peer handler] installs [handler] for [peer] and marks it
+    alive. Re-registering replaces the handler. *)
+val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+
+(** [send t ~src ~dst msg] counts the message and schedules delivery. A
+    self-send is delivered after a negligible local delay. *)
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+val is_alive : 'msg t -> int -> bool
+
+(** [kill t peer] makes [peer] unreachable; in-flight messages to it are
+    lost at delivery time. *)
+val kill : 'msg t -> int -> unit
+
+(** [revive t peer] brings a killed peer back (same handler and state). *)
+val revive : 'msg t -> int -> unit
+
+val peers : 'msg t -> int list
+val alive_peers : 'msg t -> int list
+val stats : 'msg t -> stats
+val reset_stats : 'msg t -> unit
+
+(** Messages sent since creation, including after resets (monotone);
+    convenient for deltas. *)
+val total_sent : 'msg t -> int
+
+val sim : 'msg t -> Sim.t
+val latency : 'msg t -> Latency.t

@@ -1,0 +1,68 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int; mutable next_seq : int }
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let entry_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = max 16 (cap * 2) in
+    let narr = Array.make ncap e in
+    Array.blit t.arr 0 narr 0 t.len;
+    t.arr <- narr
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.arr.(i) t.arr.(parent) then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && entry_lt t.arr.(l) t.arr.(!smallest) then smallest := l;
+  if r < t.len && entry_lt t.arr.(r) t.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~priority x =
+  let e = { prio = priority; seq = t.next_seq; value = x } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek_priority t = if t.len = 0 then None else Some t.arr.(0).prio
+
+let clear t =
+  t.arr <- [||];
+  t.len <- 0

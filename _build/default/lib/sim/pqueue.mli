@@ -1,0 +1,21 @@
+(** Mutable binary min-heap keyed by [(priority, sequence)].
+
+    The sequence number makes the ordering total and FIFO among equal
+    priorities, which keeps the event loop deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push t ~priority x] inserts [x]; ties broken by insertion order. *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** [pop t] removes and returns the minimum element, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_priority t] is the minimum priority without removing it. *)
+val peek_priority : 'a t -> float option
+
+val clear : 'a t -> unit

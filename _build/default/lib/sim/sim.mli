@@ -1,0 +1,41 @@
+(** Discrete-event simulation core.
+
+    The whole UniStore reproduction runs inside one of these: every network
+    message delivery, timeout and maintenance action is an event on the
+    queue. Time is in {e milliseconds} of simulated wall clock. Execution
+    is single-threaded and deterministic: events with equal timestamps run
+    in scheduling order. *)
+
+type t
+
+(** [create ()] is an empty simulation at time [0.0]. *)
+val create : unit -> t
+
+(** Current simulated time (ms). *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f] at absolute [time] (clamped to now). *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** Number of queued events. *)
+val pending : t -> int
+
+(** Total events executed so far. *)
+val processed : t -> int
+
+(** [run_until t pred] executes events in time order until [pred ()]
+    becomes true (checked after every event) or the queue drains; returns
+    [true] iff the predicate was satisfied. [max_events] (default 20M)
+    guards against runaway loops. *)
+val run_until : ?max_events:int -> t -> (unit -> bool) -> bool
+
+(** [run_all t] drains the queue. *)
+val run_all : ?max_events:int -> t -> unit
+
+(** [run_for t ~duration] executes all events scheduled within the next
+    [duration] ms and advances the clock to [now + duration]. *)
+val run_for : ?max_events:int -> t -> duration:float -> unit

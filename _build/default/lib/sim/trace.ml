@@ -1,0 +1,95 @@
+type outcome = Delivered | Dropped | To_dead | In_flight
+
+let pp_outcome fmt = function
+  | Delivered -> Format.pp_print_string fmt "delivered"
+  | Dropped -> Format.pp_print_string fmt "dropped"
+  | To_dead -> Format.pp_print_string fmt "to-dead"
+  | In_flight -> Format.pp_print_string fmt "in-flight"
+
+type event = {
+  time : float;
+  src : int;
+  dst : int;
+  kind : string;
+  bytes : int;
+  mutable outcome : outcome;
+}
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let clear t =
+  t.rev_events <- [];
+  t.count <- 0
+
+let events t = List.rev t.rev_events
+let length t = t.count
+
+let record t ~time ~src ~dst ~kind ~bytes =
+  let e = { time; src; dst; kind; bytes; outcome = In_flight } in
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1;
+  e
+
+let by_kind t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let c, b = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl e.kind) in
+      Hashtbl.replace tbl e.kind (c + 1, b + e.bytes))
+    t.rev_events;
+  Hashtbl.fold (fun k (c, b) acc -> (k, c, b) :: acc) tbl []
+  |> List.sort (fun (_, c1, _) (_, c2, _) -> compare c2 c1)
+
+let busiest_peers t ~top =
+  let tbl = Hashtbl.create 64 in
+  let bump peer sent recv =
+    let s, r = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl peer) in
+    Hashtbl.replace tbl peer (s + sent, r + recv)
+  in
+  List.iter
+    (fun e ->
+      bump e.src 1 0;
+      if e.outcome = Delivered then bump e.dst 0 1)
+    t.rev_events;
+  Hashtbl.fold (fun p (s, r) acc -> (p, s, r) :: acc) tbl []
+  |> List.sort (fun (_, s1, r1) (_, s2, r2) -> compare (s2 + r2) (s1 + r1))
+  |> List.filteri (fun i _ -> i < top)
+
+let timeline t ~bucket_ms =
+  if bucket_ms <= 0.0 then invalid_arg "Trace.timeline: bucket_ms <= 0";
+  match events t with
+  | [] -> []
+  | evs ->
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun e ->
+        let bucket = Float.of_int (int_of_float (e.time /. bucket_ms)) *. bucket_ms in
+        Hashtbl.replace tbl bucket (1 + Option.value ~default:0 (Hashtbl.find_opt tbl bucket)))
+      evs;
+    Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl [] |> List.sort compare
+
+let outcome_counts t =
+  List.fold_left
+    (fun (d, dr, td, f) e ->
+      match e.outcome with
+      | Delivered -> (d + 1, dr, td, f)
+      | Dropped -> (d, dr + 1, td, f)
+      | To_dead -> (d, dr, td + 1, f)
+      | In_flight -> (d, dr, td, f + 1))
+    (0, 0, 0, 0) t.rev_events
+
+let pp_summary fmt t =
+  let delivered, dropped, to_dead, in_flight = outcome_counts t in
+  Format.fprintf fmt "@[<v>%d messages (%d delivered, %d dropped, %d to dead peers, %d in flight)@,"
+    t.count delivered dropped to_dead in_flight;
+  Format.fprintf fmt "by kind:@,";
+  List.iter
+    (fun (k, c, b) -> Format.fprintf fmt "  %-12s %6d msgs %8d bytes@," k c b)
+    (by_kind t);
+  Format.fprintf fmt "busiest peers:@,";
+  List.iter
+    (fun (p, s, r) -> Format.fprintf fmt "  peer%-5d sent %5d, received %5d@," p s r)
+    (busiest_peers t ~top:5);
+  Format.fprintf fmt "@]"

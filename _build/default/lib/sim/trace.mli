@@ -1,0 +1,62 @@
+(** Message-level tracing.
+
+    The paper (§3) credits the platform's logging with making results
+    "traceable, analyzable and (in limits) repeatable". This module is
+    that facility for the simulated network: when attached to a {!Net},
+    every message becomes an event (time, endpoints, kind, size, outcome)
+    that can be analyzed after the fact — per-kind message mixes, hot
+    peers, timelines. Tracing is off unless a trace is attached, so the
+    default path pays nothing.
+
+    Repeatability comes from the simulator itself: same seed, same trace. *)
+
+type outcome =
+  | Delivered
+  | Dropped  (** lost to the iid loss process *)
+  | To_dead  (** destination dead at delivery time *)
+  | In_flight  (** not yet resolved (end of run) *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type event = {
+  time : float;  (** send time (ms) *)
+  src : int;
+  dst : int;
+  kind : string;  (** message constructor name, e.g. ["lookup"] *)
+  bytes : int;
+  mutable outcome : outcome;
+}
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** Events in send order. *)
+val events : t -> event list
+
+val length : t -> int
+
+(** Used by {!Net}: append an event (returned so the delivery code can
+    resolve its outcome later). *)
+val record : t -> time:float -> src:int -> dst:int -> kind:string -> bytes:int -> event
+
+(** {2 Analysis} *)
+
+(** [by_kind t] lists [(kind, count, bytes)] sorted by count, descending. *)
+val by_kind : t -> (string * int * int) list
+
+(** [busiest_peers t ~top] lists [(peer, sent, received)] for the [top]
+    peers by total traffic. *)
+val busiest_peers : t -> top:int -> (int * int * int) list
+
+(** [timeline t ~bucket_ms] is the message count per time bucket,
+    starting at the first event's bucket. *)
+val timeline : t -> bucket_ms:float -> (float * int) list
+
+(** Count of events with each outcome: delivered, dropped, to_dead,
+    in_flight. *)
+val outcome_counts : t -> int * int * int * int
+
+(** Human-readable analysis report. *)
+val pp_summary : Format.formatter -> t -> unit

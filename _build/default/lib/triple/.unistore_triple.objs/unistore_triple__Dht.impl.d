@@ -1,0 +1,1 @@
+lib/triple/dht.ml: List Option String Unistore_chord Unistore_pgrid Unistore_sim

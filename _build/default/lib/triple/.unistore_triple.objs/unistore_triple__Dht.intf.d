@@ -1,0 +1,1 @@
+lib/triple/dht.mli: Unistore_chord Unistore_pgrid Unistore_sim

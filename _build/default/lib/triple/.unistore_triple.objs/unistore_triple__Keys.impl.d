@@ -1,0 +1,1 @@
+lib/triple/keys.ml: Value

@@ -1,0 +1,1 @@
+lib/triple/triple.ml: Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/triple/triple.mli: Format Value

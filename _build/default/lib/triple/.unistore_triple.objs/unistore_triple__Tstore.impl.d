@@ -1,0 +1,1 @@
+lib/triple/tstore.ml: Dht Format Hashtbl Keys List Option String Triple Unistore_pgrid Unistore_sim Unistore_util Value

@@ -1,0 +1,1 @@
+lib/triple/tstore.mli: Dht Format Triple Value

@@ -1,0 +1,1 @@
+lib/triple/value.ml: Bool Float Format Int Printf String Unistore_util

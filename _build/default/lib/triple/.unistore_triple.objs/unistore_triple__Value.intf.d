@@ -1,0 +1,1 @@
+lib/triple/value.mli: Format

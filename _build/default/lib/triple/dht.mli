@@ -1,0 +1,63 @@
+(** Substrate-independent DHT interface.
+
+    The triple layer and the query processor talk to the overlay through
+    this record, so every experiment can run over P-Grid ({!of_pgrid}) or
+    over the Chord baseline with its trie range index ({!of_chord_trie})
+    without code changes — that is how the E6 substrate comparison is
+    made. *)
+
+module Store = Unistore_pgrid.Store
+
+type result = {
+  items : Store.item list;
+  hops : int;
+  peers_hit : int;
+  complete : bool;
+  latency : float;
+}
+
+type t = {
+  name : string;
+  peers : int;
+  sim : Unistore_sim.Sim.t;
+  insert :
+    origin:int -> key:string -> item_id:string -> payload:string -> k:(bool -> unit) -> unit;
+  delete : origin:int -> key:string -> item_id:string -> k:(bool -> unit) -> unit;
+  lookup : origin:int -> key:string -> k:(result -> unit) -> unit;
+  range : origin:int -> lo:string -> hi:string -> k:(result -> unit) -> unit;
+  range_topn :
+    (origin:int -> lo:string -> hi:string -> n:int -> k:(result -> unit) -> unit) option;
+      (** budgeted sequential traversal in key order (P-Grid only): stops
+          after [n] items, giving the n smallest matches *)
+  prefix : origin:int -> prefix:string -> k:(result -> unit) -> unit;
+  broadcast : origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit;
+  send_task : (src:int -> dst:int -> bytes:int -> (int -> unit) -> unit) option;
+      (** application-level plan shipping; [None] when the substrate does
+          not support it (plain Chord) *)
+  total_sent : unit -> int;
+  expected_latency : float;  (** mean one-way delay, for the cost model *)
+  depth : unit -> int;  (** trie depth / log ring size: the hop bound *)
+  alive_peers : unit -> int list;
+  responsible_peer : string -> int option;
+      (** an alive peer responsible for a key (used to pick the next
+          carrier when shipping mutant query plans) *)
+}
+
+(** {2 Synchronous wrappers} *)
+
+val insert_sync :
+  t -> origin:int -> key:string -> item_id:string -> payload:string -> bool
+
+val delete_sync : t -> origin:int -> key:string -> item_id:string -> bool
+val lookup_sync : t -> origin:int -> key:string -> result
+val range_sync : t -> origin:int -> lo:string -> hi:string -> result
+val prefix_sync : t -> origin:int -> prefix:string -> result
+val broadcast_sync : t -> origin:int -> pred:(Store.item -> bool) -> result
+
+(** {2 Adapters} *)
+
+val of_pgrid : Unistore_pgrid.Overlay.t -> t
+
+(** Chord with the distributed trie index threading every insert and
+    serving every range scan. *)
+val of_chord_trie : Unistore_chord.Chord.t -> t

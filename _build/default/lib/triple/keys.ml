@@ -1,0 +1,15 @@
+let q = 3
+
+let oid_key oid = "O\000" ^ oid
+let attr_value_key attr v = "A\000" ^ attr ^ "\000" ^ Value.encode v
+let value_key v = "V\000" ^ Value.encode v
+let qgram_key gram = "Q\000" ^ gram
+
+let attr_range attr ~lo ~hi =
+  ("A\000" ^ attr ^ "\000" ^ Value.encode lo, "A\000" ^ attr ^ "\000" ^ Value.encode hi)
+
+let attr_prefix attr = "A\000" ^ attr ^ "\000"
+
+let attr_string_prefix attr ~string_prefix = "A\000" ^ attr ^ "\000s" ^ string_prefix
+
+let value_range ~lo ~hi = ("V\000" ^ Value.encode lo, "V\000" ^ Value.encode hi)

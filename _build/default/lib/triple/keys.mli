@@ -1,0 +1,44 @@
+(** Index key construction — the three-way indexing of the paper's §2.
+
+    Every triple [(OID, A, v)] is inserted under three keys:
+    - [oid_key OID]: reproduce whole logical tuples from their unique key;
+    - [attr_value_key A v] (the "A#v" index): queries of the form
+      [A op v], including ranges, on a named attribute;
+    - [value_key v]: queries on an arbitrary attribute ("keyword"-style
+      access by value alone).
+
+    Optionally, string values are additionally indexed under their
+    q-grams ([qgram_key]) to support edit-distance predicates (the
+    NetDB'06 q-gram index).
+
+    NUL bytes separate components; the leading tag byte partitions the
+    key space by index family, so each family is a contiguous region. *)
+
+(** [oid_key oid] *)
+val oid_key : string -> string
+
+(** [attr_value_key attr v] *)
+val attr_value_key : string -> Value.t -> string
+
+(** [value_key v] *)
+val value_key : Value.t -> string
+
+(** [qgram_key gram] *)
+val qgram_key : string -> string
+
+(** Bounds of the [A#v] region of one attribute restricted to a value
+    range (inclusive). *)
+val attr_range : string -> lo:Value.t -> hi:Value.t -> string * string
+
+(** Prefix covering the whole [A#v] region of one attribute. *)
+val attr_prefix : string -> string
+
+(** Prefix covering string values of one attribute extending
+    [string_prefix] (substring/prefix search on an attribute). *)
+val attr_string_prefix : string -> string_prefix:string -> string
+
+(** Bounds of the [v] (value) region for a value range. *)
+val value_range : lo:Value.t -> hi:Value.t -> string * string
+
+(** q-gram length used by the similarity index. *)
+val q : int

@@ -1,0 +1,72 @@
+type t = { oid : string; attr : string; value : Value.t }
+
+let validate_field what s =
+  if String.length s = 0 then invalid_arg (Printf.sprintf "Triple.make: empty %s" what);
+  if String.contains s '\000' then
+    invalid_arg (Printf.sprintf "Triple.make: NUL byte in %s" what)
+
+let make ~oid ~attr value =
+  validate_field "oid" oid;
+  validate_field "attr" attr;
+  { oid; attr; value }
+
+let compare a b =
+  match String.compare a.oid b.oid with
+  | 0 -> ( match String.compare a.attr b.attr with 0 -> Value.compare a.value b.value | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp fmt t = Format.fprintf fmt "(%s, %s, %a)" t.oid t.attr Value.pp t.value
+
+let id t = Printf.sprintf "%s|%s|%08x" t.oid t.attr (Hashtbl.hash (Value.encode t.value))
+
+let field s = Printf.sprintf "%d:%s" (String.length s) s
+
+let serialize t = field t.oid ^ field t.attr ^ field (Value.encode t.value)
+
+let read_field s pos =
+  match String.index_from_opt s pos ':' with
+  | None -> None
+  | Some i ->
+    (match int_of_string_opt (String.sub s pos (i - pos)) with
+    | Some len when String.length s >= i + 1 + len ->
+      Some (String.sub s (i + 1) len, i + 1 + len)
+    | _ -> None)
+
+let deserialize s =
+  match read_field s 0 with
+  | None -> None
+  | Some (oid, p1) -> (
+    match read_field s p1 with
+    | None -> None
+    | Some (attr, p2) -> (
+      match read_field s p2 with
+      | Some (venc, p3) when p3 = String.length s -> (
+        match Value.decode venc with
+        | Some value when oid <> "" && attr <> "" -> Some { oid; attr; value }
+        | _ -> None)
+      | _ -> None))
+
+let namespace t =
+  match String.index_opt t.attr ':' with Some i -> String.sub t.attr 0 i | None -> ""
+
+let local_name t =
+  match String.index_opt t.attr ':' with
+  | Some i -> String.sub t.attr (i + 1) (String.length t.attr - i - 1)
+  | None -> t.attr
+
+let tuple_to_triples ~oid fields = List.map (fun (attr, v) -> make ~oid ~attr v) fields
+
+let triples_to_tuples ts =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if not (Hashtbl.mem tbl t.oid) then begin
+        order := t.oid :: !order;
+        Hashtbl.replace tbl t.oid []
+      end;
+      Hashtbl.replace tbl t.oid ((t.attr, t.value) :: Hashtbl.find tbl t.oid))
+    ts;
+  List.rev_map (fun oid -> (oid, List.rev (Hashtbl.find tbl oid))) !order

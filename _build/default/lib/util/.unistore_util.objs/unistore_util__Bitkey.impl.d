@@ -1,0 +1,1 @@
+lib/util/bitkey.ml: Bytes Char Format Hashtbl Int64 List Rng Stdlib String

@@ -1,0 +1,1 @@
+lib/util/ophash.ml: Bitkey Char Int64 String

@@ -1,0 +1,1 @@
+lib/util/ophash.mli: Bitkey

@@ -1,0 +1,193 @@
+(* Bits are packed MSB-first into bytes: bit [i] lives in byte [i/8] at
+   bit position [7 - i mod 8]. Trailing bits of the last byte are kept
+   zero, which makes [equal]/[hash]/[compare] on the raw bytes valid. *)
+
+type t = { len : int; data : Bytes.t }
+
+let empty = { len = 0; data = Bytes.empty }
+
+let length t = t.len
+
+let bytes_for_bits n = (n + 7) / 8
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitkey.get: index out of bounds";
+  let byte = Char.code (Bytes.get t.data (i / 8)) in
+  byte land (1 lsl (7 - (i mod 8))) <> 0
+
+let unsafe_set data i b =
+  let idx = i / 8 in
+  let mask = 1 lsl (7 - (i mod 8)) in
+  let cur = Char.code (Bytes.get data idx) in
+  let v = if b then cur lor mask else cur land lnot mask in
+  Bytes.set data idx (Char.chr v)
+
+let make_zeroed len = Bytes.make (bytes_for_bits len) '\000'
+
+let append_bit t b =
+  let len = t.len + 1 in
+  let data = make_zeroed len in
+  Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+  unsafe_set data t.len b;
+  { len; data }
+
+let take t n =
+  if n < 0 || n > t.len then invalid_arg "Bitkey.take";
+  if n = t.len then t
+  else begin
+    let data = make_zeroed n in
+    Bytes.blit t.data 0 data 0 (bytes_for_bits n);
+    (* Clear trailing bits of the last byte beyond position n. *)
+    let rem = n mod 8 in
+    if rem <> 0 then begin
+      let last = bytes_for_bits n - 1 in
+      let keep = 0xFF lxor (0xFF lsr rem) in
+      Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land keep))
+    end;
+    { len = n; data }
+  end
+
+let drop t n =
+  if n < 0 || n > t.len then invalid_arg "Bitkey.drop";
+  let len = t.len - n in
+  let data = make_zeroed len in
+  for i = 0 to len - 1 do
+    unsafe_set data i (get t (n + i))
+  done;
+  { len; data }
+
+let concat a b =
+  let len = a.len + b.len in
+  let data = make_zeroed len in
+  Bytes.blit a.data 0 data 0 (Bytes.length a.data);
+  if a.len mod 8 = 0 then Bytes.blit b.data 0 data (a.len / 8) (Bytes.length b.data)
+  else
+    for i = 0 to b.len - 1 do
+      unsafe_set data (a.len + i) (get b i)
+    done;
+  { len; data }
+
+let flip t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitkey.flip";
+  let data = Bytes.copy t.data in
+  unsafe_set data i (not (get t i));
+  { len = t.len; data }
+
+let common_prefix_len a b =
+  let n = min a.len b.len in
+  let rec go i = if i >= n then n else if get a i <> get b i then i else go (i + 1) in
+  go 0
+
+let is_prefix ~prefix t =
+  prefix.len <= t.len && common_prefix_len prefix t = prefix.len
+
+let compare a b =
+  let n = min a.len b.len in
+  let rec go i =
+    if i >= n then Stdlib.compare a.len b.len
+    else
+      match (get a i, get b i) with
+      | false, true -> -1
+      | true, false -> 1
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let hash t = Hashtbl.hash (t.len, Bytes.to_string t.data)
+
+let of_string s =
+  let len = String.length s in
+  let data = make_zeroed len in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> unsafe_set data i true
+      | _ -> invalid_arg "Bitkey.of_string: expected only '0'/'1'")
+    s;
+  { len; data }
+
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+let pp fmt t = Format.fprintf fmt "%s" (to_string t)
+
+let of_int64 ~width x =
+  if width < 0 || width > 64 then invalid_arg "Bitkey.of_int64: width";
+  let data = make_zeroed width in
+  for i = 0 to width - 1 do
+    let bit = Int64.logand (Int64.shift_right_logical x (63 - i)) 1L in
+    unsafe_set data i (Int64.equal bit 1L)
+  done;
+  { len = width; data }
+
+let to_int64 t =
+  if t.len > 64 then invalid_arg "Bitkey.to_int64: too long";
+  let x = ref 0L in
+  for i = 0 to t.len - 1 do
+    if get t i then x := Int64.logor !x (Int64.shift_left 1L (63 - i))
+  done;
+  !x
+
+let successor t =
+  (* Find the last zero bit, set it, clear everything after. *)
+  let rec last_zero i = if i < 0 then None else if get t i then last_zero (i - 1) else Some i in
+  match last_zero (t.len - 1) with
+  | None -> None
+  | Some i ->
+    let data = make_zeroed t.len in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    unsafe_set data i true;
+    for j = i + 1 to t.len - 1 do
+      unsafe_set data j false
+    done;
+    Some { len = t.len; data }
+
+let of_bytes_prefix s ~width =
+  if width < 0 then invalid_arg "Bitkey.of_bytes_prefix: width";
+  let data = make_zeroed width in
+  let avail = String.length s * 8 in
+  (* [n] is a multiple of 8 whenever the source is shorter than [width]
+     (strings hold whole bytes), so only truncation can leave stray bits in
+     the last byte; they are cleared below. *)
+  let n = min width avail in
+  Bytes.blit_string s 0 data 0 (bytes_for_bits n);
+  let rem_w = width mod 8 in
+  if rem_w <> 0 then begin
+    let last = bytes_for_bits width - 1 in
+    let keep = 0xFF lxor (0xFF lsr rem_w) in
+    Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land keep))
+  end;
+  { len = width; data }
+
+let random rng n =
+  let data = make_zeroed n in
+  for i = 0 to n - 1 do
+    unsafe_set data i (Rng.bool rng ~p:0.5)
+  done;
+  { len = n; data }
+
+let pad t ~width b =
+  if t.len >= width then t
+  else begin
+    let data = make_zeroed width in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    if b then
+      for i = t.len to width - 1 do
+        unsafe_set data i true
+      done;
+    { len = width; data }
+  end
+
+let enumerate n =
+  if n < 0 || n > 20 then invalid_arg "Bitkey.enumerate: n out of range";
+  let count = 1 lsl n in
+  List.init count (fun v -> of_int64 ~width:n (Int64.shift_left (Int64.of_int v) (64 - n)))
+
+let fold_bits f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get t i)
+  done;
+  !acc

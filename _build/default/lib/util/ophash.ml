@@ -1,0 +1,59 @@
+let routing_bits = 256
+
+let encode_string s = s
+
+let encode_int i =
+  (* Offset binary: xor the sign bit so negative ints sort first. *)
+  let x = Int64.logxor (Int64.of_int i) Int64.min_int in
+  String.init 8 (fun k ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x ((7 - k) * 8)) 0xFFL)))
+
+let decode_int s =
+  if String.length s <> 8 then invalid_arg "Ophash.decode_int";
+  let x = ref 0L in
+  String.iter (fun c -> x := Int64.logor (Int64.shift_left !x 8) (Int64.of_int (Char.code c))) s;
+  Int64.to_int (Int64.logxor !x Int64.min_int)
+
+let float_bits_sortable f =
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L < 0 then Int64.lognot bits
+  else Int64.logor bits Int64.min_int
+
+let float_bits_unsortable x =
+  if Int64.compare x 0L < 0 then Int64.logand x Int64.max_int |> fun b -> Int64.float_of_bits b
+  else Int64.float_of_bits (Int64.lognot x)
+
+let encode_float f =
+  let x = float_bits_sortable f in
+  String.init 8 (fun k ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x ((7 - k) * 8)) 0xFFL)))
+
+let decode_float s =
+  if String.length s <> 8 then invalid_arg "Ophash.decode_float";
+  let x = ref 0L in
+  String.iter (fun c -> x := Int64.logor (Int64.shift_left !x 8) (Int64.of_int (Char.code c))) s;
+  float_bits_unsortable !x
+
+let to_bitkey enc = Bitkey.of_bytes_prefix enc ~width:routing_bits
+
+let bitkey_of_string s = to_bitkey (encode_string s)
+
+let range_region ~lo ~hi =
+  let lo_k = to_bitkey lo in
+  (* Truncating [hi] can only shrink it, so pad the truncation with ones to
+     cover every key whose encoding extends the truncated prefix. *)
+  let hi_trunc = Bitkey.of_bytes_prefix hi ~width:routing_bits in
+  let hi_k =
+    if String.length hi * 8 > routing_bits then Bitkey.pad hi_trunc ~width:routing_bits true
+    else hi_trunc
+  in
+  (lo_k, hi_k)
+
+let prefix_region p =
+  let bits = String.length p * 8 in
+  if bits >= routing_bits then
+    let k = Bitkey.of_bytes_prefix p ~width:routing_bits in
+    (k, Bitkey.pad k ~width:routing_bits true)
+  else
+    let k = Bitkey.of_bytes_prefix p ~width:bits in
+    (Bitkey.pad k ~width:routing_bits false, Bitkey.pad k ~width:routing_bits true)

@@ -1,0 +1,94 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    {
+      n = List.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+      p50 = percentile xs 50.0;
+      p90 = percentile xs 90.0;
+      p99 = percentile xs 99.0;
+    }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.2f sd=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" s.n s.mean
+    s.stddev s.p50 s.p90 s.p99 s.max
+
+module Online = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+end
+
+let linear_fit xys =
+  match xys with
+  | [] | [ _ ] -> invalid_arg "Stats.linear_fit: need >= 2 points"
+  | _ ->
+    let n = float_of_int (List.length xys) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 xys in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 xys in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 xys in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 xys in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    let slope = if denom = 0.0 then 0.0 else ((n *. sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. n in
+    let ymean = sy /. n in
+    let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ymean) ** 2.0)) 0.0 xys in
+    let ss_res =
+      List.fold_left (fun a (x, y) -> a +. ((y -. (slope *. x) -. intercept) ** 2.0)) 0.0 xys
+    in
+    let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+    (slope, intercept, r2)

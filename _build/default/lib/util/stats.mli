@@ -1,0 +1,42 @@
+(** Descriptive statistics for experiment reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(** [summarize xs] computes the summary of a sample. Raises
+    [Invalid_argument] on the empty list. *)
+val summarize : float list -> summary
+
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    order statistics. *)
+val percentile : float list -> float -> float
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** [pp_summary] renders like ["n=100 mean=3.2 sd=0.4 p50=3 p99=5 max=6"]. *)
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Online mean/variance accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+end
+
+(** [linear_fit xys] returns [(slope, intercept, r2)] of the least-squares
+    line through the points; used to check logarithmic-cost claims by
+    fitting hops against [log2 n]. *)
+val linear_fit : (float * float) list -> float * float * float

@@ -1,0 +1,44 @@
+(** String similarity: edit distance and q-grams.
+
+    UniStore's similarity operators ([edist] filters, similarity joins) are
+    built on Levenshtein distance; the distributed q-gram index of
+    Karnstedt et al. (NetDB'06) turns an edit-distance predicate into a
+    small set of exact DHT lookups plus a count filter. *)
+
+(** [levenshtein a b] is the (unit-cost) edit distance between [a] and
+    [b]. O(|a|*|b|) time, O(min) space. *)
+val levenshtein : string -> string -> int
+
+(** [within_distance a b d] decides [levenshtein a b <= d] using a banded
+    computation that exits early; much faster for small [d]. *)
+val within_distance : string -> string -> int -> bool
+
+(** [qgrams ~q s] is the list of overlapping [q]-grams of [s], extended
+    with [q-1] leading ['#'] and trailing ['$'] padding characters (the
+    standard positional-padding used for q-gram filtering). A gram may
+    appear multiple times. *)
+val qgrams : q:int -> string -> string list
+
+(** [distinct_qgrams ~q s] is {!qgrams} deduplicated, sorted. *)
+val distinct_qgrams : q:int -> string -> string list
+
+(** [substring_qgrams ~q s] is the deduplicated list of {e unpadded}
+    [q]-grams of [s] — every one of them occurs in the padded gram set of
+    any string containing [s], which is what makes substring search via a
+    q-gram index complete. Empty when [s] is shorter than [q]. *)
+val substring_qgrams : q:int -> string -> string list
+
+(** [count_filter_threshold ~q ~len_a ~len_b d] is the minimum number of
+    common q-grams two strings of the given lengths must share to possibly
+    be within edit distance [d]: [max(len_a,len_b) + q - 1 - d*q] (can be
+    [<= 0], meaning the filter prunes nothing). *)
+val count_filter_threshold : q:int -> len_a:int -> len_b:int -> int -> int
+
+(** [common_gram_count ~q a b] counts common q-grams (multiset
+    intersection size) of [a] and [b]. *)
+val common_gram_count : q:int -> string -> string -> int
+
+(** [passes_count_filter ~q a b d]: necessary condition for
+    [levenshtein a b <= d]; used to prune candidates before the exact
+    verification. *)
+val passes_count_filter : q:int -> string -> string -> int -> bool

@@ -1,0 +1,1 @@
+lib/vql/algebra.ml: Ast Bool Float Format Hashtbl List Option String Unistore_triple Unistore_util

@@ -1,0 +1,1 @@
+lib/vql/algebra.mli: Ast Format Unistore_triple

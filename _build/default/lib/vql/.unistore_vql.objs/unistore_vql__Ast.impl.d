@@ -1,0 +1,1 @@
+lib/vql/ast.ml: Format List String Unistore_triple

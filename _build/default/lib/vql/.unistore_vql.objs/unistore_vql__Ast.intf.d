@@ -1,0 +1,1 @@
+lib/vql/ast.mli: Format Unistore_triple

@@ -1,0 +1,1 @@
+lib/vql/lexer.ml: Buffer Format List Printf String

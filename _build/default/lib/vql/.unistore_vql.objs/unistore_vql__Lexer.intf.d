@@ -1,0 +1,1 @@
+lib/vql/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/vql/parser.ml: Array Ast Format Lexer List Printf String Unistore_triple

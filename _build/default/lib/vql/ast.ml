@@ -1,0 +1,151 @@
+module Value = Unistore_triple.Value
+
+type term = TVar of string | TConst of Value.t
+
+type pattern = { subj : term; attr : term; obj : term }
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | EVar of string
+  | EConst of Value.t
+  | ECmp of cmpop * expr * expr
+  | EAnd of expr * expr
+  | EOr of expr * expr
+  | ENot of expr
+  | EEdist of expr * expr
+  | EContains of expr * expr
+  | EPrefix of expr * expr
+
+type dir = Asc | Desc
+type goal = Min | Max
+
+type order_clause = OrderBy of (string * dir) list | Skyline of (string * goal) list
+
+type query = {
+  distinct : bool;
+  projection : string list option;
+  patterns : pattern list;
+  filters : expr list;
+  union_branches : (pattern list * expr list) list;
+  order : order_clause option;
+  limit : int option;
+}
+
+let term_vars = function TVar v -> [ v ] | TConst _ -> []
+
+let pattern_vars p =
+  List.sort_uniq compare (term_vars p.subj @ term_vars p.attr @ term_vars p.obj)
+
+let rec expr_vars_acc acc = function
+  | EVar v -> v :: acc
+  | EConst _ -> acc
+  | ECmp (_, a, b) | EAnd (a, b) | EOr (a, b) | EEdist (a, b) | EContains (a, b) | EPrefix (a, b)
+    ->
+    expr_vars_acc (expr_vars_acc acc a) b
+  | ENot a -> expr_vars_acc acc a
+
+let expr_vars e = List.sort_uniq compare (expr_vars_acc [] e)
+
+let query_vars q =
+  let branch_vars (ps, fs) = List.concat_map pattern_vars ps @ List.concat_map expr_vars fs in
+  List.sort_uniq compare
+    (List.concat_map branch_vars ((q.patterns, q.filters) :: q.union_branches))
+
+let pp_term fmt = function
+  | TVar v -> Format.fprintf fmt "?%s" v
+  | TConst (Value.S s) -> Format.fprintf fmt "'%s'" s
+  | TConst v -> Value.pp fmt v
+
+let pp_pattern fmt p =
+  Format.fprintf fmt "(%a, %a, %a)" pp_term p.subj pp_term p.attr pp_term p.obj
+
+let string_of_cmpop = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr fmt = function
+  | EVar v -> Format.fprintf fmt "?%s" v
+  | EConst (Value.S s) -> Format.fprintf fmt "'%s'" s
+  | EConst v -> Value.pp fmt v
+  | ECmp (op, a, b) -> Format.fprintf fmt "%a %s %a" pp_expr a (string_of_cmpop op) pp_expr b
+  | EAnd (a, b) -> Format.fprintf fmt "(%a AND %a)" pp_expr a pp_expr b
+  | EOr (a, b) -> Format.fprintf fmt "(%a OR %a)" pp_expr a pp_expr b
+  | ENot a -> Format.fprintf fmt "NOT %a" pp_expr a
+  | EEdist (a, b) -> Format.fprintf fmt "edist(%a, %a)" pp_expr a pp_expr b
+  | EContains (a, b) -> Format.fprintf fmt "contains(%a, %a)" pp_expr a pp_expr b
+  | EPrefix (a, b) -> Format.fprintf fmt "prefix(%a, %a)" pp_expr a pp_expr b
+
+let pp_query fmt q =
+  Format.fprintf fmt "SELECT %s%s WHERE {"
+    (if q.distinct then "DISTINCT " else "")
+    (match q.projection with
+    | None -> "*"
+    | Some vs -> String.concat ", " (List.map (fun v -> "?" ^ v) vs));
+  List.iter (fun p -> Format.fprintf fmt " %a" pp_pattern p) q.patterns;
+  List.iter (fun f -> Format.fprintf fmt " FILTER %a" pp_expr f) q.filters;
+  Format.fprintf fmt " }";
+  List.iter
+    (fun (ps, fs) ->
+      Format.fprintf fmt " UNION {";
+      List.iter (fun p -> Format.fprintf fmt " %a" pp_pattern p) ps;
+      List.iter (fun f -> Format.fprintf fmt " FILTER %a" pp_expr f) fs;
+      Format.fprintf fmt " }")
+    q.union_branches;
+  (match q.order with
+  | Some (OrderBy items) ->
+    Format.fprintf fmt " ORDER BY %s"
+      (String.concat ", "
+         (List.map (fun (v, d) -> "?" ^ v ^ match d with Asc -> " ASC" | Desc -> " DESC") items))
+  | Some (Skyline items) ->
+    Format.fprintf fmt " ORDER BY SKYLINE OF %s"
+      (String.concat ", "
+         (List.map (fun (v, g) -> "?" ^ v ^ match g with Min -> " MIN" | Max -> " MAX") items))
+  | None -> ());
+  match q.limit with Some n -> Format.fprintf fmt " LIMIT %d" n | None -> ()
+
+let validate q =
+  let problems = ref [] in
+  let complain fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  if q.patterns = [] then complain "query has no triple patterns";
+  (* Variables usable downstream: bound in at least one branch. Filters
+     must be bound within their own branch. *)
+  let bound =
+    List.concat_map
+      (fun (ps, _) -> List.concat_map pattern_vars ps)
+      ((q.patterns, q.filters) :: q.union_branches)
+  in
+  let check_bound where v =
+    if not (List.mem v bound) then complain "%s variable ?%s is not bound by any pattern" where v
+  in
+  (match q.projection with
+  | Some [] -> complain "empty projection"
+  | Some vs -> List.iter (check_bound "projected") vs
+  | None -> ());
+  List.iter
+    (fun (ps, fs) ->
+      if ps = [] then complain "UNION branch has no triple patterns";
+      let branch_bound = List.concat_map pattern_vars ps in
+      List.iter
+        (fun f ->
+          List.iter
+            (fun v ->
+              if not (List.mem v branch_bound) then
+                complain "filter variable ?%s is not bound within its branch" v)
+            (expr_vars f))
+        fs)
+    ((q.patterns, q.filters) :: q.union_branches);
+  (match q.order with
+  | Some (OrderBy items) -> List.iter (fun (v, _) -> check_bound "order" v) items
+  | Some (Skyline items) ->
+    if items = [] then complain "empty skyline";
+    List.iter (fun (v, _) -> check_bound "skyline" v) items
+  | None -> ());
+  (match q.limit with
+  | Some n when n <= 0 -> complain "LIMIT must be positive"
+  | _ -> ());
+  List.rev !problems

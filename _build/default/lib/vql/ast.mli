@@ -1,0 +1,66 @@
+(** VQL abstract syntax.
+
+    VQL (Vertical Query Language) is the paper's SPARQL-derived language:
+    triple patterns in braces with [?]-variables, optional [FILTER]
+    predicates (including the [edist] similarity function), SQL-style
+    [SELECT]/[ORDER BY]/[LIMIT] and the ranking extension [SKYLINE OF]. *)
+
+module Value = Unistore_triple.Value
+
+type term =
+  | TVar of string  (** [?name] *)
+  | TConst of Value.t
+
+(** One triple pattern [(subj, attr, obj)]. In the universal relation
+    model [subj] ranges over OIDs, [attr] over attribute names, [obj]
+    over values. *)
+type pattern = { subj : term; attr : term; obj : term }
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | EVar of string
+  | EConst of Value.t
+  | ECmp of cmpop * expr * expr
+  | EAnd of expr * expr
+  | EOr of expr * expr
+  | ENot of expr
+  | EEdist of expr * expr  (** [edist(a, b)]: numeric edit distance *)
+  | EContains of expr * expr  (** [contains(a, b)]: substring test *)
+  | EPrefix of expr * expr  (** [prefix(a, b)]: prefix test *)
+
+type dir = Asc | Desc
+type goal = Min | Max
+
+type order_clause =
+  | OrderBy of (string * dir) list
+  | Skyline of (string * goal) list  (** [ORDER BY SKYLINE OF ?x MIN, ?y MAX] *)
+
+type query = {
+  distinct : bool;
+  projection : string list option;  (** [None] = [SELECT *] *)
+  patterns : pattern list;
+  filters : expr list;
+  union_branches : (pattern list * expr list) list;
+      (** additional [UNION { ... }] groups: each evaluated independently,
+          results combined (bag semantics unless [DISTINCT]) *)
+  order : order_clause option;
+  limit : int option;
+}
+
+(** Variables mentioned by a pattern / expression / query (sorted,
+    deduplicated). *)
+val pattern_vars : pattern -> string list
+
+val expr_vars : expr -> string list
+val query_vars : query -> string list
+
+val pp_term : Format.formatter -> term -> unit
+val pp_pattern : Format.formatter -> pattern -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_query : Format.formatter -> query -> unit
+
+(** Semantic checks: projection/order/filter variables must be bound by
+    some pattern; patterns must not be degenerate (all-constant patterns
+    are allowed — they are existence tests). Returns problems found. *)
+val validate : query -> string list

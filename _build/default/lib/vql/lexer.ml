@@ -1,0 +1,227 @@
+type token =
+  | SELECT
+  | DISTINCT
+  | WHERE
+  | FILTER
+  | ORDER
+  | BY
+  | SKYLINE
+  | OF
+  | LIMIT
+  | UNION
+  | MIN
+  | MAX
+  | ASC
+  | DESC
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | VAR of string
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | EOF
+
+let pp_token fmt t =
+  let s =
+    match t with
+    | SELECT -> "SELECT"
+    | DISTINCT -> "DISTINCT"
+    | WHERE -> "WHERE"
+    | FILTER -> "FILTER"
+    | ORDER -> "ORDER"
+    | BY -> "BY"
+    | SKYLINE -> "SKYLINE"
+    | OF -> "OF"
+    | LIMIT -> "LIMIT"
+    | UNION -> "UNION"
+    | MIN -> "MIN"
+    | MAX -> "MAX"
+    | ASC -> "ASC"
+    | DESC -> "DESC"
+    | AND -> "AND"
+    | OR -> "OR"
+    | NOT -> "NOT"
+    | TRUE -> "TRUE"
+    | FALSE -> "FALSE"
+    | STAR -> "*"
+    | COMMA -> ","
+    | LPAREN -> "("
+    | RPAREN -> ")"
+    | LBRACE -> "{"
+    | RBRACE -> "}"
+    | EQ -> "="
+    | NEQ -> "!="
+    | LT -> "<"
+    | LE -> "<="
+    | GT -> ">"
+    | GE -> ">="
+    | VAR v -> "?" ^ v
+    | IDENT s -> s
+    | STRING s -> Printf.sprintf "'%s'" s
+    | INT i -> string_of_int i
+    | FLOAT f -> string_of_float f
+    | EOF -> "<eof>"
+  in
+  Format.pp_print_string fmt s
+
+exception Error of { offset : int; message : string }
+
+let error offset fmt = Format.kasprintf (fun message -> raise (Error { offset; message })) fmt
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some SELECT
+  | "DISTINCT" -> Some DISTINCT
+  | "WHERE" -> Some WHERE
+  | "FILTER" -> Some FILTER
+  | "ORDER" -> Some ORDER
+  | "BY" -> Some BY
+  | "SKYLINE" -> Some SKYLINE
+  | "OF" -> Some OF
+  | "LIMIT" -> Some LIMIT
+  | "UNION" -> Some UNION
+  | "MIN" -> Some MIN
+  | "MAX" -> Some MAX
+  | "ASC" -> Some ASC
+  | "DESC" -> Some DESC
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "NOT" -> Some NOT
+  | "TRUE" -> Some TRUE
+  | "FALSE" -> Some FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = ':' || c = '.' || c = '#' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok off = tokens := (tok, off) :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let start = !pos in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '*' then (emit STAR start; incr pos)
+    else if c = ',' then (emit COMMA start; incr pos)
+    else if c = '(' then (emit LPAREN start; incr pos)
+    else if c = ')' then (emit RPAREN start; incr pos)
+    else if c = '{' then (emit LBRACE start; incr pos)
+    else if c = '}' then (emit RBRACE start; incr pos)
+    else if c = '=' then (emit EQ start; incr pos)
+    else if c = '!' && peek 1 = Some '=' then (emit NEQ start; pos := !pos + 2)
+    else if c = '<' && peek 1 = Some '=' then (emit LE start; pos := !pos + 2)
+    else if c = '<' && peek 1 = Some '>' then (emit NEQ start; pos := !pos + 2)
+    else if c = '<' then (emit LT start; incr pos)
+    else if c = '>' && peek 1 = Some '=' then (emit GE start; pos := !pos + 2)
+    else if c = '>' then (emit GT start; incr pos)
+    else if c = '?' then begin
+      incr pos;
+      let s = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      if !pos = s then error start "expected variable name after '?'";
+      emit (VAR (String.sub src s (!pos - s))) start
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = '\\' && !pos + 1 < n then begin
+          (match src.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | other -> Buffer.add_char buf other);
+          pos := !pos + 2
+        end
+        else if d = '\'' then begin
+          closed := true;
+          incr pos
+        end
+        else begin
+          Buffer.add_char buf d;
+          incr pos
+        end
+      done;
+      if not !closed then error start "unterminated string literal";
+      emit (STRING (Buffer.contents buf)) start
+    end
+    else if is_digit c || (c = '-' && match peek 1 with Some d -> is_digit d | None -> false)
+    then begin
+      incr pos;
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let is_float = ref false in
+      if !pos < n && src.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true;
+        incr pos;
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> emit (FLOAT f) start
+        | None -> error start "malformed number %S" text
+      else begin
+        match int_of_string_opt text with
+        | Some i -> emit (INT i) start
+        | None -> error start "malformed number %S" text
+      end
+    end
+    else if is_ident_start c then begin
+      incr pos;
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      match keyword_of_string text with
+      | Some kw -> emit kw start
+      | None -> emit (IDENT text) start
+    end
+    else error start "unexpected character %C" c
+  done;
+  emit EOF n;
+  List.rev !tokens

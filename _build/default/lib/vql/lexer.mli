@@ -1,0 +1,48 @@
+(** VQL lexer. *)
+
+type token =
+  | SELECT
+  | DISTINCT
+  | WHERE
+  | FILTER
+  | ORDER
+  | BY
+  | SKYLINE
+  | OF
+  | LIMIT
+  | UNION
+  | MIN
+  | MAX
+  | ASC
+  | DESC
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | VAR of string  (** [?name] *)
+  | IDENT of string  (** bare word that is not a keyword (function names) *)
+  | STRING of string  (** ['...'] literal *)
+  | INT of int
+  | FLOAT of float
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Error of { offset : int; message : string }
+
+(** [tokenize src] is the token stream with byte offsets, ending in
+    [EOF]. Raises {!Error} on lexical errors. *)
+val tokenize : string -> (token * int) list

@@ -1,0 +1,256 @@
+module Value = Unistore_triple.Value
+open Ast
+
+exception Parse_error of { offset : int; message : string }
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let current st = st.tokens.(st.pos)
+
+let fail_at offset fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { offset; message })) fmt
+
+let fail st fmt =
+  let _, off = current st in
+  fail_at off fmt
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let eat st tok what =
+  let t, _ = current st in
+  if t = tok then advance st else fail st "expected %s, found %a" what Lexer.pp_token t
+
+let accept st tok =
+  let t, _ = current st in
+  if t = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let parse_var st =
+  match current st with
+  | Lexer.VAR v, _ ->
+    advance st;
+    v
+  | t, _ -> fail st "expected a ?variable, found %a" Lexer.pp_token t
+
+let parse_literal st =
+  match current st with
+  | Lexer.STRING s, _ ->
+    advance st;
+    Value.S s
+  | Lexer.INT i, _ ->
+    advance st;
+    Value.I i
+  | Lexer.FLOAT f, _ ->
+    advance st;
+    Value.F f
+  | Lexer.TRUE, _ ->
+    advance st;
+    Value.B true
+  | Lexer.FALSE, _ ->
+    advance st;
+    Value.B false
+  | t, _ -> fail st "expected a literal, found %a" Lexer.pp_token t
+
+let parse_term st =
+  match current st with
+  | Lexer.VAR v, _ ->
+    advance st;
+    TVar v
+  | _ -> TConst (parse_literal st)
+
+let parse_pattern st =
+  eat st Lexer.LPAREN "'('";
+  let subj = parse_term st in
+  eat st Lexer.COMMA "','";
+  let attr = parse_term st in
+  eat st Lexer.COMMA "','";
+  let obj = parse_term st in
+  eat st Lexer.RPAREN "')'";
+  { subj; attr; obj }
+
+(* Expressions *)
+
+let cmpop_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NEQ -> Some Neq
+  | Lexer.LT -> Some Lt
+  | Lexer.LE -> Some Le
+  | Lexer.GT -> Some Gt
+  | Lexer.GE -> Some Ge
+  | _ -> None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept st Lexer.OR then EOr (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept st Lexer.AND then EAnd (left, parse_and st) else left
+
+and parse_not st = if accept st Lexer.NOT then ENot (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_primary st in
+  match cmpop_of_token (fst (current st)) with
+  | Some op ->
+    advance st;
+    let right = parse_primary st in
+    ECmp (op, left, right)
+  | None -> left
+
+and parse_primary st =
+  match current st with
+  | Lexer.VAR v, _ ->
+    advance st;
+    EVar v
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_expr st in
+    eat st Lexer.RPAREN "')'";
+    e
+  | Lexer.IDENT f, off ->
+    advance st;
+    eat st Lexer.LPAREN "'(' after function name";
+    let a = parse_expr st in
+    eat st Lexer.COMMA "','";
+    let b = parse_expr st in
+    eat st Lexer.RPAREN "')'";
+    (match String.lowercase_ascii f with
+    | "edist" -> EEdist (a, b)
+    | "contains" -> EContains (a, b)
+    | "prefix" -> EPrefix (a, b)
+    | other -> fail_at off "unknown function %S (expected edist/contains/prefix)" other)
+  | _ -> EConst (parse_literal st)
+
+(* Clauses *)
+
+let parse_projection st =
+  if accept st Lexer.STAR then None
+  else begin
+    let first = parse_var st in
+    let rec more acc = if accept st Lexer.COMMA then more (parse_var st :: acc) else List.rev acc in
+    Some (more [ first ])
+  end
+
+let parse_order st =
+  if accept st Lexer.SKYLINE then begin
+    eat st Lexer.OF "OF";
+    let item () =
+      let v = parse_var st in
+      match current st with
+      | Lexer.MIN, _ ->
+        advance st;
+        (v, Min)
+      | Lexer.MAX, _ ->
+        advance st;
+        (v, Max)
+      | t, _ -> fail st "expected MIN or MAX after skyline variable, found %a" Lexer.pp_token t
+    in
+    let first = item () in
+    let rec more acc = if accept st Lexer.COMMA then more (item () :: acc) else List.rev acc in
+    Skyline (more [ first ])
+  end
+  else begin
+    let item () =
+      let v = parse_var st in
+      match current st with
+      | Lexer.ASC, _ ->
+        advance st;
+        (v, Asc)
+      | Lexer.DESC, _ ->
+        advance st;
+        (v, Desc)
+      | _ -> (v, Asc)
+    in
+    let first = item () in
+    let rec more acc = if accept st Lexer.COMMA then more (item () :: acc) else List.rev acc in
+    OrderBy (more [ first ])
+  end
+
+let parse_group st =
+  eat st Lexer.LBRACE "'{'";
+  let patterns = ref [] and filters = ref [] in
+  let rec body () =
+    match current st with
+    | Lexer.LPAREN, _ ->
+      patterns := parse_pattern st :: !patterns;
+      body ()
+    | Lexer.FILTER, _ ->
+      advance st;
+      filters := parse_expr st :: !filters;
+      body ()
+    | Lexer.RBRACE, _ -> advance st
+    | t, _ -> fail st "expected a pattern, FILTER or '}', found %a" Lexer.pp_token t
+  in
+  body ();
+  (List.rev !patterns, List.rev !filters)
+
+let parse_query st =
+  eat st Lexer.SELECT "SELECT";
+  let distinct = accept st Lexer.DISTINCT in
+  let projection = parse_projection st in
+  eat st Lexer.WHERE "WHERE";
+  let patterns, filters = parse_group st in
+  let patterns = ref (List.rev patterns) and filters = ref (List.rev filters) in
+  if !patterns = [] then fail st "WHERE block needs at least one triple pattern";
+  let union_branches = ref [] in
+  while accept st Lexer.UNION do
+    union_branches := parse_group st :: !union_branches
+  done;
+  let order =
+    if accept st Lexer.ORDER then begin
+      eat st Lexer.BY "BY";
+      Some (parse_order st)
+    end
+    else None
+  in
+  let limit =
+    if accept st Lexer.LIMIT then begin
+      match current st with
+      | Lexer.INT n, _ ->
+        advance st;
+        Some n
+      | t, _ -> fail st "expected an integer after LIMIT, found %a" Lexer.pp_token t
+    end
+    else None
+  in
+  (match current st with
+  | Lexer.EOF, _ -> ()
+  | t, _ -> fail st "unexpected trailing input: %a" Lexer.pp_token t);
+  {
+    distinct;
+    projection;
+    patterns = List.rev !patterns;
+    filters = List.rev !filters;
+    union_branches = List.rev !union_branches;
+    order;
+    limit;
+  }
+
+let context src offset =
+  let start = max 0 (offset - 20) in
+  let stop = min (String.length src) (offset + 20) in
+  String.sub src start (stop - start)
+
+let parse src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error { offset; message } ->
+    Error (Printf.sprintf "lex error at offset %d (near %S): %s" offset (context src offset) message)
+  | tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    match parse_query st with
+    | q -> (
+      match Ast.validate q with
+      | [] -> Ok q
+      | problems -> Error ("invalid query: " ^ String.concat "; " problems))
+    | exception Parse_error { offset; message } ->
+      Error
+        (Printf.sprintf "parse error at offset %d (near %S): %s" offset (context src offset)
+           message))
+
+let parse_exn src = match parse src with Ok q -> q | Error e -> failwith e

@@ -1,0 +1,23 @@
+(** VQL recursive-descent parser.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query    ::= SELECT [DISTINCT] proj WHERE '{' pattern+ filter* '}'
+                 [ORDER BY order] [LIMIT int]
+    proj     ::= '*' | var (',' var)*
+    pattern  ::= '(' term ',' term ',' term ')'
+    term     ::= var | literal
+    filter   ::= FILTER expr
+    order    ::= SKYLINE OF var (MIN|MAX) (',' var (MIN|MAX))*
+               | var [ASC|DESC] (',' var [ASC|DESC])*
+    expr     ::= or-expr with comparisons, NOT, parentheses, and the
+                 functions edist(a,b), contains(a,b), prefix(a,b)
+    literal  ::= 'string' | int | float | TRUE | FALSE
+    v} *)
+
+(** [parse src] parses a full VQL query. The error string includes the
+    byte offset and a source snippet. *)
+val parse : string -> (Ast.query, string) result
+
+(** [parse_exn src] raises [Failure] with the same message. *)
+val parse_exn : string -> Ast.query

@@ -1,0 +1,1 @@
+lib/workload/demo_data.ml: String Unistore_triple

@@ -1,0 +1,1 @@
+lib/workload/demo_data.mli: Unistore_triple

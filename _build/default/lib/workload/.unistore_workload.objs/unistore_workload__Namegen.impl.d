@@ -1,0 +1,1 @@
+lib/workload/namegen.ml: Char List String Unistore_util

@@ -1,0 +1,1 @@
+lib/workload/publications.ml: List Namegen Printf String Unistore_triple Unistore_util

@@ -1,0 +1,1 @@
+lib/workload/publications.mli: Unistore_triple Unistore_util

@@ -1,0 +1,1 @@
+lib/workload/skewed.ml: List Printf Unistore_triple Unistore_util

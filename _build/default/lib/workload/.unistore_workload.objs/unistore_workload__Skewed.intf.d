@@ -1,0 +1,1 @@
+lib/workload/skewed.mli: Unistore_triple Unistore_util

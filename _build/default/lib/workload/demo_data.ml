@@ -1,0 +1,51 @@
+module Value = Unistore_triple.Value
+
+let r name cuisine price rating dist =
+  ( "rest:" ^ String.lowercase_ascii (String.map (fun c -> if c = ' ' then '_' else c) name),
+    [
+      ("rest_name", Value.S name);
+      ("cuisine", Value.S cuisine);
+      ("price", Value.I price);
+      ("rating", Value.I rating);
+      ("distance", Value.I dist);
+    ] )
+
+let restaurants =
+  [
+    r "Golden Wok" "chinese" 18 7 400;
+    r "La Piazza" "italian" 32 9 850;
+    r "Curry Corner" "indian" 14 6 1200;
+    r "Bistro Lumiere" "french" 55 9 300;
+    r "Sushi Kai" "japanese" 40 8 950;
+    r "Doner Palast" "turkish" 9 5 150;
+    r "Trattoria Nonna" "italian" 27 8 600;
+    r "Green Leaf" "vegetarian" 16 7 700;
+    r "Brauhaus Eck" "german" 22 6 250;
+    r "Le Petit Jardin" "french" 48 10 1100;
+    r "Noodle Bar 21" "chinese" 12 6 500;
+    r "Casa Miguel" "spanish" 25 8 900;
+  ]
+
+let contacts_fb =
+  [
+    ( "fb:u1",
+      [
+        ("fb:fullname", Value.S "Marcel Karnstedt");
+        ("fb:years", Value.I 29);
+        ("fb:mail", Value.S "marcel@example.org");
+      ] );
+    ( "fb:u2",
+      [
+        ("fb:fullname", Value.S "Manfred Hauswirth");
+        ("fb:years", Value.I 38);
+        ("fb:mail", Value.S "manfred@example.org");
+      ] );
+    ( "fb:u3",
+      [
+        ("fb:fullname", Value.S "Roman Schmidt");
+        ("fb:years", Value.I 31);
+        ("fb:mail", Value.S "roman@example.org");
+      ] );
+  ]
+
+let contact_mappings = [ ("fb:fullname", "name"); ("fb:years", "age"); ("fb:mail", "email") ]

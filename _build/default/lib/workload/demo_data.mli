@@ -1,0 +1,20 @@
+(** Curated demo data for the conference-sharing scenario (§4 of the
+    paper: "people could also insert data about restaurants, bars, sights
+    or anything other that is conceivable — and apply queries intended
+    for such distributed public data collections, e.g., skyline
+    operators"). *)
+
+module Value = Unistore_triple.Value
+
+(** Restaurant tuples: name, cuisine, price (per meal), rating (1-10),
+    distance (meters from the venue). Good skyline fodder: price MIN,
+    rating MAX. *)
+val restaurants : (string * (string * Value.t) list) list
+
+(** A handful of attendee contact tuples in a second, differently-named
+    schema (namespace ["fb"]), for the heterogeneity demo. *)
+val contacts_fb : (string * (string * Value.t) list) list
+
+(** Attribute correspondences between the ["fb"] contact schema and the
+    plain publications schema. *)
+val contact_mappings : (string * string) list

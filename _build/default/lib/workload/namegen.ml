@@ -1,0 +1,51 @@
+module Rng = Unistore_util.Rng
+
+let onsets = [| "b"; "d"; "f"; "g"; "h"; "k"; "l"; "m"; "n"; "p"; "r"; "s"; "t"; "v"; "w"; "st"; "br"; "kl" |]
+let vowels = [| "a"; "e"; "i"; "o"; "u"; "ai"; "ei"; "ou" |]
+let codas = [| ""; "n"; "r"; "s"; "t"; "l"; "ck"; "rn" |]
+
+let syllable rng = Rng.pick rng onsets ^ Rng.pick rng vowels ^ Rng.pick rng codas
+
+let word rng =
+  let n = 2 + Rng.int rng 2 in
+  String.concat "" (List.init n (fun _ -> syllable rng))
+
+let capitalize s = String.capitalize_ascii s
+
+let person rng = capitalize (word rng) ^ " " ^ capitalize (word rng)
+
+let title rng ~words =
+  String.concat " " (List.init (max 1 words) (fun i -> if i = 0 then capitalize (word rng) else word rng))
+
+let rec typo rng s =
+  if String.length s = 0 then s
+  else begin
+    let t = typo_once rng s in
+    (* Degenerate edits (substituting the same character, swapping equal
+       neighbours) can reproduce the input; retry so callers always get a
+       string at edit distance >= 1. *)
+    if String.equal t s then typo rng s else t
+  end
+
+and typo_once rng s =
+  begin
+    let i = Rng.int rng (String.length s) in
+    let c = Char.chr (Char.code 'a' + Rng.int rng 26) in
+    match Rng.int rng 4 with
+    | 0 ->
+      (* substitute *)
+      String.mapi (fun j ch -> if j = i then c else ch) s
+    | 1 ->
+      (* delete *)
+      String.sub s 0 i ^ String.sub s (i + 1) (String.length s - i - 1)
+    | 2 ->
+      (* insert *)
+      String.sub s 0 i ^ String.make 1 c ^ String.sub s i (String.length s - i)
+    | _ ->
+      (* swap with the next character *)
+      if i + 1 >= String.length s then String.mapi (fun j ch -> if j = i then c else ch) s
+      else
+        String.mapi
+          (fun j ch -> if j = i then s.[i + 1] else if j = i + 1 then s.[i] else ch)
+          s
+  end

@@ -1,0 +1,13 @@
+(** Deterministic pseudo-natural name generation (syllable-based), used
+    to synthesize the contacts-and-publications data the demonstration
+    would have collected from conference participants. *)
+
+val person : Unistore_util.Rng.t -> string
+val word : Unistore_util.Rng.t -> string
+
+(** Multi-word publication-like title with [words] words. *)
+val title : Unistore_util.Rng.t -> words:int -> string
+
+(** [typo rng s] applies one random edit (insert/delete/substitute/swap)
+    — the "typos and similar" the paper's edit-distance filter tolerates. *)
+val typo : Unistore_util.Rng.t -> string -> string

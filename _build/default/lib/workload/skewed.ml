@@ -1,0 +1,22 @@
+module Rng = Unistore_util.Rng
+module Zipf = Unistore_util.Zipf
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Keys = Unistore_triple.Keys
+
+let generate rng ~n ~skew ?(distinct = 500) () =
+  let rng = Rng.split rng in
+  let zipf = Zipf.create ~n:distinct ~s:skew in
+  List.init n (fun i ->
+      let rank = Zipf.sample zipf rng in
+      Triple.make ~oid:(Printf.sprintf "s%06d" i) ~attr:"v" (Value.S (Printf.sprintf "v%05d" rank)))
+
+let sample_keys triples =
+  List.concat_map
+    (fun (tr : Triple.t) ->
+      [
+        Keys.oid_key tr.Triple.oid;
+        Keys.attr_value_key tr.Triple.attr tr.Triple.value;
+        Keys.value_key tr.Triple.value;
+      ])
+    triples

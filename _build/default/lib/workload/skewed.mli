@@ -1,0 +1,13 @@
+(** Zipf-skewed synthetic data for the load-balancing experiment (E5):
+    one attribute whose values follow a Zipf rank distribution, so that
+    without data-aware partitioning a few peers absorb most triples. *)
+
+module Triple = Unistore_triple.Triple
+
+(** [generate rng ~n ~skew ()] makes [n] single-attribute tuples whose
+    [value] attribute is drawn from Zipf(skew) over [distinct] ranks
+    (default 500). *)
+val generate :
+  Unistore_util.Rng.t -> n:int -> skew:float -> ?distinct:int -> unit -> Triple.t list
+
+val sample_keys : Triple.t list -> string list

@@ -1,0 +1,328 @@
+(* Tests for the discrete-event simulator (unistore_sim). *)
+
+open Unistore_util
+module Pqueue = Unistore_sim.Pqueue
+module Sim = Unistore_sim.Sim
+module Latency = Unistore_sim.Latency
+module Net = Unistore_sim.Net
+module Trace = Unistore_sim.Trace
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q ~priority:p p) [ 3.0; 1.0; 2.0; 0.5; 2.5 ];
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list (float 0.0)) "sorted" [ 0.5; 1.0; 2.0; 2.5; 3.0 ] (List.rev !out)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:1.0 v) [ "a"; "b"; "c" ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  check Alcotest.string "fifo a" "a" (pop ());
+  check Alcotest.string "fifo b" "b" (pop ());
+  check Alcotest.string "fifo c" "c" (pop ())
+
+let prop_pqueue_sorted =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"pqueue: pops are sorted"
+       QCheck2.Gen.(list_size (0 -- 100) (float_bound_inclusive 1000.0))
+       (fun prios ->
+         let q = Pqueue.create () in
+         List.iter (fun p -> Pqueue.push q ~priority:p p) prios;
+         let rec drain acc =
+           match Pqueue.pop q with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+         in
+         let out = drain [] in
+         List.sort Float.compare prios = out))
+
+let test_pqueue_size () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q ~priority:1.0 ();
+  check Alcotest.int "size 1" 1 (Pqueue.size q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_time_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:10.0 (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:5.0 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:20.0 (fun () -> log := "c" :: !log);
+  Sim.run_all sim;
+  check Alcotest.(list string) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock" 20.0 (Sim.now sim)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let fired = ref 0.0 in
+  Sim.schedule sim ~delay:5.0 (fun () ->
+      Sim.schedule sim ~delay:3.0 (fun () -> fired := Sim.now sim));
+  Sim.run_all sim;
+  check (Alcotest.float 1e-9) "nested at 8" 8.0 !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Sim.schedule sim ~delay:1.0 (fun () -> incr count)
+  done;
+  let ok = Sim.run_until sim (fun () -> !count >= 5) in
+  Alcotest.(check bool) "predicate met" true ok;
+  check Alcotest.int "stopped at 5" 5 !count;
+  Sim.run_all sim;
+  check Alcotest.int "rest ran" 10 !count
+
+let test_sim_run_until_drains () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:1.0 (fun () -> ());
+  let ok = Sim.run_until sim (fun () -> false) in
+  Alcotest.(check bool) "drained without predicate" false ok
+
+let test_sim_run_for () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  List.iter (fun d -> Sim.schedule sim ~delay:d (fun () -> incr count)) [ 1.0; 2.0; 3.0; 10.0 ];
+  Sim.run_for sim ~duration:5.0;
+  check Alcotest.int "within window" 3 !count;
+  check (Alcotest.float 1e-9) "clock advanced" 5.0 (Sim.now sim);
+  Sim.run_all sim;
+  check Alcotest.int "all" 4 !count
+
+let test_sim_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      Sim.schedule sim ~delay:(-1.0) (fun () -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Latency *)
+
+let test_latency_constant () =
+  let rng = Rng.create 1 in
+  let l = Latency.create (Latency.Constant 7.0) ~n:10 ~rng in
+  check (Alcotest.float 1e-9) "constant" 7.0 (Latency.sample l ~src:0 ~dst:1);
+  check (Alcotest.float 1e-9) "expected" 7.0 (Latency.expected l)
+
+let test_latency_uniform_bounds () =
+  let rng = Rng.create 2 in
+  let l = Latency.create (Latency.Uniform (5.0, 10.0)) ~n:10 ~rng in
+  for _ = 1 to 500 do
+    let d = Latency.sample l ~src:0 ~dst:1 in
+    if d < 5.0 || d >= 10.0 then Alcotest.failf "uniform out of bounds: %f" d
+  done
+
+let test_latency_planetlab_positive () =
+  let rng = Rng.create 3 in
+  let l = Latency.create Latency.Planetlab ~n:50 ~rng in
+  for s = 0 to 9 do
+    for d = 0 to 9 do
+      let v = Latency.sample l ~src:s ~dst:d in
+      if v < 5.0 then Alcotest.failf "planetlab latency suspiciously low: %f" v;
+      if v > 2000.0 then Alcotest.failf "planetlab latency suspiciously high: %f" v
+    done
+  done
+
+let test_latency_planetlab_base_deterministic () =
+  let rng = Rng.create 4 in
+  let l = Latency.create Latency.Planetlab ~n:20 ~rng in
+  check (Alcotest.float 1e-9) "base deterministic"
+    (Latency.base l ~src:1 ~dst:2)
+    (Latency.base l ~src:1 ~dst:2)
+
+(* ------------------------------------------------------------------ *)
+(* Net *)
+
+let mknet ?(drop = 0.0) ?(model = Latency.Constant 1.0) n =
+  let sim = Sim.create () in
+  let rng = Rng.create 99 in
+  let latency = Latency.create model ~n ~rng in
+  let net = Net.create sim ~latency ~rng ~drop () in
+  (sim, net)
+
+let test_net_delivery () =
+  let sim, net = mknet 2 in
+  let inbox = ref [] in
+  Net.register net 0 (fun ~src msg -> inbox := (src, msg) :: !inbox);
+  Net.register net 1 (fun ~src msg -> inbox := (src, msg) :: !inbox);
+  Net.send net ~src:0 ~dst:1 "hello";
+  Sim.run_all sim;
+  check Alcotest.(list (pair int string)) "delivered" [ (0, "hello") ] !inbox;
+  check (Alcotest.float 1e-9) "took latency" 1.0 (Sim.now sim)
+
+let test_net_dead_peer () =
+  let sim, net = mknet 2 in
+  let got = ref false in
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.register net 1 (fun ~src:_ _ -> got := true);
+  Net.kill net 1;
+  Net.send net ~src:0 ~dst:1 "x";
+  Sim.run_all sim;
+  Alcotest.(check bool) "not delivered" false !got;
+  let s = Net.stats net in
+  check Alcotest.int "counted dead" 1 s.Net.to_dead;
+  Net.revive net 1;
+  Net.send net ~src:0 ~dst:1 "y";
+  Sim.run_all sim;
+  Alcotest.(check bool) "delivered after revive" true !got
+
+let test_net_drop () =
+  let sim, net = mknet ~drop:1.0 2 in
+  let got = ref false in
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.register net 1 (fun ~src:_ _ -> got := true);
+  Net.send net ~src:0 ~dst:1 "x";
+  Sim.run_all sim;
+  Alcotest.(check bool) "dropped" false !got;
+  check Alcotest.int "dropped count" 1 (Net.stats net).Net.dropped
+
+let test_net_counters () =
+  let sim, net = mknet 3 in
+  List.iter (fun i -> Net.register net i (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:1 ~dst:2 "b";
+  Sim.run_all sim;
+  let s = Net.stats net in
+  check Alcotest.int "sent" 2 s.Net.sent;
+  check Alcotest.int "delivered" 2 s.Net.delivered;
+  Net.reset_stats net;
+  check Alcotest.int "reset" 0 (Net.stats net).Net.sent;
+  check Alcotest.int "total survives reset" 2 (Net.total_sent net)
+
+let test_net_in_flight_to_killed () =
+  (* A message already in flight when the destination dies is lost. *)
+  let sim, net = mknet 2 in
+  let got = ref false in
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.register net 1 (fun ~src:_ _ -> got := true);
+  Net.send net ~src:0 ~dst:1 "x";
+  Net.kill net 1;
+  Sim.run_all sim;
+  Alcotest.(check bool) "lost in flight" false !got
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_records_messages () =
+  let sim, net = mknet 3 in
+  List.iter (fun i -> Net.register net i (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  let tr = Trace.create () in
+  Net.set_trace net (Some tr);
+  Net.send net ~src:0 ~dst:1 "hello";
+  Net.send net ~src:1 ~dst:2 "world";
+  Sim.run_all sim;
+  check Alcotest.int "two events" 2 (Trace.length tr);
+  let delivered, dropped, to_dead, in_flight = Trace.outcome_counts tr in
+  check Alcotest.int "delivered" 2 delivered;
+  check Alcotest.int "dropped" 0 dropped;
+  check Alcotest.int "to_dead" 0 to_dead;
+  check Alcotest.int "in flight" 0 in_flight;
+  (* Stop tracing: further messages unrecorded. *)
+  Net.set_trace net None;
+  Net.send net ~src:0 ~dst:2 "untraced";
+  Sim.run_all sim;
+  check Alcotest.int "still two" 2 (Trace.length tr)
+
+let test_trace_outcomes () =
+  let sim, net = mknet ~drop:1.0 2 in
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.register net 1 (fun ~src:_ _ -> ());
+  let tr = Trace.create () in
+  Net.set_trace net (Some tr);
+  Net.send net ~src:0 ~dst:1 "x";
+  Sim.run_all sim;
+  let _, dropped, _, _ = Trace.outcome_counts tr in
+  check Alcotest.int "dropped traced" 1 dropped;
+  (* Dead destination. *)
+  let sim2, net2 = mknet 2 in
+  Net.register net2 0 (fun ~src:_ _ -> ());
+  Net.register net2 1 (fun ~src:_ _ -> ());
+  Net.kill net2 1;
+  let tr2 = Trace.create () in
+  Net.set_trace net2 (Some tr2);
+  Net.send net2 ~src:0 ~dst:1 "x";
+  Sim.run_all sim2;
+  let _, _, to_dead, _ = Trace.outcome_counts tr2 in
+  check Alcotest.int "to-dead traced" 1 to_dead
+
+let test_trace_analysis () =
+  let tr = Trace.create () in
+  ignore (Trace.record tr ~time:10.0 ~src:0 ~dst:1 ~kind:"lookup" ~bytes:10);
+  ignore (Trace.record tr ~time:220.0 ~src:1 ~dst:2 ~kind:"lookup" ~bytes:20);
+  (Trace.record tr ~time:230.0 ~src:2 ~dst:0 ~kind:"found" ~bytes:30).Trace.outcome <-
+    Trace.Delivered;
+  (match Trace.by_kind tr with
+  | (k1, c1, b1) :: _ ->
+    check Alcotest.string "top kind" "lookup" k1;
+    check Alcotest.int "count" 2 c1;
+    check Alcotest.int "bytes" 30 b1
+  | [] -> Alcotest.fail "no kinds");
+  check Alcotest.int "two buckets at 100ms" 2
+    (List.length (List.filter (fun (_, c) -> c > 0) (Trace.timeline tr ~bucket_ms:100.0)));
+  let busiest = Trace.busiest_peers tr ~top:3 in
+  check Alcotest.int "three peers" 3 (List.length busiest);
+  (* peer 2: sent 1, received 0 (only 'found' delivered, to peer 0). *)
+  (match List.assoc_opt 0 (List.map (fun (p, s, r) -> (p, (s, r))) busiest) with
+  | Some (s, r) ->
+    check Alcotest.int "peer0 sent" 1 s;
+    check Alcotest.int "peer0 received" 1 r
+  | None -> Alcotest.fail "peer0 missing");
+  let s = Format.asprintf "%a" Trace.pp_summary tr in
+  Alcotest.(check bool) "summary renders" true (String.length s > 40)
+
+let () =
+  Alcotest.run "unistore_sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "size/clear" `Quick test_pqueue_size;
+          prop_pqueue_sorted;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "time ordering" `Quick test_sim_time_ordering;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "run_until drains" `Quick test_sim_run_until_drains;
+          Alcotest.test_case "run_for" `Quick test_sim_run_for;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "constant" `Quick test_latency_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_latency_uniform_bounds;
+          Alcotest.test_case "planetlab sane" `Quick test_latency_planetlab_positive;
+          Alcotest.test_case "planetlab base deterministic" `Quick
+            test_latency_planetlab_base_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records messages" `Quick test_trace_records_messages;
+          Alcotest.test_case "outcomes" `Quick test_trace_outcomes;
+          Alcotest.test_case "analysis" `Quick test_trace_analysis;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "dead peer" `Quick test_net_dead_peer;
+          Alcotest.test_case "drop" `Quick test_net_drop;
+          Alcotest.test_case "counters" `Quick test_net_counters;
+          Alcotest.test_case "in-flight to killed" `Quick test_net_in_flight_to_killed;
+        ] );
+    ]
