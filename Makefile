@@ -1,0 +1,26 @@
+# Convenience entry points. Everything is plain dune underneath; these
+# targets just name the two workflows every PR runs.
+
+.PHONY: all check test bench bench-baseline clean
+
+all: check
+
+# Tier-1 gate: full build plus the alcotest/qcheck suites under test/.
+check:
+	dune build && dune runtest
+
+test: check
+
+# Full experiment harness (all E1..E14 + microbenchmarks).
+bench:
+	dune exec bench/main.exe
+
+# Regenerate the committed performance baseline (BENCH_core.json).
+# Run after any change that might move routing, range-query or query
+# latency numbers, and commit the diff. See EXPERIMENTS.md, section
+# "Baseline numbers".
+bench-baseline:
+	dune exec bench/main.exe -- core
+
+clean:
+	dune clean

@@ -8,6 +8,7 @@
 
 let experiments =
   [
+    ("core", "CORE: performance baseline -> BENCH_core.json", Bench_core.run);
     ("fig2", "E1: Fig. 2 triple placement", Exp_fig2.run);
     ("e2", "E2: logarithmic lookup scaling", Exp_scaling.run);
     ("e3", "E3: 400 peers, PlanetLab latency", Exp_planetlab.run);

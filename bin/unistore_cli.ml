@@ -86,8 +86,11 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset =
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
 
-let run_query peers seed overlay latency authors dataset strategy explain_only trace vql =
+let run_query peers seed overlay latency authors dataset strategy explain_only trace profile
+    metrics vql =
   let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  (* Scope the metrics dump to the query itself, not the bulk load. *)
+  if metrics then Unistore.reset_metrics store;
   (match Unistore.explain store vql with
   | Ok plan -> Format.printf "@.%a@." Unistore.pp_plan plan
   | Error e ->
@@ -105,7 +108,12 @@ let run_query peers seed overlay latency authors dataset strategy explain_only t
         List.iter
           (fun t -> Format.printf "  %a@." Unistore_qproc.Exec.pp_step_trace t)
           report.Unistore.Report.traces
-      end
+      end;
+      if profile then
+        (* EXPLAIN ANALYZE: per-operator rows/messages/latency. *)
+        Format.printf "@.query profile:@.%a@." Unistore.pp_profile
+          (Unistore.profile ~query:vql report);
+      if metrics then Format.printf "@.deployment metrics:@.%s@." (Unistore.metrics_json store)
     | Error e ->
       Format.printf "error: %s@." e;
       exit 1
@@ -117,10 +125,16 @@ let query_cmd =
   let trace_t =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-step execution trace (operator, carrier peer, rows, messages).")
   in
+  let profile_t =
+    Arg.(value & flag & info [ "profile" ] ~doc:"Print the per-operator query profile: rows in/out, messages, simulated latency per executed step, plus end-to-end totals.")
+  in
+  let metrics_t =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print the deployment metrics registry (per-kind message counts, hop/latency histograms) as JSON, scoped to the query.")
+  in
   let term =
     Term.(
       const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
-      $ strategy_t $ explain_t $ trace_t $ vql_t)
+      $ strategy_t $ explain_t $ trace_t $ profile_t $ metrics_t $ vql_t)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
 

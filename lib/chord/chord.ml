@@ -89,6 +89,7 @@ let is_alive t id = Net.is_alive t.net id
 let alive_peers t = Net.alive_peers t.net
 let expected_latency t = Latency.expected (Net.latency t.net)
 let net_stats t = Net.stats t.net
+let set_metrics t m = Net.set_metrics t.net m
 let total_sent t = Net.total_sent t.net
 
 let stored_on t =

@@ -68,6 +68,10 @@ val expected_latency : t -> float
 (** Network statistics of the underlying simulated network. *)
 val net_stats : t -> Unistore_sim.Net.stats
 
+(** Attach/detach a metrics registry for per-kind message accounting
+    (see {!Unistore_sim.Net.set_metrics}). *)
+val set_metrics : t -> Unistore_obs.Metrics.t option -> unit
+
 val total_sent : t -> int
 
 (** {2 Operations} — key placement uses [Ring.hash_key key]. *)

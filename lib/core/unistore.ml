@@ -14,6 +14,9 @@ module Qstats = Unistore_qproc.Qstats
 module Engine = Unistore_qproc.Engine
 module Physical = Unistore_qproc.Physical
 module Report = Unistore_qproc.Engine
+module Metrics = Unistore_obs.Metrics
+module Profile = Unistore_obs.Profile
+module Json = Unistore_obs.Json
 
 type overlay_kind = Pgrid | Chord_trie
 
@@ -50,6 +53,7 @@ type t = {
   tstore : Tstore.t;
   pgrid : Overlay.t option;
   chord : Chord.t option;
+  metrics : Metrics.t;
   mutable stats : Qstats.t;
   mutable next_origin : int;
 }
@@ -81,6 +85,11 @@ let create ?(sample_keys = []) config =
       (None, Some c, Dht.of_chord_trie c)
   in
   let tstore = Tstore.create ~qgrams:config.qgram_index dht in
+  let metrics = Metrics.create () in
+  (match (pgrid, chord) with
+  | Some ov, _ -> Overlay.set_metrics ov (Some metrics)
+  | _, Some c -> Chord.set_metrics c (Some metrics)
+  | None, None -> ());
   {
     config;
     sim;
@@ -89,6 +98,7 @@ let create ?(sample_keys = []) config =
     tstore;
     pgrid;
     chord;
+    metrics;
     stats = Qstats.empty;
     next_origin = 0;
   }
@@ -192,6 +202,23 @@ let stop_trace t =
   match t.pgrid with
   | Some ov -> Unistore_sim.Net.set_trace (Overlay.net ov) None
   | None -> ()
+
+(* Metrics (the unified accounting layer: per-kind message counts from
+   the network, hop/retry/fan-out histograms from the overlay, plus
+   anything callers add). One registry per deployment, attached at
+   creation — reading it is always safe. *)
+let metrics t = t.metrics
+let reset_metrics t = Metrics.clear t.metrics
+let metrics_json t = Json.to_string (Metrics.to_json t.metrics)
+
+(* Per-operator query profiling (EXPLAIN ANALYZE). *)
+let profile ?query report = Engine.profile ?query report
+let pp_profile = Profile.pp
+
+let query_profiled t ?origin ?strategy ?expand_mappings src =
+  match query t ?origin ?strategy ?expand_mappings src with
+  | Error e -> Error e
+  | Ok report -> Ok (report, Engine.profile ~query:src report)
 
 let settle t = Sim.run_all t.sim
 let messages_sent t = t.dht.Dht.total_sent ()

@@ -135,6 +135,43 @@ val start_trace : t -> Unistore_sim.Trace.t
 
 val stop_trace : t -> unit
 
+(** {2 Metrics & profiling}
+
+    Every deployment carries a {!Unistore_obs.Metrics} registry,
+    attached to its network and overlay at creation: per-kind message
+    counters ([net.sent.lookup], [net.bytes.range], ...), outcome
+    counters, and per-operation hop/retry/latency/fan-out histograms
+    ([overlay.lookup.hops], [overlay.range.fanout], ...). Unlike a
+    trace it is always on; [reset_metrics] after loading to scope a
+    measurement. *)
+
+val metrics : t -> Unistore_obs.Metrics.t
+
+(** Drop all recorded series (e.g. after bulk loading, before the
+    measured phase). *)
+val reset_metrics : t -> unit
+
+(** The registry as an indented JSON document (the machine-readable
+    export; [BENCH_core.json] is built from these). *)
+val metrics_json : t -> string
+
+(** [profile ?query report] is the per-operator execution profile of a
+    query report: rows in/out, messages and simulated latency per
+    executed step (EXPLAIN ANALYZE). Render with {!pp_profile} or
+    export via {!Unistore_obs.Profile.to_json}. *)
+val profile : ?query:string -> Unistore_qproc.Engine.report -> Unistore_obs.Profile.t
+
+val pp_profile : Format.formatter -> Unistore_obs.Profile.t -> unit
+
+(** [query_profiled t src] = {!query} plus the attached profile. *)
+val query_profiled :
+  t ->
+  ?origin:int ->
+  ?strategy:strategy ->
+  ?expand_mappings:bool ->
+  string ->
+  (Unistore_qproc.Engine.report * Unistore_obs.Profile.t, string) result
+
 (** Let background traffic (replication pushes, gossip) drain. *)
 val settle : t -> unit
 

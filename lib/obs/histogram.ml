@@ -1,0 +1,127 @@
+type t = {
+  bounds : float array;  (* strictly increasing inclusive upper bounds *)
+  counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+(* A 1-2-5 ladder covering sub-millisecond latencies up to tens of
+   simulated seconds, which also resolves small integer quantities
+   (hops, retries) exactly at the low end. *)
+let default_buckets =
+  [ 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000. ]
+
+let linear ~lo ~step ~n =
+  if n <= 0 || step <= 0.0 then invalid_arg "Histogram.linear";
+  List.init n (fun i -> lo +. (float_of_int i *. step))
+
+let create ?(buckets = default_buckets) () =
+  let bounds = Array.of_list buckets in
+  let ok = ref (Array.length bounds > 0) in
+  Array.iteri (fun i b -> if i > 0 && bounds.(i - 1) >= b then ok := false) bounds;
+  if not !ok then invalid_arg "Histogram.create: buckets must be non-empty and increasing";
+  {
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    n = 0;
+    sum = 0.0;
+    minv = Float.nan;
+    maxv = Float.nan;
+  }
+
+let bucket_index t v =
+  (* First bound >= v, by binary search; overflow bucket otherwise. *)
+  let lo = ref 0 and hi = ref (Array.length t.bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if t.n = 1 then begin
+    t.minv <- v;
+    t.maxv <- v
+  end
+  else begin
+    if v < t.minv then t.minv <- v;
+    if v > t.maxv then t.maxv <- v
+  end
+
+let count t = t.n
+let sum t = t.sum
+let mean t = if t.n = 0 then Float.nan else t.sum /. float_of_int t.n
+let min_value t = t.minv
+let max_value t = t.maxv
+
+let buckets t =
+  Array.to_list (Array.mapi (fun i c -> (t.bounds.(i), c)) (Array.sub t.counts 0 (Array.length t.bounds)))
+  @ [ (Float.infinity, t.counts.(Array.length t.bounds)) ]
+
+(* Percentile from bucket counts: find the bucket holding the target
+   rank, interpolate linearly inside it, then clamp into the observed
+   [min, max] (which makes single-sample and all-in-one-bucket cases
+   exact at the extremes instead of bucket-edge artifacts). *)
+let percentile t p =
+  if t.n = 0 then Float.nan
+  else if p <= 0.0 then t.minv
+  else if p >= 100.0 then t.maxv
+  else begin
+    let target = p /. 100.0 *. float_of_int t.n in
+    let nb = Array.length t.bounds in
+    let rec find i cum =
+      if i > nb then (t.maxv, t.maxv, cum, cum)  (* unreachable: total = n *)
+      else begin
+        let c = t.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if cum' >= target && c > 0 then begin
+          let lower = if i = 0 then t.minv else t.bounds.(i - 1) in
+          let upper = if i = nb then t.maxv else t.bounds.(i) in
+          (lower, upper, cum, cum')
+        end
+        else find (i + 1) cum'
+      end
+    in
+    let lower, upper, below, through = find 0 0.0 in
+    let frac = if through -. below <= 0.0 then 1.0 else (target -. below) /. (through -. below) in
+    let raw = lower +. (frac *. (upper -. lower)) in
+    Float.max t.minv (Float.min t.maxv raw)
+  end
+
+let pp fmt t =
+  if t.n = 0 then Format.pp_print_string fmt "(empty)"
+  else
+    Format.fprintf fmt "n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f" t.n (mean t)
+      t.minv (percentile t 50.0) (percentile t 95.0) (percentile t 99.0) t.maxv
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.n);
+      ("sum", Json.Float t.sum);
+      ("min", Json.Float t.minv);
+      ("max", Json.Float t.maxv);
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Float (percentile t 50.0));
+      ("p95", Json.Float (percentile t 95.0));
+      ("p99", Json.Float (percentile t 99.0));
+      ( "buckets",
+        Json.Arr
+          (List.filter_map
+             (fun (le, c) ->
+               if c = 0 then None
+               else
+                 Some
+                   (Json.Obj
+                      [
+                        ("le", if le = Float.infinity then Json.Str "inf" else Json.Float le);
+                        ("count", Json.Int c);
+                      ]))
+             (buckets t)) );
+    ]

@@ -1,0 +1,52 @@
+(** Fixed-bucket histograms with percentile extraction.
+
+    The quantity distributions the paper reasons about — lookup hop
+    counts ("logarithmic search complexity", §1), query answer times
+    ("still only a couple of seconds", §3), range fan-out — are captured
+    as counts over a fixed ladder of buckets, the way a production
+    metrics pipeline does it: O(1) memory per series, O(log buckets)
+    per observation, and p50/p95/p99 recovered by interpolation.
+
+    Invariants:
+    - bucket bounds are strictly increasing inclusive upper bounds, plus
+      an implicit overflow bucket;
+    - [percentile] interpolates inside the selected bucket and clamps
+      into the observed [min, max], so a single sample reports itself
+      exactly and an all-in-one-bucket series never leaves the bucket;
+    - an empty histogram reports [nan] for mean/min/max/percentiles. *)
+
+type t
+
+(** A 1-2-5 ladder from 0.1 to 10000 — covers simulated-ms latencies
+    and small integer counts (hops, retries) alike. *)
+val default_buckets : float list
+
+(** [linear ~lo ~step ~n] is [n] bounds [lo, lo+step, ...] — exact
+    buckets for small integer quantities like hop counts. *)
+val linear : lo:float -> step:float -> n:int -> float list
+
+(** [create ?buckets ()] builds an empty histogram. Raises
+    [Invalid_argument] if [buckets] is empty or not increasing. *)
+val create : ?buckets:float list -> unit -> t
+
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+(** [percentile t p] with [p] in [0,100]; [nan] when empty. *)
+val percentile : t -> float -> float
+
+(** [(upper_bound, count)] per bucket, ending with the [(infinity, _)]
+    overflow bucket. *)
+val buckets : t -> (float * int) list
+
+(** Renders like ["n=100 mean=3.2 min=1 p50=3 p95=5 p99=6 max=6"]. *)
+val pp : Format.formatter -> t -> unit
+
+(** Summary object: count/sum/min/max/mean/p50/p95/p99 plus the
+    non-empty buckets. *)
+val to_json : t -> Json.t

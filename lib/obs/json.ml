@@ -1,0 +1,263 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no nan/inf literals; map them to null rather than emit an
+   unparseable document. *)
+let add_float buf f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    Buffer.add_string buf "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    (* Keep integral floats distinguishable from ints so decode(encode x)
+       preserves the constructor. *)
+    if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+      Buffer.add_string buf ".0"
+  end
+
+let rec encode buf ~indent ~level t =
+  let pad n = Buffer.add_string buf (String.make (n * 2) ' ') in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | Str s -> add_escaped buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        if indent then begin
+          Buffer.add_char buf '\n';
+          pad (level + 1)
+        end;
+        encode buf ~indent ~level:(level + 1) x)
+      xs;
+    if indent then begin
+      Buffer.add_char buf '\n';
+      pad level
+    end;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        if indent then begin
+          Buffer.add_char buf '\n';
+          pad (level + 1)
+        end;
+        add_escaped buf k;
+        Buffer.add_string buf (if indent then ": " else ":");
+        encode buf ~indent ~level:(level + 1) v)
+      kvs;
+    if indent then begin
+      Buffer.add_char buf '\n';
+      pad level
+    end;
+    Buffer.add_char buf '}'
+
+let to_string ?(minify = false) t =
+  let buf = Buffer.create 1024 in
+  encode buf ~indent:(not minify) ~level:0 t;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding (recursive descent; enough for round-trips and tooling)    *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %c" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let s = String.sub st.src st.pos 4 in
+  st.pos <- st.pos + 4;
+  match int_of_string_opt ("0x" ^ s) with
+  | Some c -> c
+  | None -> fail st "invalid \\u escape"
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'u' ->
+        advance st;
+        let c = parse_hex4 st in
+        (match Uchar.of_int c with
+        | u -> Buffer.add_utf_8_uchar buf u
+        | exception Invalid_argument _ -> fail st "invalid codepoint")
+      | _ -> fail st "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    match float_of_string_opt s with Some f -> Float f | None -> fail st "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with Some f -> Float f | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> fail st "expected , or ]"
+      in
+      Arr (items [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let member () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let rec members acc =
+        let kv = member () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members (kv :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (kv :: acc)
+        | _ -> fail st "expected , or }"
+      in
+      Obj (members [])
+    end
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then Error (Printf.sprintf "trailing input at offset %d" st.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None

@@ -1,0 +1,60 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histos : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 64; gauges = Hashtbl.create 16; histos = Hashtbl.create 32 }
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histos
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let histogram t ?buckets name =
+  match Hashtbl.find_opt t.histos name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ?buckets () in
+    Hashtbl.replace t.histos name h;
+    h
+
+let observe t ?buckets name v = Histogram.observe (histogram t ?buckets name) v
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+let gauges t = sorted_bindings t.gauges ( ! )
+let histograms t = sorted_bindings t.histos Fun.id
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, Histogram.to_json h)) (histograms t)));
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %d@," k v) (counters t);
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %g@," k v) (gauges t);
+  List.iter (fun (k, h) -> Format.fprintf fmt "%-40s %a@," k Histogram.pp h) (histograms t);
+  Format.fprintf fmt "@]"

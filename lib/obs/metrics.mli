@@ -1,0 +1,55 @@
+(** Metrics registry: named counters, gauges, and histograms.
+
+    The unified accounting layer the cost-based processing story rests
+    on: the paper derives costs from the "characteristics of the used
+    overlay system and the actual data distribution" (§2), and the demo
+    platform makes runs "analyzable" (§3). One registry per simulated
+    deployment collects what every layer observes — message counts and
+    bytes per kind ({!Unistore_sim.Net}), hop/retry/fan-out histograms
+    ({!Unistore_pgrid.Overlay}), and whatever an experiment adds — and
+    exports it all as one JSON document.
+
+    Semantics:
+    - series are created lazily on first touch; reading an absent
+      counter is [0], an absent gauge is [None];
+    - names are flat dotted strings (["net.sent.lookup"]); exports list
+      them sorted, so output is deterministic;
+    - a histogram's buckets are fixed by whoever touches it first
+      ([?buckets] is ignored on later calls);
+    - attaching a registry is optional everywhere and the
+      metrics-disabled path costs nothing, mirroring {!Unistore_sim.Trace}. *)
+
+type t
+
+val create : unit -> t
+
+(** Drop every series (e.g. after warm-up/loading, before measuring). *)
+val clear : t -> unit
+
+(** {2 Counters} *)
+
+val incr : t -> ?by:int -> string -> unit
+val counter : t -> string -> int
+
+(** {2 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+
+(** {2 Histograms} *)
+
+(** [histogram t ?buckets name] finds or creates the series. *)
+val histogram : t -> ?buckets:float list -> string -> Histogram.t
+
+val observe : t -> ?buckets:float list -> string -> float -> unit
+
+(** {2 Export} — all listings sorted by name. *)
+
+val counters : t -> (string * int) list
+val gauges : t -> (string * float) list
+val histograms : t -> (string * Histogram.t) list
+
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] *)
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,5 +1,7 @@
 module Bitkey = Unistore_util.Bitkey
 module Rng = Unistore_util.Rng
+module Metrics = Unistore_obs.Metrics
+module Histogram = Unistore_obs.Histogram
 
 type result = {
   items : Store.item list;
@@ -11,12 +13,14 @@ type result = {
 
 type pending =
   | Psingle of {
+      op : string;  (* metric label: lookup/insert/update/delete *)
       resend : unit -> unit;
       mutable attempts : int;
       started : float;
       k : result -> unit;
     }
   | Pmulti of {
+      op : string;  (* metric label: range/prefix/broadcast *)
       expected : (int, unit) Hashtbl.t;  (* message tokens announced as forwards *)
       received : (int, unit) Hashtbl.t;  (* tokens whose hit arrived *)
       mutable missing : int;  (* |expected \ received| *)
@@ -35,17 +39,40 @@ type t = {
   nodes : (int, Node.t) Hashtbl.t;
   pending : (int, pending) Hashtbl.t;
   mutable next_rid : int;
+  mutable metrics : Metrics.t option;
 }
 
 let create sim ~latency ~rng ?(drop = 0.0) ~config () =
   let rng = Rng.split rng in
   let net = Net.create sim ~latency ~rng ~drop ~size:Message.size ~kind:Message.kind () in
-  { sim; net; config; rng; nodes = Hashtbl.create 256; pending = Hashtbl.create 64; next_rid = 0 }
+  {
+    sim;
+    net;
+    config;
+    rng;
+    nodes = Hashtbl.create 256;
+    pending = Hashtbl.create 64;
+    next_rid = 0;
+    metrics = None;
+  }
 
 let sim t = t.sim
 let net t = t.net
 let config t = t.config
 let rng t = t.rng
+
+let set_metrics t m =
+  t.metrics <- m;
+  Net.set_metrics t.net m
+
+let metrics t = t.metrics
+
+(* Histogram bucket ladders chosen for the quantities' natural ranges:
+   hop counts are O(log n) (unit buckets resolve them exactly), retries
+   are bounded by [config.retries], fan-out can reach the full overlay. *)
+let hop_buckets = Histogram.linear ~lo:0.0 ~step:1.0 ~n:33
+let retry_buckets = Histogram.linear ~lo:0.0 ~step:1.0 ~n:9
+let fanout_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048. ]
 
 let node t id =
   match Hashtbl.find_opt t.nodes id with
@@ -103,32 +130,42 @@ let dedupe_items items =
   |> List.sort (fun (a : Store.item) b ->
          match String.compare a.key b.key with 0 -> String.compare a.item_id b.item_id | c -> c)
 
+let record_single t (op : string) ~hops ~attempts ~latency ~complete =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.observe m ~buckets:hop_buckets ("overlay." ^ op ^ ".hops") (float_of_int hops);
+    Metrics.observe m ~buckets:retry_buckets ("overlay." ^ op ^ ".retries") (float_of_int attempts);
+    Metrics.observe m ("overlay." ^ op ^ ".latency_ms") latency;
+    Metrics.incr m ("overlay." ^ op ^ if complete then ".ok" else ".incomplete")
+
+let record_multi t (op : string) ~hops ~peers_hit ~latency ~complete =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.observe m ~buckets:hop_buckets ("overlay." ^ op ^ ".hops") (float_of_int hops);
+    Metrics.observe m ~buckets:fanout_buckets ("overlay." ^ op ^ ".fanout")
+      (float_of_int peers_hit);
+    Metrics.observe m ("overlay." ^ op ^ ".latency_ms") latency;
+    Metrics.incr m ("overlay." ^ op ^ if complete then ".ok" else ".incomplete")
+
 let finish_single t rid ~items ~hops ~complete =
   match Hashtbl.find_opt t.pending rid with
   | Some (Psingle p) ->
     Hashtbl.remove t.pending rid;
-    p.k
-      {
-        items = dedupe_items items;
-        hops;
-        peers_hit = 1;
-        complete;
-        latency = Sim.now t.sim -. p.started;
-      }
+    let latency = Sim.now t.sim -. p.started in
+    record_single t p.op ~hops ~attempts:p.attempts ~latency ~complete;
+    p.k { items = dedupe_items items; hops; peers_hit = 1; complete; latency }
   | _ -> ()
 
 let finish_multi t rid ~complete =
   match Hashtbl.find_opt t.pending rid with
   | Some (Pmulti p) ->
     Hashtbl.remove t.pending rid;
-    p.k
-      {
-        items = dedupe_items p.items;
-        hops = p.hops;
-        peers_hit = Hashtbl.length p.peers;
-        complete;
-        latency = Sim.now t.sim -. p.started;
-      }
+    let latency = Sim.now t.sim -. p.started in
+    let peers_hit = Hashtbl.length p.peers in
+    record_multi t p.op ~hops:p.hops ~peers_hit ~latency ~complete;
+    p.k { items = dedupe_items p.items; hops = p.hops; peers_hit; complete; latency }
   | _ -> ()
 
 (* Termination detection is order-independent: every Range/Probe message
@@ -167,6 +204,7 @@ let arm_single_timeout t rid =
         | Some (Psingle p) ->
           if p.attempts < t.config.retries then begin
             p.attempts <- p.attempts + 1;
+            (match t.metrics with Some m -> Metrics.incr m "overlay.resend" | None -> ());
             p.resend ();
             arm ()
           end
@@ -481,7 +519,7 @@ let insert t ~origin ~key ~item_id ~payload ?(version = 0) ~k () =
   let item = { Store.key; item_id; payload; version } in
   let me = node t origin in
   let resend () = handle_insert t me ~rid ~item ~origin ~hops:0 in
-  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "insert"; resend; attempts = 0; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
@@ -490,7 +528,7 @@ let update t ~origin ~key ~item_id ~payload ~version ?(rounds = 3) ~k () =
   let item = { Store.key; item_id; payload; version } in
   let me = node t origin in
   let resend () = handle_update t me ~rid ~item ~origin ~hops:0 ~rounds in
-  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "update"; resend; attempts = 0; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
@@ -498,7 +536,7 @@ let delete t ~origin ~key ~item_id ~k =
   let rid = fresh_rid t in
   let me = node t origin in
   let resend () = handle_delete t me ~rid ~key ~item_id ~origin ~hops:0 in
-  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "delete"; resend; attempts = 0; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
@@ -506,15 +544,16 @@ let lookup t ~origin ~key ~k =
   let rid = fresh_rid t in
   let me = node t origin in
   let resend () = handle_lookup t me ~rid ~key ~origin ~hops:0 in
-  Hashtbl.replace t.pending rid (Psingle { resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "lookup"; resend; attempts = 0; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
-let start_multi t ~k =
+let start_multi t ~op ~k =
   let rid = fresh_rid t in
   Hashtbl.replace t.pending rid
     (Pmulti
        {
+         op;
          expected = Hashtbl.create 16;
          received = Hashtbl.create 16;
          missing = 0;
@@ -531,13 +570,13 @@ let range t ~origin ?(strategy = Message.Shower) ?budget ~lo ~hi ~k () =
   (match (budget, strategy) with
   | Some _, Message.Shower -> invalid_arg "Overlay.range: budget requires Sequential"
   | _ -> ());
-  let rid = start_multi t ~k in
+  let rid = start_multi t ~op:"range" ~k in
   let me = node t origin in
   handle_range t me ~rid ~token:(fresh_rid t) ~lo ~hi ~clip_lo:lo ~clip_hi:(after_inclusive hi)
     ~origin ~hops:0 ~strategy ~budget
 
 let prefix t ~origin ~prefix:p ~k =
-  let rid = start_multi t ~k in
+  let rid = start_multi t ~op:"prefix" ~k in
   let me = node t origin in
   (* All keys extending [p]: inclusive bounds for local filtering, and the
      exclusive clip just past the last extension. *)
@@ -546,7 +585,7 @@ let prefix t ~origin ~prefix:p ~k =
     ~origin ~hops:0 ~strategy:Message.Shower ~budget:None
 
 let broadcast t ~origin ~pred ~k =
-  let rid = start_multi t ~k in
+  let rid = start_multi t ~op:"broadcast" ~k in
   let me = node t origin in
   handle_probe t me ~rid ~token:(fresh_rid t) ~clip_lo:"" ~clip_hi:None ~origin ~hops:0 ~pred
 

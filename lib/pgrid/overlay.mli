@@ -38,6 +38,18 @@ val net : t -> Message.t Net.t
 val config : t -> Config.t
 val rng : t -> Unistore_util.Rng.t
 
+(** [set_metrics t (Some m)] starts recording operation-level series
+    into [m] — per-operation hop-count, retry and latency histograms
+    ([overlay.lookup.hops], [overlay.insert.retries], ...), range/probe
+    fan-out ([overlay.range.fanout] = peers that executed local work),
+    ok/incomplete outcome counters and a resend counter — and attaches
+    [m] to the underlying network for per-kind message accounting (see
+    {!Unistore_sim.Net.set_metrics}). [None] detaches; the disabled
+    path costs nothing. *)
+val set_metrics : t -> Unistore_obs.Metrics.t option -> unit
+
+val metrics : t -> Unistore_obs.Metrics.t option
+
 (** [add_node t id] creates, registers and returns a node with an empty
     path (responsible for the whole key space until paths are assigned). *)
 val add_node : t -> int -> Node.t

@@ -183,3 +183,32 @@ let run_string ts stats ~replication ?strategy ?expand_mappings ~origin src =
   match Parser.parse src with
   | Error e -> Error e
   | Ok q -> Ok (run ts stats ~replication ?strategy ?expand_mappings ~origin q)
+
+(* The EXPLAIN ANALYZE view: reshape the execution traces into the
+   substrate-independent profile record of the observability layer. *)
+let profile ?query (r : report) =
+  let ops =
+    List.map
+      (fun (t : Exec.step_trace) ->
+        {
+          Unistore_obs.Profile.label =
+            Format.asprintf "%a" Ast.pp_pattern t.Exec.step.Physical.pattern;
+          access = Format.asprintf "%a" Cost.pp_access t.Exec.step.Physical.access;
+          carrier = t.Exec.carrier;
+          rows_in = t.Exec.rows_in;
+          rows_out = t.Exec.actual_card;
+          messages = t.Exec.messages;
+          latency_ms = t.Exec.latency;
+        })
+      r.traces
+  in
+  {
+    Unistore_obs.Profile.query;
+    strategy = Format.asprintf "%a" pp_strategy r.strategy;
+    rows = List.length r.rows;
+    messages = r.messages;
+    latency_ms = r.latency;
+    bytes_shipped = r.bytes_shipped;
+    complete = r.complete;
+    ops;
+  }

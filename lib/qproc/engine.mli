@@ -63,3 +63,9 @@ val run_string :
   origin:int ->
   string ->
   (report, string) result
+
+(** [profile ?query r] reshapes a report's execution traces into the
+    per-operator profile of the observability layer (rows in/out,
+    messages, simulated latency per executed step — the EXPLAIN ANALYZE
+    view). [query] is attached verbatim when given. *)
+val profile : ?query:string -> report -> Unistore_obs.Profile.t

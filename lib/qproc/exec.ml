@@ -7,12 +7,19 @@ module Dht = Unistore_triple.Dht
 module Keys = Unistore_triple.Keys
 module Sim = Unistore_sim.Sim
 
-type step_trace = { step : Physical.step; actual_card : int; messages : int; carrier : int }
+type step_trace = {
+  step : Physical.step;
+  rows_in : int;
+  actual_card : int;
+  messages : int;
+  latency : float;
+  carrier : int;
+}
 
 let pp_step_trace fmt t =
-  Format.fprintf fmt "%a via %a at peer%d: %d rows, %d msgs" Ast.pp_pattern
-    t.step.Physical.pattern Cost.pp_access t.step.Physical.access t.carrier t.actual_card
-    t.messages
+  Format.fprintf fmt "%a via %a at peer%d: %d -> %d rows, %d msgs, %.1f ms" Ast.pp_pattern
+    t.step.Physical.pattern Cost.pp_access t.step.Physical.access t.carrier t.rows_in
+    t.actual_card t.messages t.latency
 
 type run_result = {
   rows : Binding.t list;
@@ -266,6 +273,8 @@ let run_centralized ts ~origin (plan : Physical.t) =
     List.fold_left
       (fun (acc : Binding.t list option) (step : Physical.step) ->
         let step_m0 = dht.Dht.total_sent () in
+        let step_t0 = Sim.now dht.Dht.sim in
+        let rows_in = match acc with None -> 0 | Some left -> List.length left in
         let produced =
           match acc with
           | None ->
@@ -285,8 +294,10 @@ let run_centralized ts ~origin (plan : Physical.t) =
         traces :=
           {
             step;
+            rows_in;
             actual_card = List.length produced;
             messages = dht.Dht.total_sent () - step_m0;
+            latency = Sim.now dht.Dht.sim -. step_t0;
             carrier = origin;
           }
           :: !traces;
@@ -356,6 +367,8 @@ let run_mutant ts stats env ~origin (q : Ast.query) ~expansions =
   in
   let exec_step ~carrier (step : Physical.step) rows_opt =
     let step_m0 = dht.Dht.total_sent () in
+    let step_t0 = Sim.now dht.Dht.sim in
+    let rows_in = match rows_opt with None -> 0 | Some left -> List.length left in
     let produced =
       match rows_opt with
       | None ->
@@ -375,8 +388,10 @@ let run_mutant ts stats env ~origin (q : Ast.query) ~expansions =
     traces :=
       {
         step;
+        rows_in;
         actual_card = List.length produced;
         messages = dht.Dht.total_sent () - step_m0;
+        latency = Sim.now dht.Dht.sim -. step_t0;
         carrier;
       }
       :: !traces;

@@ -17,10 +17,16 @@
 module Ast = Unistore_vql.Ast
 module Tstore = Unistore_triple.Tstore
 
+(** One executed physical step, as observed — the raw material of both
+    adaptive re-optimization (§2: observed intermediate results steer
+    the remaining plan) and the user-facing
+    {!Unistore_obs.Profile} built by {!Engine.profile}. *)
 type step_trace = {
   step : Physical.step;
+  rows_in : int;  (** bindings flowing into the step *)
   actual_card : int;  (** bindings after the step *)
   messages : int;
+  latency : float;  (** simulated ms spent in the step *)
   carrier : int;  (** peer that executed it *)
 }
 

@@ -1,4 +1,5 @@
 module Rng = Unistore_util.Rng
+module Metrics = Unistore_obs.Metrics
 
 type stats = { sent : int; delivered : int; dropped : int; to_dead : int; bytes : int }
 
@@ -20,6 +21,7 @@ type 'msg t = {
   mutable stats : stats;
   mutable total_sent : int;
   mutable tracer : Trace.t option;
+  mutable metrics : Metrics.t option;
 }
 
 let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ -> "msg") () =
@@ -35,10 +37,13 @@ let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ 
     stats = zero_stats;
     total_sent = 0;
     tracer = None;
+    metrics = None;
   }
 
 let set_trace t tr = t.tracer <- tr
 let trace t = t.tracer
+let set_metrics t m = t.metrics <- m
+let metrics t = t.metrics
 
 let register t peer handler =
   Hashtbl.replace t.handlers peer handler;
@@ -57,6 +62,14 @@ let send t ~src ~dst msg =
   let nbytes = t.size msg in
   t.stats <- { t.stats with sent = t.stats.sent + 1; bytes = t.stats.bytes + nbytes };
   t.total_sent <- t.total_sent + 1;
+  (match t.metrics with
+  | Some m ->
+    let kind = t.kind msg in
+    Metrics.incr m "net.sent";
+    Metrics.incr m ~by:nbytes "net.bytes";
+    Metrics.incr m ("net.sent." ^ kind);
+    Metrics.incr m ~by:nbytes ("net.bytes." ^ kind)
+  | None -> ());
   let event =
     match t.tracer with
     | Some tr ->
@@ -64,6 +77,15 @@ let send t ~src ~dst msg =
     | None -> None
   in
   let resolve outcome =
+    (match t.metrics with
+    | Some m ->
+      Metrics.incr m
+        (match outcome with
+        | Trace.Delivered -> "net.delivered"
+        | Trace.Dropped -> "net.dropped"
+        | Trace.To_dead -> "net.to_dead"
+        | Trace.In_flight -> "net.in_flight")
+    | None -> ());
     match event with Some e -> e.Trace.outcome <- outcome | None -> ()
   in
   if t.drop > 0.0 && Rng.bool t.rng ~p:t.drop then begin

@@ -4,7 +4,10 @@
     latency, applies message loss, and schedules the delivery event.
     Messages to dead peers vanish (the sender learns nothing — protocols
     must use timeouts). All traffic is counted, which is how experiments
-    measure message/bandwidth cost. *)
+    measure message/bandwidth cost — either through the always-on
+    aggregate {!stats}, or per message kind via an attached
+    {!Unistore_obs.Metrics} registry ({!set_metrics}), or per message
+    via an attached {!Trace} ({!set_trace}). *)
 
 type 'msg t
 
@@ -39,6 +42,15 @@ val create :
 val set_trace : 'msg t -> Trace.t option -> unit
 
 val trace : 'msg t -> Trace.t option
+
+(** [set_metrics t (Some m)] starts accounting every message into [m]:
+    counters [net.sent], [net.bytes], [net.sent.<kind>],
+    [net.bytes.<kind>] at send time and [net.delivered] /
+    [net.dropped] / [net.to_dead] as outcomes resolve. [None] stops;
+    like tracing, the disabled path costs nothing. *)
+val set_metrics : 'msg t -> Unistore_obs.Metrics.t option -> unit
+
+val metrics : 'msg t -> Unistore_obs.Metrics.t option
 
 (** [register t peer handler] installs [handler] for [peer] and marks it
     alive. Re-registering replaces the handler. *)
