@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test bench bench-baseline clean
+.PHONY: all check test lint bench bench-baseline clean
 
 all: check
 
@@ -10,6 +10,21 @@ check:
 	dune build && dune runtest
 
 test: check
+
+# Static-analysis gate (lib/analysis): strict-warning build, then the
+# full analyzer suite against live deployments on both substrates —
+# semantic-check the demo workload, lint a recorded message trace
+# against the metrics registry, audit overlay invariants — plus a smoke
+# check that `query --check` rejects an unsatisfiable query with a
+# non-zero exit.
+lint:
+	dune build
+	dune exec bin/unistore_cli.exe -- lint
+	dune exec bin/unistore_cli.exe -- lint --overlay chord
+	@if dune exec bin/unistore_cli.exe -- query --check \
+	  "SELECT ?v WHERE { (?a,'age',?v) FILTER ?v > 10 AND ?v < 5 }" >/dev/null 2>&1; \
+	then echo "FAIL: --check accepted an unsatisfiable query"; exit 1; \
+	else echo "--check rejects unsatisfiable queries: OK"; fi
 
 # Full experiment harness (all E1..E14 + microbenchmarks).
 bench:

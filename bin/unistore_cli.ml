@@ -87,8 +87,21 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset =
 (* query                                                               *)
 
 let run_query peers seed overlay latency authors dataset strategy explain_only trace profile
-    metrics vql =
+    metrics check vql =
   let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  if check then begin
+    (* Static analysis only: parse, run the semantic analyzer against the
+       catalog derived from the loaded dataset's statistics, report
+       rustc-style diagnostics. Non-zero exit on parse or Error-severity
+       diagnostics; the query is never executed. *)
+    match Unistore.check store vql with
+    | Error e ->
+      Format.printf "%s@." e;
+      exit 1
+    | Ok diags ->
+      Format.printf "%s@." (Unistore.Diagnostic.render_all ~src:vql diags);
+      exit (if Unistore.Diagnostic.has_errors diags then 1 else 0)
+  end;
   (* Scope the metrics dump to the query itself, not the bulk load. *)
   if metrics then Unistore.reset_metrics store;
   (match Unistore.explain store vql with
@@ -131,12 +144,106 @@ let query_cmd =
   let metrics_t =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Print the deployment metrics registry (per-kind message counts, hop/latency histograms) as JSON, scoped to the query.")
   in
+  let check_t =
+    Arg.(value & flag & info [ "check" ] ~doc:"Static analysis only: run the VQL semantic analyzer (unbound variables, type clashes against the dataset catalog, unsatisfiable filters, Cartesian products, LIMIT/ORDER problems) and exit without executing. Exit status is non-zero on parse errors or error-severity diagnostics.")
+  in
   let term =
     Term.(
       const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
-      $ strategy_t $ explain_t $ trace_t $ profile_t $ metrics_t $ vql_t)
+      $ strategy_t $ explain_t $ trace_t $ profile_t $ metrics_t $ check_t $ vql_t)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
+
+(* ------------------------------------------------------------------ *)
+(* lint — run the whole static-analysis layer against a live deployment *)
+
+(* The paper's running example (section 2): authors, publications,
+   conferences; skyline over age/productivity with a similarity filter. *)
+let paper_query =
+  "SELECT ?name,?age,?cnt\n\
+   WHERE {(?a,'name',?name) (?a,'age',?age)\n\
+   (?a,'num_of_pubs',?cnt)\n\
+   (?a,'has_published',?title) (?p,'title',?title)\n\
+   (?p,'published_in',?conf) (?c,'confname',?conf)\n\
+   (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3\n\
+   }\n\
+   ORDER BY SKYLINE OF ?age MIN, ?cnt MAX"
+
+let demo_workload = function
+  | `Publications ->
+    [
+      "SELECT ?name,?age WHERE { (?a,'name',?name) (?a,'age',?age) FILTER ?age > 30 }";
+      "SELECT ?t,?y WHERE { (?p,'title',?t) (?p,'year',?y) FILTER ?y >= 2000 } ORDER BY ?y DESC LIMIT 5";
+      paper_query;
+    ]
+  | `Restaurants ->
+    [
+      "SELECT ?n WHERE { (?r,'rest_name',?n) (?r,'cuisine',?c) FILTER contains(?c,'ital') }";
+      "SELECT ?n,?p WHERE { (?r,'rest_name',?n) (?r,'price',?p) } ORDER BY ?p LIMIT 3";
+    ]
+
+let lint peers seed overlay latency authors dataset allowed_revisits =
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  let failures = ref 0 in
+  let report section diags =
+    Format.printf "@.%s:@." section;
+    Format.printf "  %s@."
+      (String.concat "\n  " (String.split_on_char '\n' (Unistore.Diagnostic.render_all diags)));
+    if Unistore.Diagnostic.has_errors diags then incr failures
+  in
+  (* 1. Semantic analysis of the demo workload (should be clean). *)
+  let sem_diags =
+    List.concat_map
+      (fun src ->
+        match Unistore.check store src with
+        | Ok ds -> ds
+        | Error e ->
+          [ Unistore.Diagnostic.makef ~severity:Unistore.Diagnostic.Error ~code:"parse-error"
+              "demo query failed to parse: %s" (String.trim e) ])
+      (demo_workload dataset)
+  in
+  report "semantic analyzer (demo workload)" sem_diags;
+  (* 2. Trace linting: record a traced window covering the workload plus
+     one write, then check request/reply matching, routing loops, clock
+     monotonicity and message-count conservation against the metrics
+     registry (both attached at the same instant, so they cover the same
+     window). *)
+  Unistore.reset_metrics store;
+  let tr = Unistore.start_trace store in
+  List.iter
+    (fun src ->
+      match Unistore.query store src with
+      | Ok _ -> ()
+      | Error e -> Format.printf "warning: demo query failed: %s@." (String.trim e))
+    (demo_workload dataset);
+  ignore
+    (Unistore.insert_tuple store ~oid:"lint-probe"
+       [ ("name", Unistore.Value.S "lint probe"); ("age", Unistore.Value.I 1) ]);
+  Unistore.settle store;
+  Unistore.stop_trace store;
+  report "trace linter"
+    (Unistore.lint_trace store ~allowed_revisits ~against_metrics:true tr);
+  (* 3. Overlay invariant audit (trie consistency / ring well-formedness,
+     data placement, replica agreement). *)
+  report "overlay auditor" (Unistore.audit store);
+  if !failures = 0 then Format.printf "@.lint: OK@."
+  else Format.printf "@.lint: %d section(s) with errors@." !failures;
+  exit (if !failures = 0 then 0 else 1)
+
+let lint_cmd =
+  let revisits_t =
+    Arg.(value & opt int 0
+         & info [ "allowed-revisits" ] ~docv:"N"
+             ~doc:"Times a correlated message may revisit the same peer before the trace linter calls it a routing loop (raise for retry-heavy runs).")
+  in
+  let term =
+    Term.(
+      const lint $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t $ revisits_t)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the full static-analysis layer: semantic-check the demo workload, lint a recorded message trace, audit overlay invariants")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
@@ -232,4 +339,4 @@ let inspect_cmd =
 let () =
   let doc = "UniStore: querying a DHT-based universal storage (simulated deployment)" in
   let info = Cmd.info "unistore-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; repl_cmd; inspect_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; repl_cmd; inspect_cmd; lint_cmd ]))

@@ -1,0 +1,38 @@
+(** Overlay invariant auditor.
+
+    Structural audits of the two overlay substrates, runnable from tests
+    and from the CLI after any workload. Everything is read-only.
+
+    P-Grid ({!pgrid}) — the trie must be well-formed:
+    - one split boundary per path level (["split-arity"], error) and a
+      non-empty key region (["empty-region"], error);
+    - random probe keys across the whole key space must always find a
+      responsible peer (["uncovered-key"], error);
+    - every item a peer stores must lie inside the region its path
+      covers (["misplaced-item"], error);
+    - level-[l] references must point into the complementary subtree at
+      depth [l+1] (["bad-ref"], error) and must exist (["unknown-peer"],
+      error);
+    - replicas must share the peer's exact path (["replica-path"],
+      error), list each other symmetrically (["replica-asymmetry"],
+      warning) and eventually hold the same items — divergence is only a
+      warning (["replica-divergence"]) because anti-entropy closes it;
+
+    Chord ({!chord}) — the ring must match the oracle construction:
+    - peer ring ids unique (["duplicate-ring-id"], error);
+    - successor lists must walk the ring clockwise (["bad-successor"],
+      error), the predecessor must be the counter-clockwise neighbour
+      (["bad-predecessor"], error) and finger [b] must be the first peer
+      at or after [finger_start] (["bad-finger"], error);
+    - every alive peer needs at least one alive successor, or routed
+      puts lose their replicas and stuck lookups time out
+      (["dead-successors"], warning). *)
+
+module Overlay = Unistore_pgrid.Overlay
+module Chord = Unistore_chord.Chord
+
+(** [pgrid ?probes overlay] audits the trie; [probes] random keys are
+    used for the coverage check (default 256, seeded — deterministic). *)
+val pgrid : ?probes:int -> Overlay.t -> Diagnostic.t list
+
+val chord : Chord.t -> Diagnostic.t list

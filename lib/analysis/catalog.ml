@@ -1,0 +1,47 @@
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+
+type vtype = Str | Num | Bool
+
+let pp_vtype fmt = function
+  | Str -> Format.pp_print_string fmt "string"
+  | Num -> Format.pp_print_string fmt "number"
+  | Bool -> Format.pp_print_string fmt "boolean"
+
+let vtype_of_value = function
+  | Value.S _ -> Str
+  | Value.I _ | Value.F _ -> Num
+  | Value.B _ -> Bool
+
+type attr_info = { types : vtype list; count : int }
+
+module M = Map.Make (String)
+
+type t = attr_info M.t
+
+let empty = M.empty
+
+let add t attr vt =
+  let prev = Option.value ~default:{ types = []; count = 0 } (M.find_opt attr t) in
+  let types = if List.mem vt prev.types then prev.types else vt :: prev.types in
+  M.add attr { types; count = prev.count + 1 } t
+
+let add_info t attr info = M.add attr info t
+
+let of_triples triples =
+  List.fold_left (fun t (tr : Triple.t) -> add t tr.Triple.attr (vtype_of_value tr.value)) empty
+    triples
+
+let find t attr = M.find_opt attr t
+let attrs t = M.fold (fun a _ acc -> a :: acc) t [] |> List.rev
+let is_empty = M.is_empty
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  M.iter
+    (fun a { types; count } ->
+      Format.fprintf fmt "%-20s %6d  %a@," a count
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "|") pp_vtype)
+        types)
+    t;
+  Format.fprintf fmt "@]"

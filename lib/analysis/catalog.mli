@@ -1,0 +1,44 @@
+(** Attribute catalog for VQL type checking.
+
+    The universal relation has no schema, but the data still has one
+    implicitly: each attribute is used with some set of value types. The
+    catalog summarizes that — per attribute, the observed type set and a
+    triple count — so {!Semantic} can type-check queries against actual
+    data. Built either directly from triples, or from the query
+    processor's statistics (see [Unistore_qproc.Engine]). *)
+
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+
+(** The analyzer's type lattice. [I] and [F] values unify as [Num]
+    because VQL comparisons treat them numerically. *)
+type vtype = Str | Num | Bool
+
+val pp_vtype : Format.formatter -> vtype -> unit
+val vtype_of_value : Value.t -> vtype
+
+type attr_info = {
+  types : vtype list;  (** observed value types, deduplicated *)
+  count : int;  (** triples carrying this attribute (0 = unknown) *)
+}
+
+type t
+
+val empty : t
+
+(** [add t attr vtype] records one observation. *)
+val add : t -> string -> vtype -> t
+
+(** [add_info t attr info] records a pre-aggregated summary (used when
+    converting from statistics). *)
+val add_info : t -> string -> attr_info -> t
+
+val of_triples : Triple.t list -> t
+
+(** [find t attr] is [None] when the attribute is unknown to the
+    catalog — analyses must stay silent rather than guess. *)
+val find : t -> string -> attr_info option
+
+val attrs : t -> string list
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit

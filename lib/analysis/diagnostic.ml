@@ -1,0 +1,74 @@
+module Loc = Unistore_vql.Loc
+
+type severity = Error | Warning | Info
+
+let pp_severity fmt = function
+  | Error -> Format.pp_print_string fmt "error"
+  | Warning -> Format.pp_print_string fmt "warning"
+  | Info -> Format.pp_print_string fmt "info"
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : Loc.t;
+  hint : string option;
+}
+
+let make ?(span = Loc.dummy) ?hint ~severity ~code message =
+  { severity; code; message; span; hint }
+
+let makef ?span ?hint ~severity ~code fmt =
+  Format.kasprintf (fun message -> make ?span ?hint ~severity ~code message) fmt
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> compare a.span.Loc.start b.span.Loc.start
+      | c -> c)
+    ds
+
+let render ?src d =
+  let b = Buffer.create 128 in
+  let head = Format.asprintf "%a[%s]" pp_severity d.severity d.code in
+  (match src with
+  | Some src when not (Loc.is_dummy d.span) ->
+    let p = Loc.pos_of_offset src d.span.Loc.start in
+    Buffer.add_string b
+      (Printf.sprintf "%s at line %d, column %d: %s" head p.Loc.line p.Loc.col d.message);
+    let text = Loc.line_at src p.Loc.line in
+    if text <> "" then begin
+      Buffer.add_string b (Printf.sprintf "\n  %s\n  %s^" text (String.make (p.Loc.col - 1) ' '))
+    end
+  | _ -> Buffer.add_string b (Printf.sprintf "%s: %s" head d.message));
+  (match d.hint with
+  | Some h -> Buffer.add_string b (Printf.sprintf "\n  hint: %s" h)
+  | None -> ());
+  Buffer.contents b
+
+let render_all ?src ds =
+  let ds = sort ds in
+  let errors, warnings, _infos = count ds in
+  let body = List.map (render ?src) ds in
+  let summary =
+    if ds = [] then "no diagnostics"
+    else Printf.sprintf "%d error(s), %d warning(s)" errors warnings
+  in
+  String.concat "\n" (body @ [ summary ])
+
+let pp fmt d = Format.pp_print_string fmt (render d)

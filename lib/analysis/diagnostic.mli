@@ -1,0 +1,59 @@
+(** Diagnostics shared by the static analyzers.
+
+    Every analyzer in this library ({!Semantic}, {!Tracelint}, {!Audit})
+    reports findings as a list of diagnostics: a severity, a short
+    machine-readable code (stable across releases, usable in tests), a
+    human-readable message and — when the finding points into VQL source
+    text — a {!Unistore_vql.Loc.t} span. Rendering is rustc-style: the
+    position, the offending source line and a caret. *)
+
+module Loc = Unistore_vql.Loc
+
+type severity = Error | Warning | Info
+
+val pp_severity : Format.formatter -> severity -> unit
+
+type t = {
+  severity : severity;
+  code : string;  (** stable slug, e.g. ["unbound-var"], ["routing-loop"] *)
+  message : string;
+  span : Loc.t;  (** {!Loc.dummy} when the finding has no source position *)
+  hint : string option;
+}
+
+val make : ?span:Loc.t -> ?hint:string -> severity:severity -> code:string -> string -> t
+
+(** [makef ... fmt] is {!make} with a format string for the message. *)
+val makef :
+  ?span:Loc.t ->
+  ?hint:string ->
+  severity:severity ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val is_error : t -> bool
+
+(** [has_errors ds] is true iff any diagnostic is [Error]-severity. *)
+val has_errors : t list -> bool
+
+(** [count ds] is [(errors, warnings, infos)]. *)
+val count : t list -> int * int * int
+
+(** Sort by severity (errors first), then by span start. *)
+val sort : t list -> t list
+
+(** [render ?src d] renders one diagnostic. With [src] and a real span:
+    {v
+    error[unsat-filter] at line 2, column 3: contradictory bounds ...
+      FILTER ?age > 40 AND ?age < 30
+      ^
+      hint: ...
+    v} *)
+val render : ?src:string -> t -> string
+
+(** All diagnostics, sorted, one per line (multi-line when [src] is
+    given), followed by a ["N error(s), M warning(s)"] summary line. *)
+val render_all : ?src:string -> t list -> string
+
+val pp : Format.formatter -> t -> unit

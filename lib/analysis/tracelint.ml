@@ -1,0 +1,173 @@
+module Trace = Unistore_sim.Trace
+module Metrics = Unistore_obs.Metrics
+module D = Diagnostic
+
+type reply_rule = { reply : string; requests : string list; multi : bool }
+type rules = { request_kinds : string list; replies : reply_rule list }
+
+let pgrid_rules =
+  {
+    request_kinds = [ "insert"; "update"; "delete"; "lookup"; "range"; "probe" ];
+    replies =
+      [
+        { reply = "ack"; requests = [ "insert"; "update"; "delete" ]; multi = false };
+        { reply = "found"; requests = [ "lookup" ]; multi = false };
+        { reply = "range-hit"; requests = [ "range"; "probe" ]; multi = true };
+      ];
+  }
+
+let chord_rules =
+  {
+    request_kinds = [ "put"; "get"; "del"; "bcast" ];
+    replies =
+      [
+        { reply = "put-ack"; requests = [ "put"; "del" ]; multi = false };
+        { reply = "got"; requests = [ "get" ]; multi = false };
+        { reply = "bcast-hit"; requests = [ "bcast" ]; multi = true };
+      ];
+  }
+
+(* Per-correlation-id census: corr -> kind -> event count. *)
+let census events =
+  let tbl : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.corr >= 0 then begin
+        let kinds =
+          match Hashtbl.find_opt tbl e.Trace.corr with
+          | Some k -> k
+          | None ->
+            let k = Hashtbl.create 4 in
+            Hashtbl.replace tbl e.Trace.corr k;
+            k
+        in
+        Hashtbl.replace kinds e.Trace.kind
+          (1 + Option.value ~default:0 (Hashtbl.find_opt kinds e.Trace.kind))
+      end)
+    events;
+  tbl
+
+let check_replies rules tbl =
+  let ds = ref [] in
+  Hashtbl.iter
+    (fun corr kinds ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt kinds r.reply with
+          | None -> ()
+          | Some nreplies ->
+            let nrequests =
+              List.fold_left
+                (fun acc k -> acc + Option.value ~default:0 (Hashtbl.find_opt kinds k))
+                0 r.requests
+            in
+            if nrequests = 0 then
+              ds :=
+                D.makef ~severity:D.Error ~code:"orphan-reply"
+                  "request id %d: %d '%s' reply(ies) with no matching request (%s)" corr nreplies
+                  r.reply
+                  (String.concat "/" r.requests)
+                :: !ds
+            else if (not r.multi) && nreplies > nrequests then
+              ds :=
+                D.makef ~severity:D.Error ~code:"multi-reply"
+                  "request id %d: %d '%s' replies for %d request message(s)" corr nreplies r.reply
+                  nrequests
+                :: !ds)
+        rules.replies)
+    tbl;
+  !ds
+
+let check_loops ~allowed_revisits rules events =
+  let visits : (int * string * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let reported = Hashtbl.create 16 in
+  let ds = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.corr >= 0 && List.mem e.Trace.kind rules.request_kinds then begin
+        let key = (e.Trace.corr, e.Trace.kind, e.Trace.dst) in
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt visits key) in
+        Hashtbl.replace visits key n;
+        if n > 1 + allowed_revisits && not (Hashtbl.mem reported key) then begin
+          Hashtbl.replace reported key ();
+          ds :=
+            D.makef ~severity:D.Error ~code:"routing-loop"
+              ~hint:"greedy routing must not revisit a peer; raise allowed_revisits if the run used timeouts and retries"
+              "request id %d: '%s' visited peer %d %d times" e.Trace.corr e.Trace.kind e.Trace.dst
+              n
+            :: !ds
+        end
+      end)
+    events;
+  List.rev !ds
+
+let check_clocks events =
+  let rec go prev count first = function
+    | [] -> (count, first)
+    | (e : Trace.event) :: rest ->
+      if e.Trace.time < prev then
+        go prev (count + 1) (if first = None then Some (e.Trace.time, prev) else first) rest
+      else go e.Trace.time count first rest
+  in
+  match go neg_infinity 0 None events with
+  | 0, _ -> []
+  | n, Some (t, prev) ->
+    [
+      D.makef ~severity:D.Error ~code:"clock-regression"
+        "%d event(s) recorded out of time order (first: %.3f after %.3f)" n t prev;
+    ]
+  | _, None -> []
+
+let check_conservation metrics (tr : Trace.t) =
+  let ds = ref [] in
+  let total = Metrics.counter metrics "net.sent" in
+  if total <> Trace.length tr then
+    ds :=
+      D.makef ~severity:D.Error ~code:"conservation"
+        "trace has %d events but metrics counted %d sends" (Trace.length tr) total
+      :: !ds;
+  let by_kind = Trace.by_kind tr in
+  List.iter
+    (fun (kind, count, _bytes) ->
+      let counted = Metrics.counter metrics ("net.sent." ^ kind) in
+      if counted <> count then
+        ds :=
+          D.makef ~severity:D.Error ~code:"conservation"
+            "trace has %d '%s' events but metrics counted %d" count kind counted
+          :: !ds)
+    by_kind;
+  (* Kinds the metrics saw but the trace did not. *)
+  List.iter
+    (fun (name, v) ->
+      match String.index_opt name '.' with
+      | Some _
+        when String.length name > 9
+             && String.sub name 0 9 = "net.sent."
+             && v > 0
+             && not (List.exists (fun (k, _, _) -> "net.sent." ^ k = name) by_kind) ->
+        ds :=
+          D.makef ~severity:D.Error ~code:"conservation"
+            "metrics counted %d '%s' sends absent from the trace" v
+            (String.sub name 9 (String.length name - 9))
+          :: !ds
+      | _ -> ())
+    (Metrics.counters metrics);
+  List.rev !ds
+
+let check_in_flight (tr : Trace.t) =
+  let _, _, _, in_flight = Trace.outcome_counts tr in
+  if in_flight = 0 then []
+  else
+    [
+      D.makef ~severity:D.Info ~code:"in-flight"
+        "%d event(s) still unresolved at the end of the run" in_flight;
+    ]
+
+let lint ?(allowed_revisits = 0) ?metrics ~rules tr =
+  let events = Trace.events tr in
+  let tbl = census events in
+  let conservation = match metrics with Some m -> check_conservation m tr | None -> [] in
+  Diagnostic.sort
+    (check_clocks events @ check_replies rules tbl
+    @ check_loops ~allowed_revisits rules events
+    @ conservation @ check_in_flight tr)

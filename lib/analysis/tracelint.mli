@@ -1,0 +1,47 @@
+(** Distributed-trace linter.
+
+    Replays a {!Unistore_sim.Trace.t} event log after a run and checks
+    protocol-level invariants that no single message handler can see:
+
+    - request/reply discipline per correlation id: every reply kind must
+      answer a matching request ("orphan-reply", error), and
+      single-reply requests must not be answered more than once
+      ("multi-reply", error);
+    - routing loops: the same request (kind + correlation id) delivered
+      to the same destination more than [allowed_revisits] extra times
+      ("routing-loop", error) — greedy prefix/ring routing never
+      revisits a peer, so revisits indicate a broken routing table (or
+      timeout retries: raise [allowed_revisits] for lossy runs);
+    - monotone clocks: send timestamps must be non-decreasing in trace
+      order ("clock-regression", error);
+    - message-count conservation against an {!Unistore_obs.Metrics}
+      registry that was attached over the same window: total events vs
+      [net.sent] and per-kind counts vs [net.sent.<kind>]
+      ("conservation", error);
+    - unresolved events at the end of a settled run ("in-flight",
+      info).
+
+    Rules describe a protocol's request/reply vocabulary; {!pgrid_rules}
+    and {!chord_rules} match the two overlays. *)
+
+module Trace = Unistore_sim.Trace
+module Metrics = Unistore_obs.Metrics
+
+type reply_rule = {
+  reply : string;  (** reply message kind, e.g. ["found"] *)
+  requests : string list;  (** request kinds it may answer *)
+  multi : bool;  (** true if one request legitimately fans out into many replies *)
+}
+
+type rules = {
+  request_kinds : string list;  (** kinds subject to the routing-loop check *)
+  replies : reply_rule list;
+}
+
+val pgrid_rules : rules
+val chord_rules : rules
+
+(** [lint ~rules trace] checks the trace; [metrics] enables the
+    conservation check. *)
+val lint :
+  ?allowed_revisits:int -> ?metrics:Metrics.t -> rules:rules -> Trace.t -> Diagnostic.t list

@@ -47,6 +47,28 @@ let msg_size = function
   | Bcast _ -> 40
   | BcastHit { items; _ } -> 20 + List.fold_left (fun a i -> a + Store.item_bytes i) 0 items
 
+let msg_kind = function
+  | Put _ -> "put"
+  | PutAck _ -> "put-ack"
+  | Get _ -> "get"
+  | Got _ -> "got"
+  | Replica _ -> "replica"
+  | Del _ -> "del"
+  | Unreplica _ -> "unreplica"
+  | Bcast _ -> "bcast"
+  | BcastHit _ -> "bcast-hit"
+
+let msg_corr = function
+  | Put { rid; _ }
+  | PutAck { rid; _ }
+  | Get { rid; _ }
+  | Got { rid; _ }
+  | Del { rid; _ }
+  | Bcast { rid; _ }
+  | BcastHit { rid; _ } ->
+    rid
+  | Replica _ | Unreplica _ -> -1
+
 type pending =
   | Psingle of {
       resend : unit -> unit;
@@ -67,7 +89,6 @@ type t = {
   sim : Sim.t;
   net : msg Net.t;
   config : config;
-  rng : Rng.t;
   nodes : (int, node) Hashtbl.t;
   ring_order : node array;  (* sorted by ring id *)
   pending : (int, pending) Hashtbl.t;
@@ -90,7 +111,16 @@ let alive_peers t = Net.alive_peers t.net
 let expected_latency t = Latency.expected (Net.latency t.net)
 let net_stats t = Net.stats t.net
 let set_metrics t m = Net.set_metrics t.net m
+let set_trace t tr = Net.set_trace t.net tr
 let total_sent t = Net.total_sent t.net
+
+(* Read-only routing-state accessors for the overlay invariant auditor
+   (lib/analysis): expose what a converged ring must satisfy without
+   opening up the node representation. *)
+let peers t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+let successors t id = (node t id).successors
+let predecessor_of t id = (node t id).predecessor
+let fingers t id = Array.copy (node t id).fingers
 
 let stored_on t =
   Hashtbl.fold (fun id n acc -> if Net.is_alive t.net id && Hashtbl.length n.store > 0 then acc + 1 else acc) t.nodes 0
@@ -306,7 +336,7 @@ let dispatch t (me : node) ~src:_ msg =
 let create sim ~latency ~rng ?(drop = 0.0) ~config ~n () =
   if n < 1 then invalid_arg "Chord.create: n < 1";
   let rng = Rng.split rng in
-  let net = Net.create sim ~latency ~rng ~drop ~size:msg_size () in
+  let net = Net.create sim ~latency ~rng ~drop ~size:msg_size ~kind:msg_kind ~corr:msg_corr () in
   let mk id =
     { id; ring = Ring.hash_peer id; successors = []; predecessor = id; fingers = [||];
       store = Hashtbl.create 16 }
@@ -343,7 +373,6 @@ let create sim ~latency ~rng ?(drop = 0.0) ~config ~n () =
       sim;
       net;
       config;
-      rng;
       nodes = Hashtbl.create n;
       ring_order = by_ring;
       pending = Hashtbl.create 64;

@@ -72,7 +72,26 @@ val net_stats : t -> Unistore_sim.Net.stats
     (see {!Unistore_sim.Net.set_metrics}). *)
 val set_metrics : t -> Unistore_obs.Metrics.t option -> unit
 
+(** Attach/detach a message trace (see {!Unistore_sim.Net.set_trace}). *)
+val set_trace : t -> Unistore_sim.Trace.t option -> unit
+
 val total_sent : t -> int
+
+(** {2 Routing-state accessors} — read-only views for the overlay
+    invariant auditor ([Unistore_analysis.Audit]). *)
+
+(** All peer ids, sorted. *)
+val peers : t -> int list
+
+(** Successor list of a peer, nearest first. *)
+val successors : t -> int -> int list
+
+(** Predecessor of a peer. *)
+val predecessor_of : t -> int -> int
+
+(** Finger table of a peer (entry [i] routes toward
+    [Ring.finger_start ring i]); a fresh copy. *)
+val fingers : t -> int -> int array
 
 (** {2 Operations} — key placement uses [Ring.hash_key key]. *)
 

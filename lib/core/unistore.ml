@@ -48,7 +48,6 @@ let default_config =
 type t = {
   config : config;
   sim : Sim.t;
-  rng : Rng.t;
   dht : Dht.t;
   tstore : Tstore.t;
   pgrid : Overlay.t option;
@@ -93,7 +92,6 @@ let create ?(sample_keys = []) config =
   {
     config;
     sim;
-    rng;
     dht;
     tstore;
     pgrid;
@@ -194,14 +192,15 @@ let start_trace t =
   let tr = Unistore_sim.Trace.create () in
   (match (t.pgrid, t.chord) with
   | Some ov, _ -> Unistore_sim.Net.set_trace (Overlay.net ov) (Some tr)
-  | _, Some _ -> ()
+  | _, Some c -> Chord.set_trace c (Some tr)
   | None, None -> ());
   tr
 
 let stop_trace t =
-  match t.pgrid with
-  | Some ov -> Unistore_sim.Net.set_trace (Overlay.net ov) None
-  | None -> ()
+  match (t.pgrid, t.chord) with
+  | Some ov, _ -> Unistore_sim.Net.set_trace (Overlay.net ov) None
+  | _, Some c -> Chord.set_trace c None
+  | None, None -> ()
 
 (* Metrics (the unified accounting layer: per-kind message counts from
    the network, hop/retry/fan-out histograms from the overlay, plus
@@ -223,3 +222,29 @@ let query_profiled t ?origin ?strategy ?expand_mappings src =
 let settle t = Sim.run_all t.sim
 let messages_sent t = t.dht.Dht.total_sent ()
 let now t = Sim.now t.sim
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis (lib/analysis): semantic query checking, trace
+   linting and overlay auditing, surfaced through the facade. *)
+
+module Diagnostic = Unistore_analysis.Diagnostic
+module Semantic = Unistore_analysis.Semantic
+module Tracelint = Unistore_analysis.Tracelint
+module Audit = Unistore_analysis.Audit
+
+let check t src =
+  Semantic.analyze_string ~catalog:(Engine.catalog_of_stats t.stats) src
+  |> Result.map snd
+
+let audit t =
+  match (t.pgrid, t.chord) with
+  | Some ov, _ -> Audit.pgrid ov
+  | _, Some c -> Audit.chord c
+  | None, None -> []
+
+let lint_trace t ?allowed_revisits ?(against_metrics = false) tr =
+  let rules =
+    match t.chord with Some _ -> Tracelint.chord_rules | None -> Tracelint.pgrid_rules
+  in
+  let metrics = if against_metrics then Some t.metrics else None in
+  Tracelint.lint ?allowed_revisits ?metrics ~rules tr

@@ -128,9 +128,9 @@ val join_peer : t -> id:int -> bootstrap:int -> bool
 val anti_entropy_round : t -> unit
 
 (** [start_trace t] attaches a fresh message-level trace to the overlay
-    network and returns it; analyze with {!Unistore_sim.Trace.pp_summary},
-    [by_kind], [busiest_peers], [timeline]. P-Grid only (no-op handle on
-    Chord). *)
+    network (P-Grid or Chord) and returns it; analyze with
+    {!Unistore_sim.Trace.pp_summary}, [by_kind], [busiest_peers],
+    [timeline], or lint it with {!lint_trace}. *)
 val start_trace : t -> Unistore_sim.Trace.t
 
 val stop_trace : t -> unit
@@ -180,3 +180,33 @@ val messages_sent : t -> int
 
 (** Simulated time (ms). *)
 val now : t -> float
+
+(** {2 Static analysis}
+
+    The [unistore.analysis] layer surfaced through the facade: semantic
+    query checking against the deployment's statistics, post-run trace
+    linting and overlay invariant auditing. *)
+
+module Diagnostic = Unistore_analysis.Diagnostic
+module Semantic = Unistore_analysis.Semantic
+module Tracelint = Unistore_analysis.Tracelint
+module Audit = Unistore_analysis.Audit
+
+(** [check t src] parses [src] and runs the semantic analyzer against
+    the catalog derived from {!stats} (call {!refresh_stats} first for
+    data-aware type checking). [Error] is a positioned parse error;
+    [Ok] carries the diagnostics (possibly empty). *)
+val check : t -> string -> (Diagnostic.t list, string) result
+
+(** [audit t] runs the overlay invariant auditor
+    ({!Unistore_analysis.Audit}) against the deployment's substrate. *)
+val audit : t -> Diagnostic.t list
+
+(** [lint_trace t tr] runs the trace linter with the substrate's rules.
+    [against_metrics] additionally checks message-count conservation
+    against the deployment's metrics registry — only sound if [tr] and
+    the registry cover the same window (attach the trace right after
+    {!reset_metrics}). *)
+val lint_trace :
+  t -> ?allowed_revisits:int -> ?against_metrics:bool -> Unistore_sim.Trace.t ->
+  Diagnostic.t list

@@ -1,4 +1,3 @@
-module Ophash = Unistore_util.Ophash
 module Rng = Unistore_util.Rng
 
 let anti_entropy_round ov =

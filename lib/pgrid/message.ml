@@ -68,6 +68,24 @@ let size = function
   | SyncItems { items } -> header + items_bytes items
   | Exchange { bytes; _ } -> header + bytes
 
+(* Correlation id for request/reply trace linting: the protocol's [rid]
+   where the message carries one, [-1] for fire-and-forget traffic
+   (replication, anti-entropy, shipped closures). *)
+let corr = function
+  | Insert { rid; _ }
+  | Update { rid; _ }
+  | Delete { rid; _ }
+  | Ack { rid; _ }
+  | Lookup { rid; _ }
+  | Found { rid; _ }
+  | Range { rid; _ }
+  | RangeHit { rid; _ }
+  | Probe { rid; _ } ->
+    rid
+  | Replicate _ | Unreplicate _ | Task _ | SyncDigest _ | SyncRequest _ | SyncItems _ | Exchange _
+    ->
+    -1
+
 let kind = function
   | Insert _ -> "insert"
   | Update _ -> "update"

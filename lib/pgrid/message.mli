@@ -67,3 +67,8 @@ val size : t -> int
 
 (** Constructor name for tracing, e.g. ["lookup"], ["range"]. *)
 val kind : t -> string
+
+(** Correlation id for request/reply trace linting: the [rid] carried by
+    routed requests and their replies, [-1] for fire-and-forget traffic
+    (replication, anti-entropy, shipped closures). *)
+val corr : t -> int

@@ -44,7 +44,7 @@ type t = {
 
 let create sim ~latency ~rng ?(drop = 0.0) ~config () =
   let rng = Rng.split rng in
-  let net = Net.create sim ~latency ~rng ~drop ~size:Message.size ~kind:Message.kind () in
+  let net = Net.create sim ~latency ~rng ~drop ~size:Message.size ~kind:Message.kind ~corr:Message.corr () in
   {
     sim;
     net;

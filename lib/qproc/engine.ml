@@ -75,15 +75,7 @@ let const_attrs (q : Ast.query) =
    rows). *)
 let branch_query (q : Ast.query) (ps, fs) =
   ignore q;
-  {
-    Ast.patterns = ps;
-    filters = fs;
-    union_branches = [];
-    order = None;
-    projection = None;
-    distinct = false;
-    limit = None;
-  }
+  Ast.mk_query ~filters:fs ps
 
 let fetch_expansions ts ~origin q =
   List.filter_map
@@ -179,10 +171,37 @@ let run ts stats ~replication ?(strategy = Centralized) ?(expand_mappings = fals
       bytes_shipped = List.fold_left (fun acc (_, r) -> acc + r.Exec.bytes_shipped) 0 results;
     }
 
+(* The analyzer's catalog, derived from the collected statistics: an
+   attribute's observed types come from [string_valued] and the dominant
+   type of its value bounds. *)
+let catalog_of_stats (stats : Qstats.t) =
+  List.fold_left
+    (fun cat (a, (s : Qstats.attr_stats)) ->
+      let of_value v = Unistore_analysis.Catalog.vtype_of_value v in
+      let types =
+        (if s.Qstats.string_valued then [ Unistore_analysis.Catalog.Str ] else [])
+        @ (match s.Qstats.lo with Some v -> [ of_value v ] | None -> [])
+        @ (match s.Qstats.hi with Some v -> [ of_value v ] | None -> [])
+        |> List.sort_uniq compare
+      in
+      Unistore_analysis.Catalog.add_info cat a
+        { Unistore_analysis.Catalog.types; count = s.Qstats.count })
+    Unistore_analysis.Catalog.empty stats.Qstats.attrs
+
+let analyze stats q = Unistore_analysis.Semantic.analyze ~catalog:(catalog_of_stats stats) q
+
+(* String-entry queries pass through the static analyzer; plans with
+   error-severity diagnostics are refused before any message is sent.
+   [run] (the AST entry) stays ungated for callers that build plans
+   programmatically. *)
 let run_string ts stats ~replication ?strategy ?expand_mappings ~origin src =
   match Parser.parse src with
   | Error e -> Error e
-  | Ok q -> Ok (run ts stats ~replication ?strategy ?expand_mappings ~origin q)
+  | Ok q ->
+    let diags = analyze stats q in
+    if Unistore_analysis.Diagnostic.has_errors diags then
+      Error (Unistore_analysis.Diagnostic.render_all ~src diags)
+    else Ok (run ts stats ~replication ?strategy ?expand_mappings ~origin q)
 
 (* The EXPLAIN ANALYZE view: reshape the execution traces into the
    substrate-independent profile record of the observability layer. *)

@@ -53,7 +53,17 @@ val run :
   Ast.query ->
   report
 
-(** [run_string ...] parses and runs VQL source. *)
+(** [catalog_of_stats stats] derives the static analyzer's attribute
+    catalog from collected statistics. *)
+val catalog_of_stats : Qstats.t -> Unistore_analysis.Catalog.t
+
+(** [analyze stats q] runs the {!Unistore_analysis.Semantic} analyzer
+    against the catalog derived from [stats]. *)
+val analyze : Qstats.t -> Ast.query -> Unistore_analysis.Diagnostic.t list
+
+(** [run_string ...] parses and runs VQL source. The query first passes
+    the static analyzer ({!analyze}); error-severity diagnostics refuse
+    the plan and are rendered into [Error]. *)
 val run_string :
   Tstore.t ->
   Qstats.t ->

@@ -1,8 +1,6 @@
 module Ast = Unistore_vql.Ast
 module Algebra = Unistore_vql.Algebra
 module Value = Unistore_triple.Value
-module Tstore = Unistore_triple.Tstore
-module Strdist = Unistore_util.Strdist
 module Keys = Unistore_triple.Keys
 
 let constraints_of var cmap = Option.value ~default:[] (List.assoc_opt var cmap)
@@ -182,7 +180,7 @@ let first_step env stats ~qgrams cmap patterns =
    budget was spent: no filters, no joins, ascending single-var order. *)
 let topn_opportunity (q : Ast.query) =
   match (q.Ast.patterns, q.Ast.filters, q.Ast.union_branches, q.Ast.order, q.Ast.limit) with
-  | ( [ { Ast.subj = Ast.TVar _; attr = Ast.TConst (Value.S a); obj = Ast.TVar v } ],
+  | ( [ { Ast.subj = Ast.TVar _; attr = Ast.TConst (Value.S a); obj = Ast.TVar v; _ } ],
       [],
       [],
       Some (Ast.OrderBy [ (ov, Ast.Asc) ]),

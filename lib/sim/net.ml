@@ -16,6 +16,7 @@ type 'msg t = {
   drop : float;
   size : 'msg -> int;
   kind : 'msg -> string;
+  corr : 'msg -> int;
   handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
   dead : (int, unit) Hashtbl.t;
   mutable stats : stats;
@@ -24,7 +25,8 @@ type 'msg t = {
   mutable metrics : Metrics.t option;
 }
 
-let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ -> "msg") () =
+let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ -> "msg")
+    ?(corr = fun _ -> -1) () =
   {
     sim;
     latency;
@@ -32,6 +34,7 @@ let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ 
     drop;
     size;
     kind;
+    corr;
     handlers = Hashtbl.create 256;
     dead = Hashtbl.create 16;
     stats = zero_stats;
@@ -73,7 +76,9 @@ let send t ~src ~dst msg =
   let event =
     match t.tracer with
     | Some tr ->
-      Some (Trace.record tr ~time:(Sim.now t.sim) ~src ~dst ~kind:(t.kind msg) ~bytes:nbytes)
+      Some
+        (Trace.record tr ~corr:(t.corr msg) ~time:(Sim.now t.sim) ~src ~dst ~kind:(t.kind msg)
+           ~bytes:nbytes ())
     | None -> None
   in
   let resolve outcome =

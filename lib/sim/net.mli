@@ -22,11 +22,12 @@ type stats = {
 val zero_stats : stats
 val pp_stats : Format.formatter -> stats -> unit
 
-(** [create sim ~latency ~rng ?drop ?size ?kind ()] builds a network.
-    [drop] is the iid message-loss probability (default [0.]). [size]
-    estimates payload bytes for bandwidth accounting (default
+(** [create sim ~latency ~rng ?drop ?size ?kind ?corr ()] builds a
+    network. [drop] is the iid message-loss probability (default [0.]).
+    [size] estimates payload bytes for bandwidth accounting (default
     [fun _ -> 64]). [kind] names a message's constructor for tracing
-    (default [fun _ -> "msg"]). *)
+    (default [fun _ -> "msg"]). [corr] extracts a correlation (request)
+    id for request/reply trace linting (default [fun _ -> -1]). *)
 val create :
   Sim.t ->
   latency:Latency.t ->
@@ -34,6 +35,7 @@ val create :
   ?drop:float ->
   ?size:('msg -> int) ->
   ?kind:('msg -> string) ->
+  ?corr:('msg -> int) ->
   unit ->
   'msg t
 

@@ -12,6 +12,7 @@ type event = {
   dst : int;
   kind : string;
   bytes : int;
+  corr : int;
   mutable outcome : outcome;
 }
 
@@ -26,8 +27,8 @@ let clear t =
 let events t = List.rev t.rev_events
 let length t = t.count
 
-let record t ~time ~src ~dst ~kind ~bytes =
-  let e = { time; src; dst; kind; bytes; outcome = In_flight } in
+let record t ?(corr = -1) ~time ~src ~dst ~kind ~bytes () =
+  let e = { time; src; dst; kind; bytes; corr; outcome = In_flight } in
   t.rev_events <- e :: t.rev_events;
   t.count <- t.count + 1;
   e

@@ -24,6 +24,9 @@ type event = {
   dst : int;
   kind : string;  (** message constructor name, e.g. ["lookup"] *)
   bytes : int;
+  corr : int;
+      (** correlation id linking a request to its replies (the protocol's
+          request id); [-1] when the message carries none *)
   mutable outcome : outcome;
 }
 
@@ -38,8 +41,9 @@ val events : t -> event list
 val length : t -> int
 
 (** Used by {!Net}: append an event (returned so the delivery code can
-    resolve its outcome later). *)
-val record : t -> time:float -> src:int -> dst:int -> kind:string -> bytes:int -> event
+    resolve its outcome later). [corr] defaults to [-1] (uncorrelated). *)
+val record :
+  t -> ?corr:int -> time:float -> src:int -> dst:int -> kind:string -> bytes:int -> unit -> event
 
 (** {2 Analysis} *)
 

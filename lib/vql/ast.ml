@@ -2,7 +2,9 @@ module Value = Unistore_triple.Value
 
 type term = TVar of string | TConst of Value.t
 
-type pattern = { subj : term; attr : term; obj : term }
+type pattern = { subj : term; attr : term; obj : term; span : Loc.t }
+
+let mk_pattern ?(span = Loc.dummy) subj attr obj = { subj; attr; obj; span }
 
 type cmpop = Eq | Neq | Lt | Le | Gt | Ge
 
@@ -27,10 +29,36 @@ type query = {
   projection : string list option;
   patterns : pattern list;
   filters : expr list;
+  filter_spans : Loc.t list;
   union_branches : (pattern list * expr list) list;
   order : order_clause option;
   limit : int option;
+  proj_span : Loc.t;
+  order_span : Loc.t;
+  limit_span : Loc.t;
 }
+
+let mk_query ?(distinct = false) ?projection ?(filters = []) ?(filter_spans = [])
+    ?(union_branches = []) ?order ?limit ?(proj_span = Loc.dummy) ?(order_span = Loc.dummy)
+    ?(limit_span = Loc.dummy) patterns =
+  {
+    distinct;
+    projection;
+    patterns;
+    filters;
+    filter_spans;
+    union_branches;
+    order;
+    limit;
+    proj_span;
+    order_span;
+    limit_span;
+  }
+
+(* [filter_spans] is best-effort metadata: when a query was synthesized
+   rather than parsed the list may be empty, so analyzers use this
+   defensive accessor. *)
+let filter_span q i = match List.nth_opt q.filter_spans i with Some s -> s | None -> Loc.dummy
 
 let term_vars = function TVar v -> [ v ] | TConst _ -> []
 

@@ -13,8 +13,13 @@ type term =
 
 (** One triple pattern [(subj, attr, obj)]. In the universal relation
     model [subj] ranges over OIDs, [attr] over attribute names, [obj]
-    over values. *)
-type pattern = { subj : term; attr : term; obj : term }
+    over values. [span] covers the pattern's source text ({!Loc.dummy}
+    for synthesized patterns). *)
+type pattern = { subj : term; attr : term; obj : term; span : Loc.t }
+
+(** [mk_pattern ?span subj attr obj] builds a pattern; [span] defaults
+    to {!Loc.dummy}. *)
+val mk_pattern : ?span:Loc.t -> term -> term -> term -> pattern
 
 type cmpop = Eq | Neq | Lt | Le | Gt | Ge
 
@@ -41,12 +46,39 @@ type query = {
   projection : string list option;  (** [None] = [SELECT *] *)
   patterns : pattern list;
   filters : expr list;
+  filter_spans : Loc.t list;
+      (** spans of [filters], positionally; may be shorter (synthesized
+          queries) — use {!filter_span} *)
   union_branches : (pattern list * expr list) list;
       (** additional [UNION { ... }] groups: each evaluated independently,
           results combined (bag semantics unless [DISTINCT]) *)
   order : order_clause option;
   limit : int option;
+  proj_span : Loc.t;  (** span of the projection list *)
+  order_span : Loc.t;  (** span of the [ORDER BY] clause *)
+  limit_span : Loc.t;  (** span of the [LIMIT] clause *)
 }
+
+(** Build a query from its pattern list; every other component is
+    optional and spans default to {!Loc.dummy}. Keeps construction
+    sites insulated from future field additions. *)
+val mk_query :
+  ?distinct:bool ->
+  ?projection:string list ->
+  ?filters:expr list ->
+  ?filter_spans:Loc.t list ->
+  ?union_branches:(pattern list * expr list) list ->
+  ?order:order_clause ->
+  ?limit:int ->
+  ?proj_span:Loc.t ->
+  ?order_span:Loc.t ->
+  ?limit_span:Loc.t ->
+  pattern list ->
+  query
+
+(** [filter_span q i] is the span of the [i]-th filter, or {!Loc.dummy}
+    if unrecorded. *)
+val filter_span : query -> int -> Loc.t
 
 (** Variables mentioned by a pattern / expression / query (sorted,
     deduplicated). *)

@@ -117,8 +117,10 @@ let is_digit c = c >= '0' && c <= '9'
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
-  let emit tok off = tokens := (tok, off) :: !tokens in
   let pos = ref 0 in
+  (* Called after the token's characters are consumed: the span runs from
+     [start] to the current position. *)
+  let emit tok start = tokens := (tok, Loc.make start !pos) :: !tokens in
   let peek k = if !pos + k < n then Some src.[!pos + k] else None in
   while !pos < n do
     let c = src.[!pos] in
@@ -130,19 +132,19 @@ let tokenize src =
         incr pos
       done
     end
-    else if c = '*' then (emit STAR start; incr pos)
-    else if c = ',' then (emit COMMA start; incr pos)
-    else if c = '(' then (emit LPAREN start; incr pos)
-    else if c = ')' then (emit RPAREN start; incr pos)
-    else if c = '{' then (emit LBRACE start; incr pos)
-    else if c = '}' then (emit RBRACE start; incr pos)
-    else if c = '=' then (emit EQ start; incr pos)
-    else if c = '!' && peek 1 = Some '=' then (emit NEQ start; pos := !pos + 2)
-    else if c = '<' && peek 1 = Some '=' then (emit LE start; pos := !pos + 2)
-    else if c = '<' && peek 1 = Some '>' then (emit NEQ start; pos := !pos + 2)
-    else if c = '<' then (emit LT start; incr pos)
-    else if c = '>' && peek 1 = Some '=' then (emit GE start; pos := !pos + 2)
-    else if c = '>' then (emit GT start; incr pos)
+    else if c = '*' then (incr pos; emit STAR start)
+    else if c = ',' then (incr pos; emit COMMA start)
+    else if c = '(' then (incr pos; emit LPAREN start)
+    else if c = ')' then (incr pos; emit RPAREN start)
+    else if c = '{' then (incr pos; emit LBRACE start)
+    else if c = '}' then (incr pos; emit RBRACE start)
+    else if c = '=' then (incr pos; emit EQ start)
+    else if c = '!' && peek 1 = Some '=' then (pos := !pos + 2; emit NEQ start)
+    else if c = '<' && peek 1 = Some '=' then (pos := !pos + 2; emit LE start)
+    else if c = '<' && peek 1 = Some '>' then (pos := !pos + 2; emit NEQ start)
+    else if c = '<' then (incr pos; emit LT start)
+    else if c = '>' && peek 1 = Some '=' then (pos := !pos + 2; emit GE start)
+    else if c = '>' then (incr pos; emit GT start)
     else if c = '?' then begin
       incr pos;
       let s = !pos in

@@ -43,6 +43,6 @@ val pp_token : Format.formatter -> token -> unit
 
 exception Error of { offset : int; message : string }
 
-(** [tokenize src] is the token stream with byte offsets, ending in
+(** [tokenize src] is the token stream with source spans, ending in
     [EOF]. Raises {!Error} on lexical errors. *)
-val tokenize : string -> (token * int) list
+val tokenize : string -> (token * Loc.t) list

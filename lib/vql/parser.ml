@@ -1,20 +1,24 @@
-module Value = Unistore_triple.Value
 open Ast
 
-exception Parse_error of { offset : int; message : string }
+exception Parse_error of { span : Loc.t; message : string }
 
-type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+type state = {
+  tokens : (Lexer.token * Loc.t) array;
+  mutable pos : int;
+  mutable last : Loc.t;  (* span of the most recently consumed token *)
+}
 
 let current st = st.tokens.(st.pos)
+let tok_span st = snd (current st)
 
-let fail_at offset fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { offset; message })) fmt
+let fail_at span fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { span; message })) fmt
 
-let fail st fmt =
-  let _, off = current st in
-  fail_at off fmt
+let fail st fmt = fail_at (tok_span st) fmt
 
-let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+let advance st =
+  st.last <- tok_span st;
+  if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
 
 let eat st tok what =
   let t, _ = current st in
@@ -62,6 +66,7 @@ let parse_term st =
   | _ -> TConst (parse_literal st)
 
 let parse_pattern st =
+  let start = tok_span st in
   eat st Lexer.LPAREN "'('";
   let subj = parse_term st in
   eat st Lexer.COMMA "','";
@@ -69,7 +74,7 @@ let parse_pattern st =
   eat st Lexer.COMMA "','";
   let obj = parse_term st in
   eat st Lexer.RPAREN "')'";
-  { subj; attr; obj }
+  mk_pattern ~span:(Loc.union start st.last) subj attr obj
 
 (* Expressions *)
 
@@ -113,7 +118,7 @@ and parse_primary st =
     let e = parse_expr st in
     eat st Lexer.RPAREN "')'";
     e
-  | Lexer.IDENT f, off ->
+  | Lexer.IDENT f, span ->
     advance st;
     eat st Lexer.LPAREN "'(' after function name";
     let a = parse_expr st in
@@ -124,7 +129,7 @@ and parse_primary st =
     | "edist" -> EEdist (a, b)
     | "contains" -> EContains (a, b)
     | "prefix" -> EPrefix (a, b)
-    | other -> fail_at off "unknown function %S (expected edist/contains/prefix)" other)
+    | other -> fail_at span "unknown function %S (expected edist/contains/prefix)" other)
   | _ -> EConst (parse_literal st)
 
 (* Clauses *)
@@ -172,6 +177,8 @@ let parse_order st =
     OrderBy (more [ first ])
   end
 
+(* Returns patterns, filters and the filters' source spans (each span
+   covers the FILTER keyword through the end of its expression). *)
 let parse_group st =
   eat st Lexer.LBRACE "'{'";
   let patterns = ref [] and filters = ref [] in
@@ -180,9 +187,10 @@ let parse_group st =
     | Lexer.LPAREN, _ ->
       patterns := parse_pattern st :: !patterns;
       body ()
-    | Lexer.FILTER, _ ->
+    | Lexer.FILTER, fspan ->
       advance st;
-      filters := parse_expr st :: !filters;
+      let e = parse_expr st in
+      filters := (e, Loc.union fspan st.last) :: !filters;
       body ()
     | Lexer.RBRACE, _ -> advance st
     | t, _ -> fail st "expected a pattern, FILTER or '}', found %a" Lexer.pp_token t
@@ -193,15 +201,18 @@ let parse_group st =
 let parse_query st =
   eat st Lexer.SELECT "SELECT";
   let distinct = accept st Lexer.DISTINCT in
+  let proj_start = tok_span st in
   let projection = parse_projection st in
+  let proj_span = Loc.union proj_start st.last in
   eat st Lexer.WHERE "WHERE";
-  let patterns, filters = parse_group st in
-  let patterns = ref (List.rev patterns) and filters = ref (List.rev filters) in
-  if !patterns = [] then fail st "WHERE block needs at least one triple pattern";
+  let patterns, filters_spanned = parse_group st in
+  if patterns = [] then fail st "WHERE block needs at least one triple pattern";
   let union_branches = ref [] in
   while accept st Lexer.UNION do
-    union_branches := parse_group st :: !union_branches
+    let ps, fs = parse_group st in
+    union_branches := (ps, List.map fst fs) :: !union_branches
   done;
+  let order_start = tok_span st in
   let order =
     if accept st Lexer.ORDER then begin
       eat st Lexer.BY "BY";
@@ -209,6 +220,8 @@ let parse_query st =
     end
     else None
   in
+  let order_span = if order = None then Loc.dummy else Loc.union order_start st.last in
+  let limit_start = tok_span st in
   let limit =
     if accept st Lexer.LIMIT then begin
       match current st with
@@ -219,38 +232,44 @@ let parse_query st =
     end
     else None
   in
+  let limit_span = if limit = None then Loc.dummy else Loc.union limit_start st.last in
   (match current st with
   | Lexer.EOF, _ -> ()
   | t, _ -> fail st "unexpected trailing input: %a" Lexer.pp_token t);
-  {
-    distinct;
-    projection;
-    patterns = List.rev !patterns;
-    filters = List.rev !filters;
-    union_branches = List.rev !union_branches;
-    order;
-    limit;
-  }
+  mk_query ~distinct ?projection
+    ~filters:(List.map fst filters_spanned)
+    ~filter_spans:(List.map snd filters_spanned)
+    ~union_branches:(List.rev !union_branches)
+    ?order ?limit ~proj_span ~order_span ~limit_span patterns
 
-let context src offset =
-  let start = max 0 (offset - 20) in
-  let stop = min (String.length src) (offset + 20) in
-  String.sub src start (stop - start)
+(* rustc-style rendering: position, message, offending source line and a
+   caret marking the span start. *)
+let render src what span message =
+  if Loc.is_dummy span then Printf.sprintf "%s: %s" what message
+  else begin
+    let p = Loc.pos_of_offset src span.Loc.start in
+    let text = Loc.line_at src p.Loc.line in
+    let caret = String.make (max 0 (p.Loc.col - 1)) ' ' ^ "^" in
+    Printf.sprintf "%s at line %d, column %d: %s\n  %s\n  %s" what p.Loc.line p.Loc.col message
+      text caret
+  end
 
-let parse src =
+let parse_with ~validate src =
   match Lexer.tokenize src with
   | exception Lexer.Error { offset; message } ->
-    Error (Printf.sprintf "lex error at offset %d (near %S): %s" offset (context src offset) message)
+    Error (render src "lex error" (Loc.make offset (offset + 1)) message)
   | tokens -> (
-    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    let st = { tokens = Array.of_list tokens; pos = 0; last = Loc.dummy } in
     match parse_query st with
-    | q -> (
-      match Ast.validate q with
-      | [] -> Ok q
-      | problems -> Error ("invalid query: " ^ String.concat "; " problems))
-    | exception Parse_error { offset; message } ->
-      Error
-        (Printf.sprintf "parse error at offset %d (near %S): %s" offset (context src offset)
-           message))
+    | q ->
+      if not validate then Ok q
+      else begin
+        match Ast.validate q with
+        | [] -> Ok q
+        | problems -> Error ("invalid query: " ^ String.concat "; " problems)
+      end
+    | exception Parse_error { span; message } -> Error (render src "parse error" span message))
 
+let parse src = parse_with ~validate:true src
+let parse_ast src = parse_with ~validate:false src
 let parse_exn src = match parse src with Ok q -> q | Error e -> failwith e

@@ -15,9 +15,15 @@
     literal  ::= 'string' | int | float | TRUE | FALSE
     v} *)
 
-(** [parse src] parses a full VQL query. The error string includes the
-    byte offset and a source snippet. *)
+(** [parse src] parses and {!Ast.validate}s a full VQL query. The error
+    string is positioned: line/column, the offending source line and a
+    caret under the span start. *)
 val parse : string -> (Ast.query, string) result
+
+(** [parse_ast src] parses without running {!Ast.validate} — for
+    analyzers that want to diagnose unbound variables themselves with
+    source positions (see [unistore_analysis]). *)
+val parse_ast : string -> (Ast.query, string) result
 
 (** [parse_exn src] raises [Failure] with the same message. *)
 val parse_exn : string -> Ast.query

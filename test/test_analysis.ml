@@ -1,0 +1,351 @@
+(* Tests for the static-analysis layer (unistore_analysis): seeded-defect
+   fixtures for each analyzer — the semantic checker must flag unbound
+   variables, type clashes, contradictory ranges, Cartesian products and
+   bad LIMITs; the trace linter must flag hand-corrupted traces; the
+   overlay auditor must flag hand-mutated overlays — and all three must
+   stay silent on clean inputs (including the paper's demo query). *)
+
+open Unistore_util
+module Sim = Unistore_sim.Sim
+module Latency = Unistore_sim.Latency
+module Trace = Unistore_sim.Trace
+module Store = Unistore_pgrid.Store
+module Node = Unistore_pgrid.Node
+module Config = Unistore_pgrid.Config
+module Overlay = Unistore_pgrid.Overlay
+module Build = Unistore_pgrid.Build
+module Chord = Unistore_chord.Chord
+module Value = Unistore_triple.Value
+module Triple = Unistore_triple.Triple
+module Metrics = Unistore_obs.Metrics
+module D = Unistore_analysis.Diagnostic
+module Catalog = Unistore_analysis.Catalog
+module Semantic = Unistore_analysis.Semantic
+module Tracelint = Unistore_analysis.Tracelint
+module Audit = Unistore_analysis.Audit
+
+let check = Alcotest.check
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let codes ds = List.map (fun (d : D.t) -> d.D.code) ds
+let has code ds = List.exists (fun (d : D.t) -> String.equal d.D.code code) ds
+
+let check_has what code ds =
+  if not (has code ds) then
+    Alcotest.failf "%s: expected a %S diagnostic, got [%s]" what code
+      (String.concat "; " (codes ds))
+
+let check_clean what ds =
+  if ds <> [] then
+    Alcotest.failf "%s: expected no diagnostics, got [%s]" what (String.concat "; " (codes ds))
+
+(* ------------------------------------------------------------------ *)
+(* Semantic analyzer *)
+
+(* The schema of the paper's running example, as a catalog. *)
+let catalog =
+  Catalog.of_triples
+    [
+      Triple.make ~oid:"a1" ~attr:"name" (Value.S "alice");
+      Triple.make ~oid:"a1" ~attr:"age" (Value.I 30);
+      Triple.make ~oid:"a1" ~attr:"num_of_pubs" (Value.I 3);
+      Triple.make ~oid:"a1" ~attr:"has_published" (Value.S "t1");
+      Triple.make ~oid:"p1" ~attr:"title" (Value.S "t1");
+      Triple.make ~oid:"p1" ~attr:"published_in" (Value.S "ICDE 2007");
+      Triple.make ~oid:"c1" ~attr:"confname" (Value.S "ICDE 2007");
+      Triple.make ~oid:"c1" ~attr:"series" (Value.S "ICDE");
+    ]
+
+let diags ?catalog src =
+  match Semantic.analyze_string ?catalog src with
+  | Ok (_, ds) -> ds
+  | Error e -> Alcotest.failf "fixture failed to parse: %s" e
+
+let test_sem_unbound () =
+  let ds = diags "SELECT ?ghost WHERE { (?a,'name',?v) }" in
+  check_has "unbound projection" "unbound-var" ds;
+  let d = List.find (fun (d : D.t) -> d.D.code = "unbound-var") ds in
+  Alcotest.(check bool) "positioned" true (d.D.span.Unistore_vql.Loc.start >= 0)
+
+let test_sem_unused () =
+  check_has "bound once, never used" "unused-var"
+    (diags "SELECT ?v WHERE { (?a,'name',?v) (?a,'age',?w) }")
+
+let test_sem_type_clash () =
+  (* 'age' is numeric in the catalog; edist forces string. *)
+  check_has "numeric attr under edist" "type-clash"
+    (diags ~catalog "SELECT ?x WHERE { (?a,'age',?x) FILTER edist(?x,'ab') < 2 }")
+
+let test_sem_unknown_attr () =
+  check_has "attribute absent from catalog" "unknown-attr"
+    (diags ~catalog "SELECT ?x WHERE { (?a,'zzz',?x) }")
+
+let test_sem_unsat_range () =
+  check_has "contradictory bounds" "unsat-filter"
+    (diags "SELECT ?v WHERE { (?a,'age',?v) FILTER ?v > 10 AND ?v < 5 }")
+
+let test_sem_unsat_edist () =
+  check_has "impossible edit distance" "unsat-filter"
+    (diags "SELECT ?v WHERE { (?a,'series',?v) FILTER edist(?v,'ICDE') < 0 }")
+
+let test_sem_cartesian () =
+  check_has "disconnected join graph" "cartesian-product"
+    (diags "SELECT ?x,?y WHERE { (?a,'name',?x) (?b,'age',?y) }");
+  Alcotest.(check bool) "connected graph accepted" false
+    (has "cartesian-product" (diags "SELECT ?x,?y WHERE { (?a,'name',?x) (?a,'age',?y) }"))
+
+let test_sem_bad_limit () =
+  (* analyze_string skips the parser's own validation, so the bad top-N
+     parameter reaches the analyzer. *)
+  check_has "non-positive LIMIT" "bad-limit" (diags "SELECT ?v WHERE { (?a,'x',?v) } LIMIT 0")
+
+(* The paper's demo query (section 2): skyline over age/productivity
+   with a similarity filter. Must be completely clean. *)
+let paper_query =
+  "SELECT ?name,?age,?cnt\n\
+   WHERE {(?a,'name',?name) (?a,'age',?age)\n\
+   (?a,'num_of_pubs',?cnt)\n\
+   (?a,'has_published',?title) (?p,'title',?title)\n\
+   (?p,'published_in',?conf) (?c,'confname',?conf)\n\
+   (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3\n\
+   }\n\
+   ORDER BY SKYLINE OF ?age MIN, ?cnt MAX"
+
+let test_sem_paper_query_clean () = check_clean "paper demo query" (diags ~catalog paper_query)
+
+(* ------------------------------------------------------------------ *)
+(* Engine gate: error-severity diagnostics refuse the plan *)
+
+let mk_deployment () =
+  let store = Unistore.create { Unistore.default_config with peers = 8 } in
+  ignore
+    (Unistore.insert_tuple store ~oid:"a1"
+       [ ("name", Value.S "alice"); ("age", Value.I 30) ]);
+  ignore
+    (Unistore.insert_tuple store ~oid:"a2" [ ("name", Value.S "bob"); ("age", Value.I 40) ]);
+  Unistore.set_stats_of_triples store
+    [ Triple.make ~oid:"a1" ~attr:"name" (Value.S "alice");
+      Triple.make ~oid:"a1" ~attr:"age" (Value.I 30) ];
+  Unistore.settle store;
+  store
+
+let test_engine_refuses_unsat () =
+  let store = mk_deployment () in
+  (match Unistore.query store "SELECT ?v WHERE { (?a,'age',?v) FILTER ?v > 100 AND ?v < 50 }" with
+  | Ok _ -> Alcotest.fail "engine executed an unsatisfiable query"
+  | Error e ->
+    Alcotest.(check bool) "mentions the diagnostic code" true (contains_sub e "unsat-filter"));
+  match Unistore.query store "SELECT ?n WHERE { (?a,'name',?n) }" with
+  | Ok report -> check Alcotest.int "clean query still runs" 2 (List.length report.Unistore.Report.rows)
+  | Error e -> Alcotest.failf "clean query refused: %s" e
+
+let test_facade_check () =
+  let store = mk_deployment () in
+  (match Unistore.check store "SELECT ?v WHERE { (?a,'age',?v) FILTER ?v > 100 AND ?v < 50 }" with
+  | Ok ds -> check_has "facade check" "unsat-filter" ds
+  | Error e -> Alcotest.failf "parse error: %s" e);
+  match Unistore.check store "SELECT" with
+  | Ok _ -> Alcotest.fail "truncated query parsed"
+  | Error e ->
+    Alcotest.(check bool) "positioned parse error" true (contains_sub e "line")
+
+(* ------------------------------------------------------------------ *)
+(* Trace linter *)
+
+let ev ?(outcome = Trace.Delivered) tr ~corr ~time ~kind ~src ~dst () =
+  let e = Trace.record tr ~corr ~time ~src ~dst ~kind ~bytes:32 () in
+  e.Trace.outcome <- outcome
+
+let lint ?allowed_revisits ?metrics tr =
+  Tracelint.lint ?allowed_revisits ?metrics ~rules:Tracelint.pgrid_rules tr
+
+let test_lint_clean () =
+  let tr = Trace.create () in
+  ev tr ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr ~corr:1 ~time:2.0 ~kind:"found" ~src:1 ~dst:0 ();
+  ev tr ~corr:2 ~time:3.0 ~kind:"insert" ~src:0 ~dst:2 ();
+  ev tr ~corr:2 ~time:4.0 ~kind:"ack" ~src:2 ~dst:0 ();
+  check_clean "well-formed trace" (lint tr)
+
+let test_lint_orphan_reply () =
+  let tr = Trace.create () in
+  ev tr ~corr:9 ~time:1.0 ~kind:"found" ~src:1 ~dst:0 ();
+  check_has "reply without request" "orphan-reply" (lint tr)
+
+let test_lint_multi_reply () =
+  let tr = Trace.create () in
+  ev tr ~corr:4 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr ~corr:4 ~time:2.0 ~kind:"found" ~src:1 ~dst:0 ();
+  ev tr ~corr:4 ~time:3.0 ~kind:"found" ~src:1 ~dst:0 ();
+  check_has "two replies to a single-reply request" "multi-reply" (lint tr);
+  (* Fan-out replies are legitimate for range queries. *)
+  let tr2 = Trace.create () in
+  ev tr2 ~corr:5 ~time:1.0 ~kind:"range" ~src:0 ~dst:1 ();
+  ev tr2 ~corr:5 ~time:2.0 ~kind:"range-hit" ~src:1 ~dst:0 ();
+  ev tr2 ~corr:5 ~time:3.0 ~kind:"range-hit" ~src:2 ~dst:0 ();
+  check_clean "multi-reply rule for range" (lint tr2)
+
+let test_lint_routing_loop () =
+  let tr = Trace.create () in
+  ev tr ~corr:7 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:3 ();
+  ev tr ~corr:7 ~time:2.0 ~kind:"lookup" ~src:5 ~dst:3 ();
+  ev tr ~corr:7 ~time:3.0 ~kind:"found" ~src:3 ~dst:0 ();
+  check_has "same request revisits a peer" "routing-loop" (lint tr);
+  Alcotest.(check bool) "retries tolerated when allowed" false
+    (has "routing-loop" (lint ~allowed_revisits:1 tr))
+
+let test_lint_clock_regression () =
+  let tr = Trace.create () in
+  ev tr ~corr:1 ~time:5.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr ~corr:1 ~time:1.0 ~kind:"found" ~src:1 ~dst:0 ();
+  check_has "time went backwards" "clock-regression" (lint tr)
+
+let test_lint_conservation () =
+  let tr = Trace.create () in
+  ev tr ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr ~corr:1 ~time:2.0 ~kind:"found" ~src:1 ~dst:0 ();
+  let good = Metrics.create () in
+  Metrics.incr good ~by:2 "net.sent";
+  Metrics.incr good "net.sent.lookup";
+  Metrics.incr good "net.sent.found";
+  check_clean "counts agree" (lint ~metrics:good tr);
+  let bad = Metrics.create () in
+  Metrics.incr bad ~by:3 "net.sent";
+  Metrics.incr bad ~by:2 "net.sent.lookup";
+  Metrics.incr bad "net.sent.found";
+  Metrics.incr bad "net.sent.ack";
+  check_has "counts disagree" "conservation" (lint ~metrics:bad tr)
+
+let test_lint_in_flight () =
+  let tr = Trace.create () in
+  ev tr ~outcome:Trace.In_flight ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  check_has "unresolved event" "in-flight" (lint tr);
+  Alcotest.(check bool) "only informational" false (D.has_errors (lint tr))
+
+(* ------------------------------------------------------------------ *)
+(* Overlay auditor *)
+
+let random_words rng n =
+  List.init n (fun _ ->
+      String.init (4 + Rng.int rng 8) (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26)))
+
+let build_pgrid ?(n = 16) () =
+  let sim = Sim.create () in
+  let rng = Rng.create 11 in
+  let latency = Latency.create (Latency.Constant 1.0) ~n ~rng in
+  let keys = random_words rng 100 in
+  let ov =
+    Build.oracle sim ~latency ~rng ~drop:0.0 ~config:Config.default ~n ~sample_keys:keys
+      ~balanced:true ()
+  in
+  List.iteri
+    (fun i k ->
+      ignore
+        (Overlay.insert_sync ov ~origin:(i mod n) ~key:k ~item_id:(Printf.sprintf "id%d" i)
+           ~payload:k ()))
+    keys;
+  Sim.run_all sim;
+  ov
+
+let test_audit_pgrid_clean () = check_clean "freshly built overlay" (Audit.pgrid (build_pgrid ()))
+
+let test_audit_pgrid_split_arity () =
+  let ov = build_pgrid () in
+  let nd = List.find (fun (nd : Node.t) -> Bitkey.length nd.Node.path > 0) (Overlay.nodes ov) in
+  nd.Node.splits <- Array.sub nd.Node.splits 0 (Array.length nd.Node.splits - 1);
+  check_has "truncated split boundaries" "split-arity" (Audit.pgrid ov)
+
+let test_audit_pgrid_misplaced_item () =
+  let ov = build_pgrid () in
+  let nd = List.find (fun (nd : Node.t) -> Bitkey.length nd.Node.path > 0) (Overlay.nodes ov) in
+  (* One of the key-space extremes must fall outside a non-root region. *)
+  let bad_key = if Node.covers nd "" then "\xff\xff\xff\xff" else "" in
+  assert (not (Node.covers nd bad_key));
+  ignore (Store.put nd.Node.store { Store.key = bad_key; item_id = "intruder"; payload = "x"; version = 0 });
+  check_has "item outside the peer's region" "misplaced-item" (Audit.pgrid ov)
+
+let test_audit_pgrid_bad_ref () =
+  let ov = build_pgrid () in
+  let nd =
+    List.find
+      (fun (nd : Node.t) -> Array.length nd.Node.refs > 0 && nd.Node.refs.(0) <> [])
+      (Overlay.nodes ov)
+  in
+  (* A peer must never appear in its own complementary subtree. *)
+  nd.Node.refs.(0) <- [ nd.Node.id ];
+  check_has "self-reference at level 0" "bad-ref" (Audit.pgrid ov)
+
+let test_audit_pgrid_replica_divergence () =
+  let ov = build_pgrid () in
+  let nd = List.find (fun (nd : Node.t) -> nd.Node.replicas <> []) (Overlay.nodes ov) in
+  ignore
+    (Store.put nd.Node.store
+       { Store.key = "~local-only"; item_id = "drift"; payload = "x"; version = 0 });
+  (* The extra item both diverges from the replica group and (depending
+     on the region) may be misplaced; the divergence warning must be
+     there either way. *)
+  check_has "replica holds an extra item" "replica-divergence" (Audit.pgrid ov)
+
+let mkchord ?(n = 16) () =
+  let sim = Sim.create () in
+  let rng = Rng.create 5 in
+  let latency = Latency.create (Latency.Constant 1.0) ~n ~rng in
+  Chord.create sim ~latency ~rng ~config:Chord.default_config ~n ()
+
+let test_audit_chord_clean () = check_clean "freshly built ring" (Audit.chord (mkchord ()))
+
+let test_audit_chord_dead_successors () =
+  let c = mkchord () in
+  let id = List.hd (Chord.peers c) in
+  List.iter (Chord.kill c) (Chord.successors c id);
+  let ds = Audit.chord c in
+  check_has "alive peer with all successors dead" "dead-successors" ds;
+  Alcotest.(check bool) "structure itself still sound" false (D.has_errors ds)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "unistore_analysis"
+    [
+      ( "semantic",
+        [
+          Alcotest.test_case "unbound variable" `Quick test_sem_unbound;
+          Alcotest.test_case "unused variable" `Quick test_sem_unused;
+          Alcotest.test_case "type clash" `Quick test_sem_type_clash;
+          Alcotest.test_case "unknown attribute" `Quick test_sem_unknown_attr;
+          Alcotest.test_case "contradictory range" `Quick test_sem_unsat_range;
+          Alcotest.test_case "impossible edit distance" `Quick test_sem_unsat_edist;
+          Alcotest.test_case "cartesian product" `Quick test_sem_cartesian;
+          Alcotest.test_case "bad top-N parameter" `Quick test_sem_bad_limit;
+          Alcotest.test_case "paper demo query is clean" `Quick test_sem_paper_query_clean;
+        ] );
+      ( "engine-gate",
+        [
+          Alcotest.test_case "unsat query refused" `Quick test_engine_refuses_unsat;
+          Alcotest.test_case "facade check" `Quick test_facade_check;
+        ] );
+      ( "tracelint",
+        [
+          Alcotest.test_case "clean trace" `Quick test_lint_clean;
+          Alcotest.test_case "orphan reply" `Quick test_lint_orphan_reply;
+          Alcotest.test_case "multi reply" `Quick test_lint_multi_reply;
+          Alcotest.test_case "routing loop" `Quick test_lint_routing_loop;
+          Alcotest.test_case "clock regression" `Quick test_lint_clock_regression;
+          Alcotest.test_case "conservation vs metrics" `Quick test_lint_conservation;
+          Alcotest.test_case "in-flight is informational" `Quick test_lint_in_flight;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "pgrid clean" `Quick test_audit_pgrid_clean;
+          Alcotest.test_case "pgrid split arity" `Quick test_audit_pgrid_split_arity;
+          Alcotest.test_case "pgrid misplaced item" `Quick test_audit_pgrid_misplaced_item;
+          Alcotest.test_case "pgrid bad ref" `Quick test_audit_pgrid_bad_ref;
+          Alcotest.test_case "pgrid replica divergence" `Quick test_audit_pgrid_replica_divergence;
+          Alcotest.test_case "chord clean" `Quick test_audit_chord_clean;
+          Alcotest.test_case "chord dead successors" `Quick test_audit_chord_dead_successors;
+        ] );
+    ]

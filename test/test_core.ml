@@ -496,96 +496,47 @@ let gen_random_query : Ast.query QCheck2.Gen.t =
     let* op = cmp and* c = 0 -- 60 in
     return (Ast.ECmp (op, Ast.EVar v, Ast.EConst (Value.I c)))
   in
+  let pat s a o = Ast.mk_pattern (var s) (Ast.TConst (Value.S a)) (var o) in
   let single =
     let* a = num_attr and* f = num_filter "v" in
-    return
-      {
-        Ast.distinct = false;
-        projection = Some [ "x"; "v" ];
-        patterns = [ { Ast.subj = var "x"; attr = Ast.TConst (Value.S a); obj = var "v" } ];
-        filters = [ f ];
-        union_branches = [];
-        order = None;
-        limit = None;
-      }
+    return (Ast.mk_query ~projection:[ "x"; "v" ] ~filters:[ f ] [ pat "x" a "v" ])
   in
   let star_join =
     let* a1 = str_attr and* a2 = num_attr and* f = num_filter "w" and* distinct = bool in
     return
-      {
-        Ast.distinct;
-        projection = Some [ "v"; "w" ];
-        patterns =
-          [
-            { Ast.subj = var "x"; attr = Ast.TConst (Value.S a1); obj = var "v" };
-            { Ast.subj = var "x"; attr = Ast.TConst (Value.S a2); obj = var "w" };
-          ];
-        filters = [ f ];
-        union_branches = [];
-        order = None;
-        limit = None;
-      }
+      (Ast.mk_query ~distinct ~projection:[ "v"; "w" ] ~filters:[ f ]
+         [ pat "x" a1 "v"; pat "x" a2 "w" ])
   in
   let var_attr =
     let* topic = oneofl [ "databases"; "networks"; "ir"; "systems" ] in
     return
-      {
-        Ast.distinct = false;
-        projection = Some [ "x"; "p" ];
-        patterns =
-          [ { Ast.subj = var "x"; attr = var "p"; obj = Ast.TConst (Value.S topic) } ];
-        filters = [];
-        union_branches = [];
-        order = None;
-        limit = None;
-      }
+      (Ast.mk_query ~projection:[ "x"; "p" ]
+         [ Ast.mk_pattern (var "x") (var "p") (Ast.TConst (Value.S topic)) ])
   in
   let skyline =
     return
-      {
-        Ast.distinct = false;
-        projection = Some [ "a"; "c" ];
-        patterns =
-          [
-            { Ast.subj = var "x"; attr = Ast.TConst (Value.S "age"); obj = var "a" };
-            { Ast.subj = var "x"; attr = Ast.TConst (Value.S "num_of_pubs"); obj = var "c" };
-          ];
-        filters = [];
-        union_branches = [];
-        order = Some (Ast.Skyline [ ("a", Ast.Min); ("c", Ast.Max) ]);
-        limit = None;
-      }
+      (Ast.mk_query ~projection:[ "a"; "c" ]
+         ~order:(Ast.Skyline [ ("a", Ast.Min); ("c", Ast.Max) ])
+         [ pat "x" "age" "a"; pat "x" "num_of_pubs" "c" ])
   in
   let union_shape =
     let* t1 = oneofl [ "databases"; "networks" ] and* t2 = oneofl [ "ir"; "systems" ] in
     return
-      {
-        Ast.distinct = true;
-        projection = Some [ "x" ];
-        patterns =
-          [ { Ast.subj = var "x"; attr = Ast.TConst (Value.S "interested_in"); obj = var "t" } ];
-        filters = [ Ast.ECmp (Ast.Eq, Ast.EVar "t", Ast.EConst (Value.S t1)) ];
-        union_branches =
-          [
-            ( [ { Ast.subj = var "x"; attr = Ast.TConst (Value.S "classified_in"); obj = var "u" } ],
-              [ Ast.ECmp (Ast.Eq, Ast.EVar "u", Ast.EConst (Value.S t2)) ] );
-          ];
-        order = None;
-        limit = None;
-      }
+      (Ast.mk_query ~distinct:true ~projection:[ "x" ]
+         ~filters:[ Ast.ECmp (Ast.Eq, Ast.EVar "t", Ast.EConst (Value.S t1)) ]
+         ~union_branches:
+           [
+             ( [ pat "x" "classified_in" "u" ],
+               [ Ast.ECmp (Ast.Eq, Ast.EVar "u", Ast.EConst (Value.S t2)) ] );
+           ]
+         [ pat "x" "interested_in" "t" ])
   in
   let contains_shape =
-    let* pat = oneofl [ "base"; "data"; "net"; "sys"; "ern" ] in
+    let* pat_s = oneofl [ "base"; "data"; "net"; "sys"; "ern" ] in
     return
-      {
-        Ast.distinct = false;
-        projection = Some [ "x"; "v" ];
-        patterns = [ { Ast.subj = var "x"; attr = Ast.TConst (Value.S "interested_in"); obj = var "v" } ];
-        filters = [ Ast.EContains (Ast.EVar "v", Ast.EConst (Value.S pat)) ];
-        union_branches = [];
-        order = None;
-        limit = None;
-      }
+      (Ast.mk_query ~projection:[ "x"; "v" ]
+         ~filters:[ Ast.EContains (Ast.EVar "v", Ast.EConst (Value.S pat_s)) ]
+         [ pat "x" "interested_in" "v" ])
   in
   oneof [ single; star_join; var_attr; skyline; union_shape; contains_shape ]
 

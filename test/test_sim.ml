@@ -261,9 +261,9 @@ let test_trace_outcomes () =
 
 let test_trace_analysis () =
   let tr = Trace.create () in
-  ignore (Trace.record tr ~time:10.0 ~src:0 ~dst:1 ~kind:"lookup" ~bytes:10);
-  ignore (Trace.record tr ~time:220.0 ~src:1 ~dst:2 ~kind:"lookup" ~bytes:20);
-  (Trace.record tr ~time:230.0 ~src:2 ~dst:0 ~kind:"found" ~bytes:30).Trace.outcome <-
+  ignore (Trace.record tr ~time:10.0 ~src:0 ~dst:1 ~kind:"lookup" ~bytes:10 ());
+  ignore (Trace.record tr ~time:220.0 ~src:1 ~dst:2 ~kind:"lookup" ~bytes:20 ());
+  (Trace.record tr ~time:230.0 ~src:2 ~dst:0 ~kind:"found" ~bytes:30 ()).Trace.outcome <-
     Trace.Delivered;
   (match Trace.by_kind tr with
   | (k1, c1, b1) :: _ ->

@@ -146,7 +146,7 @@ let test_parse_union () =
 let test_parse_constant_pattern () =
   let q = parse_ok "SELECT ?a WHERE { (?a, 'year', 2006) }" in
   match q.Ast.patterns with
-  | [ { Ast.subj = Ast.TVar "a"; attr = Ast.TConst (Value.S "year"); obj = Ast.TConst (Value.I 2006) } ] ->
+  | [ { Ast.subj = Ast.TVar "a"; attr = Ast.TConst (Value.S "year"); obj = Ast.TConst (Value.I 2006); _ } ] ->
     ()
   | _ -> Alcotest.fail "pattern terms"
 
