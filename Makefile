@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test lint bench bench-baseline clean
+.PHONY: all check test lint bench bench-baseline bench-smoke clean
 
 all: check
 
@@ -36,6 +36,13 @@ bench:
 # "Baseline numbers".
 bench-baseline:
 	dune exec bench/main.exe -- core
+
+# CI bench gate: the small cached-vs-uncached run. Fails if the caching
+# subsystem stops engaging (zero hits) or stops paying for itself.
+# The committed full-size numbers live in BENCH_cache.json
+# (regenerate with `dune exec bench/main.exe -- cache`).
+bench-smoke:
+	dune exec bench/main.exe -- cache-smoke
 
 clean:
 	dune clean

@@ -161,6 +161,12 @@ let run () =
   let routing = List.map routing_at [ 16; 64; 256 ] in
   Printf.printf "routing: lookup hop/latency percentiles at 16/64/256 peers\n";
   let store, ds = Common.build_pubs ~peers:64 ~authors:40 () in
+  (* Warm up statistics gossip so the query series measures the default
+     production path (plans built from gossiped statistics), matching
+     the CLI; the warm-up messages stay outside the measured windows. *)
+  for _ = 1 to 4 do
+    Unistore.gossip_stats_round store
+  done;
   let ranges =
     List.map (range_cost store)
       [ ("narrow (1 year)", 2004, 2004); ("half (4 years)", 2001, 2004); ("full (all years)", 1990, 2010) ]

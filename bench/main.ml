@@ -23,6 +23,8 @@ let experiments =
     ("e12", "E12: schema mappings", Exp_mappings.run);
     ("e13", "E13: routing techniques (random vs proximity)", Exp_routing.run);
     ("e14", "E14: decentralized construction + merging", Exp_bootstrap.run);
+    ("cache", "E-cache: multi-level caching, cached vs uncached -> BENCH_cache.json", Exp_cache.run);
+    ("cache-smoke", "E-cache smoke variant (CI gate, no file output)", Exp_cache.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -46,7 +46,13 @@ let strategy_t =
   let enumc = Arg.enum [ ("centralized", Unistore.Centralized); ("mutant", Unistore.Mutant) ] in
   Arg.(value & opt enumc Unistore.Centralized & info [ "strategy" ] ~docv:"S" ~doc:"Execution strategy: $(b,centralized) or $(b,mutant).")
 
-let setup ~peers ~seed ~overlay ~latency ~authors ~dataset =
+let no_cache_t =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the caching subsystem (routing shortcuts, result caches, gossiped \
+                 statistics); the optimizer then plans from oracle statistics.")
+
+let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache =
   let rng = Unistore_util.Rng.create (seed + 1) in
   let tuples, triples, sample =
     match dataset with
@@ -70,13 +76,20 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset =
       in
       (tuples, triples, sample)
   in
+  let cache = if no_cache then Unistore.no_cache else Unistore.default_cache_config in
   let store =
     Unistore.create ~sample_keys:sample
-      { Unistore.default_config with peers; seed; overlay; latency }
+      { Unistore.default_config with peers; seed; overlay; latency; cache }
   in
   let n = Unistore.load store tuples in
   Unistore.set_stats_of_triples store triples;
   Unistore.settle store;
+  (* With caching on, let the statistics gossip converge so the optimizer
+     plans from gossiped summaries rather than the oracle statistics. *)
+  if not no_cache then
+    for _ = 1 to 4 do
+      Unistore.gossip_stats_round store
+    done;
   Format.printf "[%d peers, %s overlay, %d triples loaded]@."
     peers
     (match overlay with Unistore.Pgrid -> "P-Grid" | Unistore.Chord_trie -> "Chord+trie")
@@ -86,9 +99,34 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset =
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
 
-let run_query peers seed overlay latency authors dataset strategy explain_only trace profile
-    metrics check vql =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+(* EXPLAIN ANALYZE: the chosen physical plan with the optimizer's cost
+   estimate next to what each step actually did (from the execution
+   traces that also feed {!Unistore_obs.Profile}). *)
+let print_explain_analyze (report : Unistore.Report.report) =
+  Format.printf "@.plan (estimated vs actual):@.";
+  List.iter
+    (fun (t : Unistore_qproc.Exec.step_trace) ->
+      let step = t.Unistore_qproc.Exec.step in
+      Format.printf "  %a via %a%s at peer%d@."
+        Unistore_vql.Ast.pp_pattern step.Unistore_qproc.Physical.pattern
+        Unistore_qproc.Cost.pp_access step.Unistore_qproc.Physical.access
+        (if step.Unistore_qproc.Physical.bindjoin then " (bind-join)" else "")
+        t.Unistore_qproc.Exec.carrier;
+      Format.printf "    estimated: %a@." Unistore_qproc.Cost.pp_estimate
+        step.Unistore_qproc.Physical.est;
+      Format.printf "    actual:    msgs=%d latency=%.1fms rows=%d -> %d@."
+        t.Unistore_qproc.Exec.messages t.Unistore_qproc.Exec.latency
+        t.Unistore_qproc.Exec.rows_in t.Unistore_qproc.Exec.actual_card)
+    report.Unistore.Report.traces;
+  Format.printf "  total estimated: %a@." Unistore_qproc.Cost.pp_estimate
+    report.Unistore.Report.plan.Unistore_qproc.Physical.total_est;
+  Format.printf "  total actual:    msgs=%d latency=%.1fms rows=%d@."
+    report.Unistore.Report.messages report.Unistore.Report.latency
+    (List.length report.Unistore.Report.rows)
+
+let run_query peers seed overlay latency authors dataset strategy no_cache explain explain_only
+    trace profile metrics check vql =
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache in
   if check then begin
     (* Static analysis only: parse, run the semantic analyzer against the
        catalog derived from the loaded dataset's statistics, report
@@ -115,6 +153,7 @@ let run_query peers seed overlay latency authors dataset strategy explain_only t
       Format.printf "@.%a@." Unistore.pp_table report;
       Format.printf "strategy=%a bytes_shipped=%d@." Unistore.Report.pp_strategy
         report.Unistore.Report.strategy report.Unistore.Report.bytes_shipped;
+      if explain then print_explain_analyze report;
       if trace then begin
         (* The paper's traceability story: per-step execution log. *)
         Format.printf "@.execution trace:@.";
@@ -134,7 +173,15 @@ let run_query peers seed overlay latency authors dataset strategy explain_only t
 
 let query_cmd =
   let vql_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"VQL" ~doc:"The VQL query.") in
-  let explain_t = Arg.(value & flag & info [ "explain" ] ~doc:"Only show the plan; do not execute.") in
+  let explain_t =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Execute, then print the chosen physical plan with each step's estimated cost \
+                   (messages/latency/cardinality) next to what it actually cost.")
+  in
+  let explain_only_t =
+    Arg.(value & flag & info [ "explain-only" ] ~doc:"Only show the plan; do not execute.")
+  in
   let trace_t =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-step execution trace (operator, carrier peer, rows, messages).")
   in
@@ -150,7 +197,8 @@ let query_cmd =
   let term =
     Term.(
       const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
-      $ strategy_t $ explain_t $ trace_t $ profile_t $ metrics_t $ check_t $ vql_t)
+      $ strategy_t $ no_cache_t $ explain_t $ explain_only_t $ trace_t $ profile_t $ metrics_t
+      $ check_t $ vql_t)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
 
@@ -183,7 +231,7 @@ let demo_workload = function
     ]
 
 let lint peers seed overlay latency authors dataset allowed_revisits =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false in
   let failures = ref 0 in
   let report section diags =
     Format.printf "@.%s:@." section;
@@ -249,7 +297,7 @@ let lint_cmd =
 (* repl                                                                *)
 
 let repl peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false in
   Format.printf
     "Interactive VQL. End with ';' on its own line. Commands: \\help \\stats \\peers \\quit@.";
   let buf = Buffer.create 256 in
@@ -304,7 +352,7 @@ let repl_cmd =
 (* inspect                                                             *)
 
 let inspect peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false in
   match Unistore.pgrid store with
   | None -> Format.printf "inspect currently supports the P-Grid overlay only@."
   | Some ov ->

@@ -171,3 +171,30 @@ let lint ?(allowed_revisits = 0) ?metrics ~rules tr =
     (check_clocks events @ check_replies rules tbl
     @ check_loops ~allowed_revisits rules events
     @ conservation @ check_in_flight tr)
+
+(* ------------------------------------------------------------------ *)
+(* Cache staleness: monotone reads                                     *)
+
+type read_obs = { origin : int; key : string; item_id : string; version : int }
+
+let monotone_reads obs =
+  (* Highest version each origin has observed per (key, item). *)
+  let best : (int * string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let diags = ref [] in
+  List.iter
+    (fun (r : read_obs) ->
+      let k = (r.origin, r.key, r.item_id) in
+      (match Hashtbl.find_opt best k with
+      | Some seen when r.version < seen ->
+        diags :=
+          D.makef ~severity:D.Error ~code:"stale-read"
+            "origin %d read item %s (key %S) at version %d after having already observed \
+             version %d"
+            r.origin r.item_id r.key r.version seen
+          :: !diags
+      | _ -> ());
+      match Hashtbl.find_opt best k with
+      | Some seen when seen >= r.version -> ()
+      | _ -> Hashtbl.replace best k r.version)
+    obs;
+  List.rev !diags

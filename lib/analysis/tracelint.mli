@@ -45,3 +45,24 @@ val chord_rules : rules
     conservation check. *)
 val lint :
   ?allowed_revisits:int -> ?metrics:Metrics.t -> rules:rules -> Trace.t -> Diagnostic.t list
+
+(** {2 Cache staleness}
+
+    Result and routing caches must never make time run backwards for a
+    client: once an origin has seen version [v] of an item, a later read
+    returning an older version means a cache served a stale entry past
+    its invalidation ("monotone reads" session guarantee). The facade
+    records every successful lookup as a {!read_obs}. *)
+
+type read_obs = {
+  origin : int;  (** peer the read completed at *)
+  key : string;  (** encoded index key that was read *)
+  item_id : string;
+  version : int;  (** version of the item the read returned *)
+}
+
+(** [monotone_reads obs] replays the observations in order and reports a
+    ["stale-read"] error for every read that returned a version older
+    than one the same origin had already observed for the same (key,
+    item). *)
+val monotone_reads : read_obs list -> Diagnostic.t list

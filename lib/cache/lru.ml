@@ -1,0 +1,66 @@
+type 'a entry = { value : 'a; mutable used : int }
+
+type 'a t = {
+  mutable capacity : int;
+  mutable clock : int;  (* monotone use counter *)
+  tbl : (string, 'a entry) Hashtbl.t;
+}
+
+let create ~capacity = { capacity = max 0 capacity; clock = 0; tbl = Hashtbl.create 16 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+let clear t = Hashtbl.reset t.tbl
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    e.used <- tick t;
+    Some e.value
+  | None -> None
+
+let peek t key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl key)
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with Some (_, u) when u <= e.used -> acc | _ -> Some (k, e.used))
+      t.tbl None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let put t key v =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some _ -> Hashtbl.remove t.tbl key
+    | None -> ());
+    while Hashtbl.length t.tbl >= t.capacity do
+      evict_one t
+    done;
+    Hashtbl.replace t.tbl key { value = v; used = tick t }
+  end
+
+let remove t key = Hashtbl.remove t.tbl key
+
+let set_capacity t c =
+  let c = max 0 c in
+  t.capacity <- c;
+  if c = 0 then clear t
+  else
+    while Hashtbl.length t.tbl > c do
+      evict_one t
+    done
+
+let filter_inplace t f =
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if f k e.value then acc else k :: acc) t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) doomed;
+  List.length doomed
+
+let iter t f = Hashtbl.iter (fun k e -> f k e.value) t.tbl

@@ -1,0 +1,48 @@
+module Metrics = Unistore_obs.Metrics
+
+type 'a entry = { value : 'a; version : int; stored_at : float }
+
+type 'a t = {
+  name : string;
+  mutable metrics : Metrics.t option;
+  ttl_ms : float;
+  lru : 'a entry Lru.t;
+}
+
+let create ?(name = "cache.result") ?metrics ~capacity ~ttl_ms () =
+  { name; metrics; ttl_ms; lru = Lru.create ~capacity }
+
+let set_metrics t m = t.metrics <- m
+let length t = Lru.length t.lru
+let capacity t = Lru.capacity t.lru
+
+let bump t what =
+  match t.metrics with Some m -> Metrics.incr m (t.name ^ "." ^ what) | None -> ()
+
+let find t ~key ~version ~now =
+  match Lru.find t.lru key with
+  | None ->
+    bump t "miss";
+    None
+  | Some e when e.version <> version ->
+    Lru.remove t.lru key;
+    bump t "stale_version";
+    None
+  | Some e when now -. e.stored_at > t.ttl_ms ->
+    Lru.remove t.lru key;
+    bump t "stale_ttl";
+    None
+  | Some e ->
+    bump t "hit";
+    Some e.value
+
+let mem t ~key ~version ~now =
+  match Lru.peek t.lru key with
+  | Some e -> e.version = version && now -. e.stored_at <= t.ttl_ms
+  | None -> false
+
+let put t ~key ~version ~now v =
+  Lru.put t.lru key { value = v; version; stored_at = now }
+
+let invalidate t ~key = Lru.remove t.lru key
+let clear t = Lru.clear t.lru

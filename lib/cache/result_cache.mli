@@ -1,0 +1,53 @@
+(** Versioned result cache with TTL fallback (level 2 of the caching
+    subsystem).
+
+    A query origin keeps the answers of recent triple-pattern accesses
+    so that repeated lookups — including the per-key probes of bind-
+    joins — cost zero messages. Two invalidation mechanisms compose:
+
+    - {b version}: every entry records the version of the data it was
+      computed against (writes bump versions locally; gossiped
+      statistics carry remote peers' write epochs, see {!Statcache}).
+      A [find] under a newer version discards the entry — the precise
+      channel.
+    - {b TTL}: entries also expire [ttl_ms] after insertion — the
+      safety net for writes whose version bump has not reached this
+      origin yet.
+
+    Instrumentation: when a metrics registry is attached, every [find]
+    bumps ["<name>.hit"], ["<name>.miss"], ["<name>.stale_version"] or
+    ["<name>.stale_ttl"]. Capacity 0 disables the cache. *)
+
+type 'a t
+
+(** [create ~capacity ~ttl_ms ()] — [name] (default ["cache.result"])
+    prefixes the metric counters; [metrics] enables them. *)
+val create :
+  ?name:string ->
+  ?metrics:Unistore_obs.Metrics.t ->
+  capacity:int ->
+  ttl_ms:float ->
+  unit ->
+  'a t
+
+val set_metrics : 'a t -> Unistore_obs.Metrics.t option -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+(** [find t ~key ~version ~now] returns the cached value if it is still
+    current: stored under the same [version] and younger than the TTL.
+    Stale entries are removed and counted by staleness cause. *)
+val find : 'a t -> key:string -> version:int -> now:float -> 'a option
+
+(** [mem t ~key ~version ~now] is [find <> None] with no side effect at
+    all: no recency refresh, no stale-entry eviction, no counters. The
+    optimizer's cost-biasing probe — checking whether an access would be
+    answered from cache must not distort the hit/miss statistics. *)
+val mem : 'a t -> key:string -> version:int -> now:float -> bool
+
+(** [put t ~key ~version ~now v] caches [v] as computed under
+    [version] at time [now]. *)
+val put : 'a t -> key:string -> version:int -> now:float -> 'a -> unit
+
+val invalidate : 'a t -> key:string -> unit
+val clear : 'a t -> unit

@@ -1,0 +1,54 @@
+module SMap = Map.Make (String)
+
+type entry = { hi : string option; peer : int; mutable used : int }
+
+type t = { mutable capacity : int; mutable clock : int; mutable map : entry SMap.t }
+
+let create ~capacity = { capacity = max 0 capacity; clock = 0; map = SMap.empty }
+
+let capacity t = t.capacity
+let length t = SMap.cardinal t.map
+let clear t = t.map <- SMap.empty
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_one t =
+  let victim =
+    SMap.fold
+      (fun lo e acc ->
+        match acc with Some (_, u) when u <= e.used -> acc | _ -> Some (lo, e.used))
+      t.map None
+  in
+  match victim with Some (lo, _) -> t.map <- SMap.remove lo t.map | None -> ()
+
+let learn t ~lo ~hi ~peer =
+  if t.capacity > 0 then begin
+    if not (SMap.mem lo t.map) then
+      while SMap.cardinal t.map >= t.capacity do
+        evict_one t
+      done;
+    t.map <- SMap.add lo { hi; peer; used = tick t } t.map
+  end
+
+let find t ~key =
+  match SMap.find_last_opt (fun lo -> String.compare lo key <= 0) t.map with
+  | Some (_, e) when (match e.hi with None -> true | Some h -> String.compare key h < 0) ->
+    e.used <- tick t;
+    Some e.peer
+  | _ -> None
+
+let invalidate_peer t peer =
+  let before = SMap.cardinal t.map in
+  t.map <- SMap.filter (fun _ e -> e.peer <> peer) t.map;
+  before - SMap.cardinal t.map
+
+let set_capacity t c =
+  let c = max 0 c in
+  t.capacity <- c;
+  if c = 0 then clear t
+  else
+    while SMap.cardinal t.map > c do
+      evict_one t
+    done

@@ -1,0 +1,43 @@
+(** Routing shortcut cache (level 1 of the caching subsystem).
+
+    Greedy trie routing resolves every request in O(log n) hops, but a
+    query origin keeps seeing the same responsible peers: every [Found]
+    or [Ack] reply names the region its sender is responsible for, and
+    remembering (region → peer) lets the next request to that region go
+    in one hop. This table holds those learned long-range links.
+
+    Entries are keyed by their region — [lo] inclusive, [hi] exclusive
+    ([None] = unbounded above), exactly the shape of
+    {!Unistore_pgrid.Node.region} — so a containment lookup finds the
+    unique learned peer for a key. Regions learned from replies never
+    overlap (they partition the key space as long as peer paths are
+    stable), so [find] is unambiguous; a peer that did split since we
+    learned it merely forwards the request onward from a closer point.
+
+    Eviction is LRU by a use counter; capacity 0 disables the cache
+    (the "caching off" arm of experiments). Dead peers are invalidated
+    by the routing layer: on a request timeout, or when a containment
+    hit points at a peer the network reports dead. *)
+
+type t
+
+val create : capacity:int -> t
+val set_capacity : t -> int -> unit
+val capacity : t -> int
+val length : t -> int
+
+(** [learn t ~lo ~hi ~peer] remembers that [peer] is responsible for
+    [[lo, hi)], replacing any previous entry for the same region and
+    evicting the least recently used entry beyond capacity. *)
+val learn : t -> lo:string -> hi:string option -> peer:int -> unit
+
+(** [find t ~key] is the learned peer whose region contains [key], if
+    any; a hit refreshes the entry's recency. *)
+val find : t -> key:string -> int option
+
+(** [invalidate_peer t peer] drops every entry pointing at [peer]
+    (called when [peer] times out or is seen dead); returns the number
+    of entries removed. *)
+val invalidate_peer : t -> int -> int
+
+val clear : t -> unit

@@ -1,0 +1,86 @@
+type summary = {
+  attr : string;
+  region_lo : string;
+  peer : int;
+  count : int;
+  distinct : int;
+  lo : string;
+  hi : string;
+  string_valued : bool;
+  version : int;
+  sampled_at : float;
+}
+
+let summary_bytes s =
+  String.length s.attr + String.length s.region_lo + String.length s.lo + String.length s.hi + 29
+
+type agg = {
+  a_count : float;
+  a_distinct : int;
+  a_lo : string;
+  a_hi : string;
+  a_string : bool;
+  a_version : int;
+  a_regions : int;
+}
+
+type t = { tbl : (string * string, summary) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+let length t = Hashtbl.length t.tbl
+let clear t = Hashtbl.reset t.tbl
+
+let fresher a b =
+  a.version > b.version || (a.version = b.version && a.sampled_at > b.sampled_at)
+
+let merge t s =
+  let key = (s.attr, s.region_lo) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some old when not (fresher s old) -> false
+  | _ ->
+    Hashtbl.replace t.tbl key s;
+    true
+
+let summaries t = Hashtbl.fold (fun _ s acc -> s :: acc) t.tbl []
+
+let aggregate t ~now ~half_life_ms =
+  let accs : (string, agg ref) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ s ->
+      let weight =
+        if half_life_ms <= 0.0 then 1.0
+        else 0.5 ** (Float.max 0.0 (now -. s.sampled_at) /. half_life_ms)
+      in
+      let contrib =
+        {
+          a_count = weight *. float_of_int s.count;
+          a_distinct = s.distinct;
+          a_lo = s.lo;
+          a_hi = s.hi;
+          a_string = s.string_valued;
+          a_version = s.version;
+          a_regions = 1;
+        }
+      in
+      match Hashtbl.find_opt accs s.attr with
+      | None -> Hashtbl.replace accs s.attr (ref contrib)
+      | Some acc ->
+        let a = !acc in
+        acc :=
+          {
+            a_count = a.a_count +. contrib.a_count;
+            a_distinct = a.a_distinct + contrib.a_distinct;
+            a_lo = (if String.compare contrib.a_lo a.a_lo < 0 then contrib.a_lo else a.a_lo);
+            a_hi = (if String.compare contrib.a_hi a.a_hi > 0 then contrib.a_hi else a.a_hi);
+            a_string = a.a_string || contrib.a_string;
+            a_version = a.a_version + contrib.a_version;
+            a_regions = a.a_regions + 1;
+          })
+    t.tbl;
+  Hashtbl.fold (fun a acc l -> (a, !acc) :: l) accs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let attr_version t a =
+  Hashtbl.fold (fun (attr, _) s acc -> if String.equal attr a then acc + s.version else acc) t.tbl 0
+
+let total_version t = Hashtbl.fold (fun _ s acc -> acc + s.version) t.tbl 0

@@ -17,8 +17,28 @@ module Report = Unistore_qproc.Engine
 module Metrics = Unistore_obs.Metrics
 module Profile = Unistore_obs.Profile
 module Json = Unistore_obs.Json
+module Statcache = Unistore_cache.Statcache
+module Qcache = Unistore_qproc.Qcache
 
 type overlay_kind = Pgrid | Chord_trie
+
+type cache_config = {
+  shortcut_capacity : int;
+  result_capacity : int;
+  result_ttl_ms : float;
+  stats_half_life_ms : float;
+}
+
+let default_cache_config =
+  {
+    shortcut_capacity = 128;
+    result_capacity = 256;
+    result_ttl_ms = 30_000.0;
+    stats_half_life_ms = 120_000.0;
+  }
+
+let no_cache =
+  { shortcut_capacity = 0; result_capacity = 0; result_ttl_ms = 0.0; stats_half_life_ms = 0.0 }
 
 type config = {
   peers : int;
@@ -30,6 +50,7 @@ type config = {
   overlay : overlay_kind;
   qgram_index : bool;
   load_balanced : bool;
+  cache : cache_config;
 }
 
 let default_config =
@@ -43,6 +64,7 @@ let default_config =
     overlay = Pgrid;
     qgram_index = true;
     load_balanced = true;
+    cache = default_cache_config;
   }
 
 type t = {
@@ -53,6 +75,10 @@ type t = {
   pgrid : Overlay.t option;
   chord : Chord.t option;
   metrics : Metrics.t;
+  qcaches : (int, Qcache.t) Hashtbl.t;  (* per-origin result caches, lazily built *)
+  write_versions : (string, int) Hashtbl.t;
+  global_writes : int ref;
+  read_log : Unistore_analysis.Tracelint.read_obs list ref;
   mutable stats : Qstats.t;
   mutable next_origin : int;
 }
@@ -69,6 +95,7 @@ let create ?(sample_keys = []) config =
           Config.default with
           Config.replication = config.replication;
           refs_per_level = config.refs_per_level;
+          shortcut_capacity = config.cache.shortcut_capacity;
         }
       in
       let ov =
@@ -97,6 +124,10 @@ let create ?(sample_keys = []) config =
     pgrid;
     chord;
     metrics;
+    qcaches = Hashtbl.create 8;
+    write_versions = Hashtbl.create 16;
+    global_writes = ref 0;
+    read_log = ref [];
     stats = Qstats.empty;
     next_origin = 0;
   }
@@ -107,6 +138,51 @@ let tstore t = t.tstore
 let dht t = t.dht
 let pgrid t = t.pgrid
 
+(* The result cache's invalidation version for an attribute (or for
+   attribute-agnostic accesses, [None]): writes issued through this
+   facade bump the local counters immediately; write epochs arriving
+   with gossiped statistics ({!Statcache.attr_version}) cover writes
+   this client never saw. *)
+let version_of t ~origin attr =
+  let gossiped =
+    match t.dht.Dht.statcache_of with
+    | None -> 0
+    | Some cache_of -> (
+      let sc = cache_of origin in
+      match attr with
+      | Some a -> Statcache.attr_version sc a
+      | None -> Statcache.total_version sc)
+  in
+  match attr with
+  | Some a -> gossiped + Option.value ~default:0 (Hashtbl.find_opt t.write_versions a)
+  | None -> gossiped + !(t.global_writes)
+
+(* Result caches are per query origin — a hit must mean {e this} client
+   asked recently, not that any peer in the deployment did. *)
+let result_cache t ~origin =
+  if t.config.cache.result_capacity <= 0 then None
+  else
+    Some
+      (match Hashtbl.find_opt t.qcaches origin with
+      | Some c -> c
+      | None ->
+        let c =
+          Qcache.create ~metrics:t.metrics ~capacity:t.config.cache.result_capacity
+            ~ttl_ms:t.config.cache.result_ttl_ms
+            ~now:(fun () -> Sim.now t.sim)
+            ~version_of:(version_of t ~origin) ()
+        in
+        Hashtbl.add t.qcaches origin c;
+        c)
+
+let bump_write t attr =
+  incr t.global_writes;
+  match attr with
+  | Some a ->
+    Hashtbl.replace t.write_versions a
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.write_versions a))
+  | None -> ()
+
 let pick_origin t =
   let o = t.next_origin in
   t.next_origin <- (t.next_origin + 1) mod t.config.peers;
@@ -114,18 +190,22 @@ let pick_origin t =
 
 let insert_triple t ?origin tr =
   let origin = match origin with Some o -> o | None -> pick_origin t in
+  bump_write t (Some tr.Triple.attr);
   Tstore.insert_sync t.tstore ~origin tr
 
 let insert_tuple t ?origin ~oid fields =
   let origin = match origin with Some o -> o | None -> pick_origin t in
+  List.iter (fun (a, _) -> bump_write t (Some a)) fields;
   Tstore.insert_tuple_sync t.tstore ~origin ~oid fields
 
 let delete_triple t ?origin tr =
   let origin = match origin with Some o -> o | None -> pick_origin t in
+  bump_write t (Some tr.Triple.attr);
   Tstore.delete_sync t.tstore ~origin tr
 
 let update_value t ?origin ~oid ~attr ~old_value new_value =
   let origin = match origin with Some o -> o | None -> pick_origin t in
+  bump_write t (Some attr);
   Tstore.update_value_sync t.tstore ~origin ~oid ~attr ~old_value new_value
 
 let load t tuples =
@@ -133,25 +213,53 @@ let load t tuples =
 
 let add_mapping t ?origin a b =
   let origin = match origin with Some o -> o | None -> pick_origin t in
+  bump_write t None;
   Tstore.add_mapping_sync t.tstore ~origin a b
 
 let refresh_stats t = t.stats <- Qstats.collect t.tstore ~origin:0
 let set_stats_of_triples t triples = t.stats <- Qstats.of_triples triples
 let stats t = t.stats
 
+(* ------------------------------------------------------------------ *)
+(* Gossiped statistics (level 3 of the caching subsystem)              *)
+
+let gossip_stats_round t =
+  match t.dht.Dht.stat_gossip_round with Some round -> round () | None -> ()
+
+let gossiped_stats t ~origin =
+  match t.dht.Dht.statcache_of with
+  | None -> None
+  | Some cache_of ->
+    let sc = cache_of origin in
+    if Statcache.length sc = 0 then None
+    else
+      Some
+        (Qstats.of_summaries
+           (Statcache.aggregate sc ~now:(Sim.now t.sim)
+              ~half_life_ms:t.config.cache.stats_half_life_ms))
+
+(* The optimizer's statistics for a query from [origin]: what gossip has
+   delivered there, falling back to the facade-held (oracle or flooded)
+   statistics only when no summary has arrived yet. *)
+let stats_for t ~origin =
+  match gossiped_stats t ~origin with Some s -> s | None -> t.stats
+
 type strategy = Engine.strategy = Centralized | Mutant
 
 let query t ?(origin = 0) ?strategy ?expand_mappings src =
-  Engine.run_string t.tstore t.stats ~replication:t.config.replication ?strategy ?expand_mappings
-    ~origin src
+  Engine.run_string t.tstore (stats_for t ~origin) ~replication:t.config.replication
+    ~metrics:t.metrics
+    ?cache:(result_cache t ~origin)
+    ?strategy ?expand_mappings ~origin src
 
 let explain t ?(origin = 0) ?expand_mappings src =
   match Unistore_vql.Parser.parse src with
   | Error e -> Error e
   | Ok q ->
     Ok
-      (Engine.plan_query t.tstore t.stats ~replication:t.config.replication ?expand_mappings
-         ~origin q)
+      (Engine.plan_query t.tstore (stats_for t ~origin) ~replication:t.config.replication
+         ?cache:(result_cache t ~origin)
+         ?expand_mappings ~origin q)
 
 let pp_table = Engine.pp_table
 let pp_plan = Physical.pp
@@ -235,6 +343,33 @@ module Audit = Unistore_analysis.Audit
 let check t src =
   Semantic.analyze_string ~catalog:(Engine.catalog_of_stats t.stats) src
   |> Result.map snd
+
+(* Read observations for the monotone-reads (cache staleness) lint. *)
+
+let record_reads t =
+  match t.pgrid with
+  | None -> ()
+  | Some ov ->
+    Overlay.set_read_observer ov
+      (Some
+         (fun ~origin items ->
+           List.iter
+             (fun (i : Unistore_pgrid.Store.item) ->
+               t.read_log :=
+                 {
+                   Tracelint.origin;
+                   key = i.Unistore_pgrid.Store.key;
+                   item_id = i.Unistore_pgrid.Store.item_id;
+                   version = i.Unistore_pgrid.Store.version;
+                 }
+                 :: !(t.read_log))
+             items))
+
+let stop_recording_reads t =
+  match t.pgrid with None -> () | Some ov -> Overlay.set_read_observer ov None
+
+let read_log t = List.rev !(t.read_log)
+let lint_reads t = Tracelint.monotone_reads (read_log t)
 
 let audit t =
   match (t.pgrid, t.chord) with

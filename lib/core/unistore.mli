@@ -26,6 +26,24 @@ type overlay_kind =
   | Pgrid  (** the paper's substrate: order-preserving trie overlay *)
   | Chord_trie  (** baseline: Chord ring + DHT-hosted trie for ranges *)
 
+(** Knobs of the multi-level caching subsystem ([unistore.cache]):
+    per-peer routing-shortcut slots (level 1), the query origin's result
+    cache (level 2) and the decay applied when aggregating gossiped
+    statistics (level 3). Zero capacities disable a level; {!no_cache}
+    disables everything (the uncached baseline of the E-cache
+    benchmark). *)
+type cache_config = {
+  shortcut_capacity : int;  (** routing shortcuts per peer; 0 disables *)
+  result_capacity : int;  (** entries per result cache; 0 disables *)
+  result_ttl_ms : float;  (** result-cache TTL safety net *)
+  stats_half_life_ms : float;
+      (** age at which a gossiped summary's weight halves; <= 0 disables
+          decay *)
+}
+
+val default_cache_config : cache_config
+val no_cache : cache_config
+
 type config = {
   peers : int;
   replication : int;
@@ -36,6 +54,7 @@ type config = {
   overlay : overlay_kind;
   qgram_index : bool;  (** maintain the string-similarity index *)
   load_balanced : bool;  (** P-Grid data-aware partitioning (needs sample) *)
+  cache : cache_config;
 }
 
 val default_config : config
@@ -89,13 +108,38 @@ val refresh_stats : t -> unit
 val set_stats_of_triples : t -> Triple.t list -> unit
 val stats : t -> Unistore_qproc.Qstats.t
 
+(** {2 Gossiped statistics} — the decentralized replacement for the two
+    collectors above. Responsible peers sample their local stores into
+    per-attribute summaries which spread epidemically; each round is one
+    {!Unistore_pgrid.Gossip.stats_round} (P-Grid only, driven to
+    completion). Once summaries have arrived, {!query} and {!explain}
+    plan from them instead of the facade-held statistics. *)
+
+(** One sampling + push round; no-op on substrates without statistics
+    gossip (Chord). *)
+val gossip_stats_round : t -> unit
+
+(** [gossiped_stats t ~origin] aggregates the statistics cache gossip has
+    built at [origin] (with age decay, see {!cache_config}); [None] while
+    no summary has arrived there — callers fall back to {!stats}. *)
+val gossiped_stats : t -> origin:int -> Unistore_qproc.Qstats.t option
+
+(** [result_cache t ~origin] is that origin's result cache (caches are
+    per query origin: a hit must mean {e this} client asked recently,
+    not that any peer did), created on first use — exposed for tests and
+    the CLI. [None] iff [cache.result_capacity = 0]. *)
+val result_cache : t -> origin:int -> Unistore_qproc.Qcache.t option
+
 (** {2 Querying} *)
 
 type strategy = Unistore_qproc.Engine.strategy = Centralized | Mutant
 
 (** [query t vql] parses, optimizes and executes a VQL query.
     [expand_mappings] rewrites constant attributes through published
-    schema correspondences. *)
+    schema correspondences. Plans from gossiped statistics when
+    available (see {!gossiped_stats}) and serves repeated accesses from
+    the result cache (hit/miss counters land in {!metrics} under
+    ["cache.result.*"] / ["cache.bind.*"]). *)
 val query :
   t ->
   ?origin:int ->
@@ -210,3 +254,16 @@ val audit : t -> Diagnostic.t list
 val lint_trace :
   t -> ?allowed_revisits:int -> ?against_metrics:bool -> Unistore_sim.Trace.t ->
   Diagnostic.t list
+
+(** {2 Read-staleness linting}
+
+    [record_reads] starts logging every successful lookup (P-Grid only)
+    as a {!Unistore_analysis.Tracelint.read_obs}; {!lint_reads} then
+    replays the log through the monotone-reads check — a read returning
+    a version older than one this client already observed means a cache
+    (shortcut or result) served past its invalidation. *)
+
+val record_reads : t -> unit
+val stop_recording_reads : t -> unit
+val read_log : t -> Tracelint.read_obs list
+val lint_reads : t -> Diagnostic.t list

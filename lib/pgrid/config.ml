@@ -7,6 +7,7 @@ type t = {
   proximity_routing : bool;
   gossip_fanout : int;
   max_hops : int;
+  shortcut_capacity : int;
 }
 
 let default =
@@ -19,4 +20,5 @@ let default =
     proximity_routing = false;
     gossip_fanout = 2;
     max_hops = 128;
+    shortcut_capacity = 128;
   }

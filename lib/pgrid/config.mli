@@ -16,6 +16,10 @@ type t = {
   max_hops : int;
       (** messages are dropped beyond this hop count (loop protection in
           not-yet-converged overlays) *)
+  shortcut_capacity : int;
+      (** routing-shortcut cache entries kept per peer (learned
+          region → peer links consulted before greedy routing);
+          0 disables shortcut caching *)
 }
 
 val default : t

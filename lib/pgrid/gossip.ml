@@ -1,4 +1,5 @@
 module Rng = Unistore_util.Rng
+module Statcache = Unistore_cache.Statcache
 
 let anti_entropy_round ov =
   let net = Overlay.net ov in
@@ -14,6 +15,33 @@ let anti_entropy_round ov =
             (Message.SyncDigest { digest = Store.digest nd.store })
       end)
     (Overlay.nodes ov)
+
+(* Statistics dissemination is push-epidemic rather than push-pull like
+   anti-entropy: summaries are tiny (a few tens of bytes per attribute),
+   so each peer just pushes everything it knows to [gossip_fanout]
+   random alive peers. Within O(log n) rounds every origin holds a
+   summary for every (attribute, region) pair. *)
+let stats_round ov ~sample =
+  let net = Overlay.net ov in
+  let rng = Overlay.rng ov in
+  let sim = Overlay.sim ov in
+  let nodes = Overlay.nodes ov in
+  let alive = List.filter (fun (nd : Node.t) -> Net.is_alive net nd.id) nodes in
+  List.iter
+    (fun (nd : Node.t) ->
+      (* Refresh my own summaries from the local store before pushing. *)
+      List.iter
+        (fun s -> ignore (Statcache.merge nd.stat_cache s))
+        (sample ~now:(Sim.now sim) nd);
+      let others = List.filter (fun (o : Node.t) -> o.id <> nd.id) alive in
+      let fanout = (Overlay.config ov).Config.gossip_fanout in
+      let summaries = Statcache.summaries nd.stat_cache in
+      if summaries <> [] then
+        List.iter
+          (fun (target : Node.t) ->
+            Net.send net ~src:nd.id ~dst:target.id (Message.StatGossip { summaries }))
+          (Rng.sample rng fanout others))
+    alive
 
 let replica_versions ov ~key ~item_id =
   Overlay.responsible ov key

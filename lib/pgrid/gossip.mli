@@ -11,6 +11,18 @@
     [Sim.run_all] (or further operations) to let the exchanges complete. *)
 val anti_entropy_round : Overlay.t -> unit
 
+(** [stats_round ov ~sample] makes every alive peer (1) refresh its own
+    per-attribute statistics summaries via [sample ~now node] — the
+    sampling function lives in the triple layer, which knows how to
+    decode index keys — and (2) push its whole statistics cache to
+    [gossip_fanout] random alive peers (push epidemic; summaries merge
+    newest-wins, see {!Unistore_cache.Statcache}). Run inside the
+    simulator; drive it (e.g. [Sim.run_all]) to let pushes arrive. *)
+val stats_round :
+  Overlay.t ->
+  sample:(now:float -> Node.t -> Unistore_cache.Statcache.summary list) ->
+  unit
+
 (** [replica_versions ov ~key ~item_id] lists, for every peer responsible
     for [key], the version of the item it currently holds ([None] =
     missing). Measurement helper for convergence experiments. *)

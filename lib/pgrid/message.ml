@@ -10,9 +10,9 @@ type t =
   | Delete of { rid : int; key : string; item_id : string; origin : int; hops : int }
   | Replicate of { item : Store.item; rounds_left : int }
   | Unreplicate of { key : string; item_id : string }
-  | Ack of { rid : int; hops : int }
+  | Ack of { rid : int; hops : int; region : string * string option }
   | Lookup of { rid : int; key : string; origin : int; hops : int }
-  | Found of { rid : int; items : Store.item list; hops : int }
+  | Found of { rid : int; items : Store.item list; hops : int; region : string * string option }
   | Range of {
       rid : int;
       token : int;  (** unique per message; echoed by the receiver's hit *)
@@ -41,11 +41,15 @@ type t =
   | SyncDigest of { digest : (string * string * int) list }
   | SyncRequest of { wanted : (string * string) list }
   | SyncItems of { items : Store.item list }
+  | StatGossip of { summaries : Unistore_cache.Statcache.summary list }
   | Exchange of { bytes : int; run : int -> unit }
 
 let header = 20
 
 let items_bytes items = List.fold_left (fun acc i -> acc + Store.item_bytes i) 0 items
+
+let region_bytes (lo, hi) =
+  String.length lo + (match hi with Some h -> String.length h | None -> 0) + 2
 
 let size = function
   | Insert { item; _ } -> header + Store.item_bytes item
@@ -53,9 +57,9 @@ let size = function
   | Delete { key; item_id; _ } -> header + String.length key + String.length item_id
   | Replicate { item; _ } -> header + Store.item_bytes item
   | Unreplicate { key; item_id } -> header + String.length key + String.length item_id
-  | Ack _ -> header
+  | Ack { region; _ } -> header + region_bytes region
   | Lookup { key; _ } -> header + String.length key
-  | Found { items; _ } -> header + items_bytes items
+  | Found { items; region; _ } -> header + items_bytes items + region_bytes region
   | Range { lo; hi; _ } -> header + 16 + String.length lo + String.length hi
   | RangeHit { items; _ } -> header + items_bytes items
   | Probe _ -> header + 32
@@ -66,6 +70,11 @@ let size = function
   | SyncRequest { wanted } ->
     header + List.fold_left (fun acc (k, id) -> acc + String.length k + String.length id) 0 wanted
   | SyncItems { items } -> header + items_bytes items
+  | StatGossip { summaries } ->
+    header
+    + List.fold_left
+        (fun acc s -> acc + Unistore_cache.Statcache.summary_bytes s)
+        0 summaries
   | Exchange { bytes; _ } -> header + bytes
 
 (* Correlation id for request/reply trace linting: the protocol's [rid]
@@ -82,8 +91,8 @@ let corr = function
   | RangeHit { rid; _ }
   | Probe { rid; _ } ->
     rid
-  | Replicate _ | Unreplicate _ | Task _ | SyncDigest _ | SyncRequest _ | SyncItems _ | Exchange _
-    ->
+  | Replicate _ | Unreplicate _ | Task _ | SyncDigest _ | SyncRequest _ | SyncItems _
+  | StatGossip _ | Exchange _ ->
     -1
 
 let kind = function
@@ -102,4 +111,5 @@ let kind = function
   | SyncDigest _ -> "sync-digest"
   | SyncRequest _ -> "sync-request"
   | SyncItems _ -> "sync-items"
+  | StatGossip _ -> "stat-gossip"
   | Exchange _ -> "exchange"

@@ -24,9 +24,13 @@ type t =
       (** rumor-spreading replica update *)
   | Unreplicate of { key : string; item_id : string }
       (** replica-side removal matching a [Delete] *)
-  | Ack of { rid : int; hops : int }
+  | Ack of { rid : int; hops : int; region : string * string option }
+      (** [region] is the responding peer's key region, so the origin can
+          learn a routing shortcut to it (see
+          {!Unistore_cache.Shortcuts}) *)
   | Lookup of { rid : int; key : string; origin : int; hops : int }
-  | Found of { rid : int; items : Store.item list; hops : int }
+  | Found of { rid : int; items : Store.item list; hops : int; region : string * string option }
+      (** carries the responder's region like [Ack] *)
   | Range of {
       rid : int;
       token : int;  (** unique per message; echoed by the receiver's hit *)
@@ -59,6 +63,9 @@ type t =
   | SyncDigest of { digest : (string * string * int) list }
   | SyncRequest of { wanted : (string * string) list }
   | SyncItems of { items : Store.item list }
+  | StatGossip of { summaries : Unistore_cache.Statcache.summary list }
+      (** epidemic spread of sampled per-attribute statistics (see
+          {!Gossip.stats_round}) *)
   | Exchange of { bytes : int; run : int -> unit }
       (** bootstrap pairwise exchange step (see {!Build.bootstrap}) *)
 

@@ -1,4 +1,6 @@
 module Bitkey = Unistore_util.Bitkey
+module Shortcuts = Unistore_cache.Shortcuts
+module Statcache = Unistore_cache.Statcache
 
 type t = {
   id : int;
@@ -7,10 +9,25 @@ type t = {
   mutable refs : int list array;
   mutable replicas : int list;
   store : Store.t;
+  mutable write_epoch : int;
+  shortcuts : Shortcuts.t;
+  stat_cache : Statcache.t;
 }
 
 let create id =
-  { id; path = Bitkey.empty; splits = [||]; refs = [||]; replicas = []; store = Store.create () }
+  {
+    id;
+    path = Bitkey.empty;
+    splits = [||];
+    refs = [||];
+    replicas = [];
+    store = Store.create ();
+    write_epoch = 0;
+    shortcuts = Shortcuts.create ~capacity:128;
+    stat_cache = Statcache.create ();
+  }
+
+let bump_epoch t = t.write_epoch <- t.write_epoch + 1
 
 let set_path t path splits =
   let len = Bitkey.length path in

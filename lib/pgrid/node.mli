@@ -20,9 +20,20 @@ type t = {
   mutable refs : int list array;  (** level -> complementary-subtree peers *)
   mutable replicas : int list;  (** other peers with an identical path *)
   store : Store.t;
+  mutable write_epoch : int;
+      (** counts local store changes — the freshness version attached to
+          sampled statistics (see {!Unistore_cache.Statcache}) *)
+  shortcuts : Unistore_cache.Shortcuts.t;
+      (** learned region → peer routing shortcuts (capacity set by
+          {!Config.t.shortcut_capacity} at registration) *)
+  stat_cache : Unistore_cache.Statcache.t;
+      (** gossiped per-attribute statistics summaries *)
 }
 
 val create : int -> t
+
+(** [bump_epoch t] records one local store change. *)
+val bump_epoch : t -> unit
 
 (** [set_path t path splits] updates position and boundaries together
     ([splits] must have one entry per path level). Existing refs at

@@ -2,6 +2,8 @@ module Bitkey = Unistore_util.Bitkey
 module Rng = Unistore_util.Rng
 module Metrics = Unistore_obs.Metrics
 module Histogram = Unistore_obs.Histogram
+module Shortcuts = Unistore_cache.Shortcuts
+module Statcache = Unistore_cache.Statcache
 
 type result = {
   items : Store.item list;
@@ -14,8 +16,13 @@ type result = {
 type pending =
   | Psingle of {
       op : string;  (* metric label: lookup/insert/update/delete *)
+      origin : int;
       resend : unit -> unit;
       mutable attempts : int;
+      mutable via : int option;
+          (* the peer a routing shortcut forwarded to, if one was used:
+             a timeout invalidates that peer's shortcut entries before
+             the retry falls back to greedy routing *)
       started : float;
       k : result -> unit;
     }
@@ -40,6 +47,7 @@ type t = {
   pending : (int, pending) Hashtbl.t;
   mutable next_rid : int;
   mutable metrics : Metrics.t option;
+  mutable read_observer : (origin:int -> Store.item list -> unit) option;
 }
 
 let create sim ~latency ~rng ?(drop = 0.0) ~config () =
@@ -54,6 +62,7 @@ let create sim ~latency ~rng ?(drop = 0.0) ~config () =
     pending = Hashtbl.create 64;
     next_rid = 0;
     metrics = None;
+    read_observer = None;
   }
 
 let sim t = t.sim
@@ -66,6 +75,7 @@ let set_metrics t m =
   Net.set_metrics t.net m
 
 let metrics t = t.metrics
+let set_read_observer t f = t.read_observer <- f
 
 (* Histogram bucket ladders chosen for the quantities' natural ranges:
    hop counts are O(log n) (unit buckets resolve them exactly), retries
@@ -155,7 +165,11 @@ let finish_single t rid ~items ~hops ~complete =
     Hashtbl.remove t.pending rid;
     let latency = Sim.now t.sim -. p.started in
     record_single t p.op ~hops ~attempts:p.attempts ~latency ~complete;
-    p.k { items = dedupe_items items; hops; peers_hit = 1; complete; latency }
+    let items = dedupe_items items in
+    (match t.read_observer with
+    | Some f when complete && String.equal p.op "lookup" -> f ~origin:p.origin items
+    | _ -> ());
+    p.k { items; hops; peers_hit = 1; complete; latency }
   | _ -> ()
 
 let finish_multi t rid ~complete =
@@ -197,6 +211,9 @@ let deliver_hit t rid ~from ~token ~items ~targets ~hops =
     if p.missing <= 0 then finish_multi t rid ~complete:true
   | _ -> ()
 
+let cache_incr t ?by name =
+  match t.metrics with Some m -> Metrics.incr m ?by name | None -> ()
+
 let arm_single_timeout t rid =
   let rec arm () =
     Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
@@ -205,6 +222,17 @@ let arm_single_timeout t rid =
           if p.attempts < t.config.retries then begin
             p.attempts <- p.attempts + 1;
             (match t.metrics with Some m -> Metrics.incr m "overlay.resend" | None -> ());
+            (* If a shortcut carried this request, distrust its target:
+               drop that peer's entries so the retry routes greedily. *)
+            (match p.via with
+            | Some peer ->
+              (match Hashtbl.find_opt t.nodes p.origin with
+              | Some me ->
+                let n = Shortcuts.invalidate_peer me.Node.shortcuts peer in
+                if n > 0 then cache_incr t ~by:n "cache.shortcut.invalidate"
+              | None -> ());
+              p.via <- None
+            | None -> ());
             p.resend ();
             arm ()
           end
@@ -260,55 +288,111 @@ let route_step t (me : Node.t) key =
 let too_far t hops = hops >= t.config.max_hops
 
 (* ------------------------------------------------------------------ *)
+(* Routing shortcuts (lib/cache level 1)                               *)
+
+(* Record that [peer] answered for [region] — called at the origin when
+   a [Found]/[Ack] reply arrives. *)
+let learn_shortcut t (me : Node.t) ~peer ~region:(lo, hi) =
+  if peer <> me.Node.id && Shortcuts.capacity me.Node.shortcuts > 0 then begin
+    Shortcuts.learn me.Node.shortcuts ~lo ~hi ~peer;
+    cache_incr t "cache.shortcut.learn"
+  end
+
+let set_via t rid peer =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Psingle p) -> p.via <- Some peer
+  | _ -> ()
+
+(* Consult the origin's learned shortcuts for a single direct hop to the
+   responsible peer. A hit pointing at a dead peer invalidates that
+   peer's entries on the spot (the same failure-detection assumption as
+   [choose_ref]'s alive filter). *)
+let consult_shortcut t (me : Node.t) ~rid key =
+  if Shortcuts.capacity me.Node.shortcuts = 0 then None
+  else
+    match Shortcuts.find me.Node.shortcuts ~key with
+    | Some p when p <> me.Node.id && Net.is_alive t.net p ->
+      cache_incr t "cache.shortcut.hit";
+      set_via t rid p;
+      Some p
+    | Some p ->
+      let n = Shortcuts.invalidate_peer me.Node.shortcuts p in
+      cache_incr t ~by:(max 1 n) "cache.shortcut.invalidate";
+      cache_incr t "cache.shortcut.miss";
+      None
+    | None ->
+      cache_incr t "cache.shortcut.miss";
+      None
+
+(* One routing decision for single-destination requests: greedy prefix
+   routing, with the origin's shortcut cache consulted on the first hop.
+   A shortcut hit forwards straight to the learned responsible peer —
+   one hop instead of O(depth) — and never revisits intermediate peers,
+   so the [hops <= depth] bound still holds on the cached path. *)
+let next_hop t (me : Node.t) ~rid ~origin ~hops key =
+  match route_step t me key with
+  | `Local -> `Local
+  | (`Forward _ | `Stuck) as step -> (
+    if me.id = origin && hops = 0 then
+      match consult_shortcut t me ~rid key with Some p -> `Forward p | None -> step
+    else step)
+
+(* ------------------------------------------------------------------ *)
 (* Handlers: each takes the acting node and may be invoked directly     *)
 (* (origin-side) or from the message dispatcher.                        *)
 
 let handle_lookup t (me : Node.t) ~rid ~key ~origin ~hops =
-  match route_step t me key with
+  match next_hop t me ~rid ~origin ~hops key with
   | `Local ->
     let items = Store.find me.store key in
     if me.id = origin then finish_single t rid ~items ~hops ~complete:true
-    else Net.send t.net ~src:me.id ~dst:origin (Message.Found { rid; items; hops })
+    else
+      Net.send t.net ~src:me.id ~dst:origin
+        (Message.Found { rid; items; hops; region = Node.region me })
   | `Forward p when not (too_far t hops) ->
     Net.send t.net ~src:me.id ~dst:p (Message.Lookup { rid; key; origin; hops = hops + 1 })
   | `Forward _ | `Stuck -> ()
 
 let handle_insert t (me : Node.t) ~rid ~item ~origin ~hops =
-  match route_step t me item.Store.key with
+  match next_hop t me ~rid ~origin ~hops item.Store.key with
   | `Local ->
-    ignore (Store.put me.store item);
+    if Store.put me.store item then Node.bump_epoch me;
     List.iter
       (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.Replicate { item; rounds_left = 0 }))
       me.replicas;
     if me.id = origin then finish_single t rid ~items:[ item ] ~hops ~complete:true
-    else Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops })
+    else
+      Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops; region = Node.region me })
   | `Forward p when not (too_far t hops) ->
     Net.send t.net ~src:me.id ~dst:p (Message.Insert { rid; item; origin; hops = hops + 1 })
   | `Forward _ | `Stuck -> ()
 
 let handle_delete t (me : Node.t) ~rid ~key ~item_id ~origin ~hops =
-  match route_step t me key with
+  match next_hop t me ~rid ~origin ~hops key with
   | `Local ->
     Store.remove me.store ~key ~item_id;
+    Node.bump_epoch me;
     List.iter
       (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.Unreplicate { key; item_id }))
       me.replicas;
     if me.id = origin then finish_single t rid ~items:[] ~hops ~complete:true
-    else Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops })
+    else
+      Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops; region = Node.region me })
   | `Forward p when not (too_far t hops) ->
     Net.send t.net ~src:me.id ~dst:p (Message.Delete { rid; key; item_id; origin; hops = hops + 1 })
   | `Forward _ | `Stuck -> ()
 
 let handle_update t (me : Node.t) ~rid ~item ~origin ~hops ~rounds =
-  match route_step t me item.Store.key with
+  match next_hop t me ~rid ~origin ~hops item.Store.key with
   | `Local ->
-    ignore (Store.put me.store item);
+    if Store.put me.store item then Node.bump_epoch me;
     let targets = Rng.sample t.rng t.config.gossip_fanout me.replicas in
     List.iter
       (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.Replicate { item; rounds_left = rounds }))
       targets;
     if me.id = origin then finish_single t rid ~items:[ item ] ~hops ~complete:true
-    else Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops })
+    else
+      Net.send t.net ~src:me.id ~dst:origin (Message.Ack { rid; hops; region = Node.region me })
   | `Forward p when not (too_far t hops) ->
     Net.send t.net ~src:me.id ~dst:p (Message.Update { rid; item; origin; hops = hops + 1; rounds })
   | `Forward _ | `Stuck -> ()
@@ -439,6 +523,7 @@ let handle_probe t (me : Node.t) ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pr
 
 let handle_replicate t (me : Node.t) ~item ~rounds_left =
   let changed = Store.put me.store item in
+  if changed then Node.bump_epoch me;
   if changed && rounds_left > 0 && me.replicas <> [] then begin
     let targets = Rng.sample t.rng t.config.gossip_fanout me.replicas in
     List.iter
@@ -478,7 +563,8 @@ let handle_sync t ~(me : Node.t) ~src msg =
         wanted
     in
     if items <> [] then Net.send t.net ~src:me.id ~dst:src (Message.SyncItems { items })
-  | SyncItems { items } -> List.iter (fun i -> ignore (Store.put me.store i)) items
+  | SyncItems { items } ->
+    List.iter (fun i -> if Store.put me.store i then Node.bump_epoch me) items
   | _ -> invalid_arg "Overlay.handle_sync: not a sync message"
 
 (* ------------------------------------------------------------------ *)
@@ -489,8 +575,12 @@ let dispatch t (me : Node.t) ~src msg =
   | Lookup { rid; key; origin; hops } -> handle_lookup t me ~rid ~key ~origin ~hops
   | Insert { rid; item; origin; hops } -> handle_insert t me ~rid ~item ~origin ~hops
   | Update { rid; item; origin; hops; rounds } -> handle_update t me ~rid ~item ~origin ~hops ~rounds
-  | Found { rid; items; hops } -> finish_single t rid ~items ~hops ~complete:true
-  | Ack { rid; hops } -> finish_single t rid ~items:[] ~hops ~complete:true
+  | Found { rid; items; hops; region } ->
+    learn_shortcut t me ~peer:src ~region;
+    finish_single t rid ~items ~hops ~complete:true
+  | Ack { rid; hops; region } ->
+    learn_shortcut t me ~peer:src ~region;
+    finish_single t rid ~items:[] ~hops ~complete:true
   | Range { rid; token; lo; hi; clip_lo; clip_hi; origin; hops; strategy; budget } ->
     handle_range t me ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~hops ~strategy ~budget
   | RangeHit { rid; token; items; targets; hops } ->
@@ -499,7 +589,13 @@ let dispatch t (me : Node.t) ~src msg =
     handle_probe t me ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred
   | Replicate { item; rounds_left } -> handle_replicate t me ~item ~rounds_left
   | Delete { rid; key; item_id; origin; hops } -> handle_delete t me ~rid ~key ~item_id ~origin ~hops
-  | Unreplicate { key; item_id } -> Store.remove me.store ~key ~item_id
+  | Unreplicate { key; item_id } ->
+    Store.remove me.store ~key ~item_id;
+    Node.bump_epoch me
+  | StatGossip { summaries } ->
+    List.iter
+      (fun s -> if Statcache.merge me.stat_cache s then cache_incr t "cache.stats.merged")
+      summaries
   | Task { run; _ } -> run me.id
   | Exchange { run; _ } -> run me.id
   | (SyncDigest _ | SyncRequest _ | SyncItems _) as m -> handle_sync t ~me ~src m
@@ -507,6 +603,7 @@ let dispatch t (me : Node.t) ~src msg =
 let add_node t id =
   if Hashtbl.mem t.nodes id then invalid_arg "Overlay.add_node: duplicate id";
   let n = Node.create id in
+  Shortcuts.set_capacity n.Node.shortcuts t.config.shortcut_capacity;
   Hashtbl.replace t.nodes id n;
   Net.register t.net id (fun ~src msg -> dispatch t n ~src msg);
   n
@@ -519,7 +616,7 @@ let insert t ~origin ~key ~item_id ~payload ?(version = 0) ~k () =
   let item = { Store.key; item_id; payload; version } in
   let me = node t origin in
   let resend () = handle_insert t me ~rid ~item ~origin ~hops:0 in
-  Hashtbl.replace t.pending rid (Psingle { op = "insert"; resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "insert"; origin; resend; attempts = 0; via = None; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
@@ -528,7 +625,7 @@ let update t ~origin ~key ~item_id ~payload ~version ?(rounds = 3) ~k () =
   let item = { Store.key; item_id; payload; version } in
   let me = node t origin in
   let resend () = handle_update t me ~rid ~item ~origin ~hops:0 ~rounds in
-  Hashtbl.replace t.pending rid (Psingle { op = "update"; resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "update"; origin; resend; attempts = 0; via = None; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
@@ -536,7 +633,7 @@ let delete t ~origin ~key ~item_id ~k =
   let rid = fresh_rid t in
   let me = node t origin in
   let resend () = handle_delete t me ~rid ~key ~item_id ~origin ~hops:0 in
-  Hashtbl.replace t.pending rid (Psingle { op = "delete"; resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "delete"; origin; resend; attempts = 0; via = None; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 
@@ -544,7 +641,7 @@ let lookup t ~origin ~key ~k =
   let rid = fresh_rid t in
   let me = node t origin in
   let resend () = handle_lookup t me ~rid ~key ~origin ~hops:0 in
-  Hashtbl.replace t.pending rid (Psingle { op = "lookup"; resend; attempts = 0; started = Sim.now t.sim; k });
+  Hashtbl.replace t.pending rid (Psingle { op = "lookup"; origin; resend; attempts = 0; via = None; started = Sim.now t.sim; k });
   arm_single_timeout t rid;
   resend ()
 

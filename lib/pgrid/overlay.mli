@@ -7,7 +7,10 @@
 
     Guarantees (demonstrated by the E2 benchmark):
     - [lookup]/[insert] resolve in at most [depth] overlay hops, i.e.
-      O(log n) for a balanced trie;
+      O(log n) for a balanced trie — and in a single hop when the
+      origin's routing-shortcut cache ({!Unistore_cache.Shortcuts}, fed
+      by the regions carried on [Found]/[Ack] replies) already knows the
+      responsible peer;
     - [range ~strategy:Shower] reaches every peer intersecting the range
       with one message each, after O(depth) splitting hops;
     - [range ~strategy:Sequential] visits intersecting leaves one after the
@@ -49,6 +52,12 @@ val rng : t -> Unistore_util.Rng.t
 val set_metrics : t -> Unistore_obs.Metrics.t option -> unit
 
 val metrics : t -> Unistore_obs.Metrics.t option
+
+(** [set_read_observer t (Some f)] calls [f ~origin items] whenever a
+    lookup completes successfully at its origin — the observation feed
+    for the trace linter's monotone-reads (cache staleness) check.
+    [None] detaches; the disabled path costs nothing. *)
+val set_read_observer : t -> (origin:int -> Store.item list -> unit) option -> unit
 
 (** [add_node t id] creates, registers and returns a node with an empty
     path (responsible for the whole key space until paths are assigned). *)

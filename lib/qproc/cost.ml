@@ -31,6 +31,28 @@ let pp_access fmt = function
   | ATopN (a, n) -> Format.fprintf fmt "topn-traversal(%s,%d)" a n
   | ABroadcast -> Format.fprintf fmt "flood"
 
+(* Built on [Value.encode] rather than [pp_access]: the pretty-printer
+   can render distinct values identically (e.g. the string "1" and the
+   integer 1), and a cache key must never collide. *)
+let access_key access =
+  let b = Buffer.create 32 in
+  let s = Buffer.add_string b in
+  let opt = function Some a -> a | None -> "" in
+  (match access with
+  | AOid oid -> s "oid\000"; s oid
+  | AAttrValue (a, v) -> s "av\000"; s a; s "\000"; s (Value.encode v)
+  | AAttrRange (a, lo, hi) ->
+    let e = function Some v -> Value.encode v | None -> "" in
+    s "ar\000"; s a; s "\000"; s (e lo); s "\000"; s (e hi)
+  | AAttrAll a -> s "aa\000"; s a
+  | AAttrPrefix (a, p) -> s "ap\000"; s a; s "\000"; s p
+  | AValue v -> s "v\000"; s (Value.encode v)
+  | ASim (a, p, d) -> s "sim\000"; s (opt a); s "\000"; s p; s "\000"; s (string_of_int d)
+  | ASubstring (a, p) -> s "sub\000"; s (opt a); s "\000"; s p
+  | ATopN (a, n) -> s "topn\000"; s a; s "\000"; s (string_of_int n)
+  | ABroadcast -> s "flood");
+  Buffer.contents b
+
 type env = { peers : int; depth : int; replication : int; expected_latency : float }
 
 let env_of_dht (dht : Unistore_triple.Dht.t) ~replication =

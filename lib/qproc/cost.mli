@@ -30,6 +30,11 @@ type access =
 
 val pp_access : Format.formatter -> access -> unit
 
+(** [access_key a] is a collision-free string identifying [a] — the
+    result cache's key for the answer of this access (built on the
+    unambiguous {!Unistore_triple.Value.encode}, not on {!pp_access}). *)
+val access_key : access -> string
+
 (** Overlay parameters the model is calibrated on. *)
 type env = {
   peers : int;

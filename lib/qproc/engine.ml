@@ -85,36 +85,49 @@ let fetch_expansions ts ~origin q =
       | eqs -> Some (a, eqs))
     (const_attrs q)
 
-let plan_query ts stats ~replication ?(expand_mappings = false) ~origin q =
+let cached_probe cache = Option.map (fun c a -> Qcache.cached_access c a) cache
+
+let plan_query ts stats ~replication ?cache ?(expand_mappings = false) ~origin q =
   let env = Cost.env_of_dht (Tstore.dht ts) ~replication in
   let expansions = if expand_mappings then fetch_expansions ts ~origin q else [] in
   let qgrams = Tstore.qgrams_enabled ts in
+  let cached = cached_probe cache in
   let main =
-    Optimizer.plan env stats ~qgrams ~expansions { q with Ast.union_branches = [] }
+    Optimizer.plan env stats ~qgrams ?cached ~expansions { q with Ast.union_branches = [] }
   in
   let branches =
-    List.map (fun b -> Optimizer.plan env stats ~qgrams ~expansions (branch_query q b))
+    List.map (fun b -> Optimizer.plan env stats ~qgrams ?cached ~expansions (branch_query q b))
       q.Ast.union_branches
   in
   { main with Physical.branches }
 
-let run ts stats ~replication ?(strategy = Centralized) ?(expand_mappings = false) ~origin q =
+let run ts stats ~replication ?metrics ?cache ?(strategy = Centralized)
+    ?(expand_mappings = false) ~origin q =
   let env = Cost.env_of_dht (Tstore.dht ts) ~replication in
   let expansions = if expand_mappings then fetch_expansions ts ~origin q else [] in
   let qgrams = Tstore.qgrams_enabled ts in
   let strategy =
     match strategy with
-    | Mutant when (Tstore.dht ts).Dht.send_task = None -> Centralized
+    | Mutant when (Tstore.dht ts).Dht.send_task = None ->
+      (* Not silent: the caller asked for plan shipping and is getting a
+         different execution model — record it and say so. *)
+      (match metrics with
+      | Some m -> Unistore_obs.Metrics.incr m "engine.mutant_downgrade"
+      | None -> ());
+      Format.eprintf
+        "unistore: warning: substrate cannot ship plans; mutant execution downgraded to          centralized@.";
+      Centralized
     | s -> s
   in
+  let cached = cached_probe cache in
   (* Each UNION branch executes independently; the combined rows then go
      through the query's post-processing exactly once. *)
   let run_branch (bq : Ast.query) =
-    let plan = Optimizer.plan env stats ~qgrams ~expansions bq in
+    let plan = Optimizer.plan env stats ~qgrams ?cached ~expansions bq in
     let result =
       match strategy with
-      | Centralized -> Exec.run_centralized ts ~origin plan
-      | Mutant -> Exec.run_mutant ts stats env ~origin bq ~expansions
+      | Centralized -> Exec.run_centralized ?cache ts ~origin plan
+      | Mutant -> Exec.run_mutant ?cache ts stats env ~origin bq ~expansions
     in
     (plan, result)
   in
@@ -194,14 +207,14 @@ let analyze stats q = Unistore_analysis.Semantic.analyze ~catalog:(catalog_of_st
    error-severity diagnostics are refused before any message is sent.
    [run] (the AST entry) stays ungated for callers that build plans
    programmatically. *)
-let run_string ts stats ~replication ?strategy ?expand_mappings ~origin src =
+let run_string ts stats ~replication ?metrics ?cache ?strategy ?expand_mappings ~origin src =
   match Parser.parse src with
   | Error e -> Error e
   | Ok q ->
     let diags = analyze stats q in
     if Unistore_analysis.Diagnostic.has_errors diags then
       Error (Unistore_analysis.Diagnostic.render_all ~src diags)
-    else Ok (run ts stats ~replication ?strategy ?expand_mappings ~origin q)
+    else Ok (run ts stats ~replication ?metrics ?cache ?strategy ?expand_mappings ~origin q)
 
 (* The EXPLAIN ANALYZE view: reshape the execution traces into the
    substrate-independent profile record of the observability layer. *)

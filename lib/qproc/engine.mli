@@ -35,6 +35,7 @@ val plan_query :
   Tstore.t ->
   Qstats.t ->
   replication:int ->
+  ?cache:Qcache.t ->
   ?expand_mappings:bool ->
   origin:int ->
   Ast.query ->
@@ -42,11 +43,17 @@ val plan_query :
 
 (** [run ts stats ~replication ?strategy ?expand_mappings ~origin q]
     executes a parsed query. Default strategy: [Centralized]; [Mutant]
-    falls back to [Centralized] if the substrate cannot ship plans. *)
+    falls back to [Centralized] if the substrate cannot ship plans — the
+    downgrade bumps the ["engine.mutant_downgrade"] counter (when
+    [metrics] is given) and prints a warning on stderr. With [cache] the
+    optimizer biases plans toward already-cached accesses and the
+    executor serves/fills the origin's result cache ({!Qcache}). *)
 val run :
   Tstore.t ->
   Qstats.t ->
   replication:int ->
+  ?metrics:Unistore_obs.Metrics.t ->
+  ?cache:Qcache.t ->
   ?strategy:strategy ->
   ?expand_mappings:bool ->
   origin:int ->
@@ -68,6 +75,8 @@ val run_string :
   Tstore.t ->
   Qstats.t ->
   replication:int ->
+  ?metrics:Unistore_obs.Metrics.t ->
+  ?cache:Qcache.t ->
   ?strategy:strategy ->
   ?expand_mappings:bool ->
   origin:int ->

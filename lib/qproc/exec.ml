@@ -62,7 +62,7 @@ let range_defaults lo hi =
   | None, Some h -> (Option.get (Value.decode (Value.type_min h)), h)
   | None, None -> invalid_arg "Exec: unbounded range access"
 
-let exec_single_access ts ~origin (access : Cost.access) (p : Ast.pattern) =
+let uncached_access ts ~origin (access : Cost.access) (p : Ast.pattern) =
   match access with
   | Cost.AOid oid -> Tstore.by_oid_sync ts ~origin oid
   | Cost.AAttrValue (a, v) -> Tstore.by_attr_value_sync ts ~origin ~attr:a v
@@ -78,9 +78,23 @@ let exec_single_access ts ~origin (access : Cost.access) (p : Ast.pattern) =
   | Cost.ABroadcast ->
     Tstore.scan_sync ts ~origin ~pred:(fun tr -> Option.is_some (Binding.match_triple p tr))
 
+(* The result returned by a cache hit: no messages, no hops, no
+   simulated time — the origin answered from memory. *)
+let cached_meta = { Tstore.hops = 0; peers_hit = 0; complete = true; latency = 0.0; messages = 0 }
+
+let exec_single_access ?cache ts ~origin access (p : Ast.pattern) =
+  match Option.bind cache (fun c -> Qcache.find_access c access) with
+  | Some triples -> (triples, cached_meta)
+  | None ->
+    let triples, meta = uncached_access ts ~origin access p in
+    (match cache with
+    | Some c when meta.Tstore.complete -> Qcache.store_access c access triples
+    | _ -> ());
+    (triples, meta)
+
 (* Execute an access, unioned over mapping expansions of its attribute.
    Returns (bindings producible by [p] or an expanded variant, ok). *)
-let exec_access ts ~origin ~expansions access (p : Ast.pattern) =
+let exec_access ?cache ts ~origin ~expansions access (p : Ast.pattern) =
   let attrs =
     match access with
     | Cost.AAttrValue (a, _) | Cost.AAttrRange (a, _, _) | Cost.AAttrAll a | Cost.AAttrPrefix (a, _)
@@ -97,7 +111,7 @@ let exec_access ts ~origin ~expansions access (p : Ast.pattern) =
   let bindings =
     List.concat_map
       (fun (acc, pat) ->
-        let triples, meta = exec_single_access ts ~origin acc pat in
+        let triples, meta = exec_single_access ?cache ts ~origin acc pat in
         if not meta.Tstore.complete then ok := false;
         List.filter_map (Binding.match_triple pat) triples)
       runs
@@ -121,49 +135,66 @@ let bind_lookup_for (p : Ast.pattern) binding =
       match Binding.find binding ov with Some v -> Some (LAttrValue (a, v)) | None -> None)
     | _ -> None)
 
-let lookup_key_of ~expansions = function
-  | LOid oid -> [ Keys.oid_key oid ]
+(* Keys to probe for one bound lookup, each with the attribute that
+   governs its cache invalidation ([None] for OID lookups). *)
+let lookup_keys_of ~expansions = function
+  | LOid oid -> [ (Keys.oid_key oid, None) ]
   | LAttrValue (a, v) ->
-    List.map (fun a' -> Keys.attr_value_key a' v) (expansions_for expansions a)
+    List.map (fun a' -> (Keys.attr_value_key a' v, Some a')) (expansions_for expansions a)
 
-let exec_bindjoin ts ~origin ~expansions (p : Ast.pattern) left =
+let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
   let dht = Tstore.dht ts in
   (* Dedupe lookup keys across the left side (semi-join optimization). *)
   let keymap = Hashtbl.create 64 in
   List.iter
     (fun b ->
       match bind_lookup_for p b with
-      | Some l -> List.iter (fun key -> Hashtbl.replace keymap key ()) (lookup_key_of ~expansions l)
+      | Some l ->
+        List.iter (fun (key, attr) -> Hashtbl.replace keymap key attr) (lookup_keys_of ~expansions l)
       | None -> ())
     left;
-  let keys = Hashtbl.fold (fun k () acc -> k :: acc) keymap [] in
+  (* Answer what the per-key cache can; look up only the rest. *)
+  let resolved : (string, Triple.t list) Hashtbl.t = Hashtbl.create (Hashtbl.length keymap) in
+  let keys =
+    Hashtbl.fold
+      (fun key attr acc ->
+        match Option.bind cache (fun c -> Qcache.find_bind c ~attr ~key) with
+        | Some triples ->
+          Hashtbl.replace resolved key triples;
+          acc
+        | None -> (key, attr) :: acc)
+      keymap []
+  in
   (* One parallel round of lookups. *)
-  let results = Hashtbl.create (List.length keys) in
   let outstanding = ref (List.length keys) in
   let ok = ref true in
   List.iter
-    (fun key ->
+    (fun (key, attr) ->
       dht.Dht.lookup ~origin ~key ~k:(fun r ->
           if not r.Dht.complete then ok := false;
-          Hashtbl.replace results key r.Dht.items;
+          let triples =
+            List.filter_map
+              (fun (i : Dht.Store.item) -> Triple.deserialize i.Dht.Store.payload)
+              r.Dht.items
+          in
+          Hashtbl.replace resolved key triples;
+          (match cache with
+          | Some c when r.Dht.complete -> Qcache.store_bind c ~attr ~key triples
+          | _ -> ());
           decr outstanding))
     keys;
   ignore (Sim.run_until dht.Dht.sim (fun () -> !outstanding <= 0));
   if !outstanding > 0 then ok := false;
-  let triples_for key =
-    match Hashtbl.find_opt results key with
-    | None -> []
-    | Some items -> List.filter_map (fun (i : Dht.Store.item) -> Triple.deserialize i.Dht.Store.payload) items
-  in
+  let triples_for key = Option.value ~default:[] (Hashtbl.find_opt resolved key) in
   let joined =
     List.concat_map
       (fun b ->
         match bind_lookup_for p b with
         | None -> []
         | Some l ->
-          let keys = lookup_key_of ~expansions l in
+          let keys = lookup_keys_of ~expansions l in
           List.concat_map
-            (fun key ->
+            (fun (key, _) ->
               triples_for key
               |> List.filter_map (fun tr ->
                      (* Accept mapping-equivalent attributes by rewriting
@@ -262,7 +293,7 @@ let postprocess (plan : Physical.t) rows =
 (* ------------------------------------------------------------------ *)
 (* Centralized execution                                               *)
 
-let run_centralized ts ~origin (plan : Physical.t) =
+let run_centralized ?cache ts ~origin (plan : Physical.t) =
   let dht = Tstore.dht ts in
   let t0 = Sim.now dht.Dht.sim in
   let m0 = dht.Dht.total_sent () in
@@ -278,15 +309,15 @@ let run_centralized ts ~origin (plan : Physical.t) =
         let produced =
           match acc with
           | None ->
-            let bindings, ok = exec_access ts ~origin ~expansions step.Physical.access step.Physical.pattern in
+            let bindings, ok = exec_access ?cache ts ~origin ~expansions step.Physical.access step.Physical.pattern in
             if not ok then complete := false;
             bindings
           | Some left when step.Physical.bindjoin ->
-            let joined, ok = exec_bindjoin ts ~origin ~expansions step.Physical.pattern left in
+            let joined, ok = exec_bindjoin ?cache ts ~origin ~expansions step.Physical.pattern left in
             if not ok then complete := false;
             joined
           | Some left ->
-            let right, ok = exec_access ts ~origin ~expansions step.Physical.access step.Physical.pattern in
+            let right, ok = exec_access ?cache ts ~origin ~expansions step.Physical.access step.Physical.pattern in
             if not ok then complete := false;
             hash_join left right
         in
@@ -330,7 +361,7 @@ let carrier_key_of_access = function
 
 let plan_overhead_bytes = 256
 
-let run_mutant ts stats env ~origin (q : Ast.query) ~expansions =
+let run_mutant ?cache ts stats env ~origin (q : Ast.query) ~expansions =
   let dht = Tstore.dht ts in
   let send_task =
     match dht.Dht.send_task with
@@ -365,22 +396,26 @@ let run_mutant ts stats env ~origin (q : Ast.query) ~expansions =
       end
     end
   in
+  (* The result cache lives at the query origin; a travelling plan can
+     only consult it while it is still (or again) executing there. *)
+  let cache_at carrier = if carrier = origin then cache else None in
   let exec_step ~carrier (step : Physical.step) rows_opt =
+    let cache = cache_at carrier in
     let step_m0 = dht.Dht.total_sent () in
     let step_t0 = Sim.now dht.Dht.sim in
     let rows_in = match rows_opt with None -> 0 | Some left -> List.length left in
     let produced =
       match rows_opt with
       | None ->
-        let bindings, ok = exec_access ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
+        let bindings, ok = exec_access ?cache ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
         if not ok then complete := false;
         bindings
       | Some left when step.Physical.bindjoin ->
-        let joined, ok = exec_bindjoin ts ~origin:carrier ~expansions step.Physical.pattern left in
+        let joined, ok = exec_bindjoin ?cache ts ~origin:carrier ~expansions step.Physical.pattern left in
         if not ok then complete := false;
         joined
       | Some left ->
-        let right, ok = exec_access ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
+        let right, ok = exec_access ?cache ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
         if not ok then complete := false;
         hash_join left right
     in

@@ -46,14 +46,19 @@ type run_result = {
     engine's UNION combination step. *)
 val postprocess : Physical.t -> Binding.t list -> Binding.t list
 
-(** [run_centralized ts ~origin plan] executes a static plan at the
-    origin. *)
-val run_centralized : Tstore.t -> origin:int -> Physical.t -> run_result
+(** [run_centralized ?cache ts ~origin plan] executes a static plan at
+    the origin. With [cache], complete bulk-access answers and bind-join
+    per-key probes are served from / stored into the origin's result
+    cache ({!Qcache}); partial (timed-out) results are never cached. *)
+val run_centralized : ?cache:Qcache.t -> Tstore.t -> origin:int -> Physical.t -> run_result
 
-(** [run_mutant ts stats env ~origin query ~expansions] plans the first
-    step statically, then adapts. Requires the substrate to support plan
-    shipping ([Dht.send_task]); raises [Invalid_argument] otherwise. *)
+(** [run_mutant ?cache ts stats env ~origin query ~expansions] plans the
+    first step statically, then adapts. Requires the substrate to support
+    plan shipping ([Dht.send_task]); raises [Invalid_argument] otherwise.
+    [cache] is the {e origin's} result cache: steps executed while the
+    plan is away at another carrier bypass it. *)
 val run_mutant :
+  ?cache:Qcache.t ->
   Tstore.t ->
   Qstats.t ->
   Cost.env ->

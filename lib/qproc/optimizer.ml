@@ -26,7 +26,16 @@ let qgram_ok ~qgrams pattern d = qgrams && String.length pattern + Keys.q - 1 - 
 
 let substring_ok ~qgrams pattern = qgrams && String.length pattern >= Keys.q
 
-let access_candidates env stats ~qgrams cmap (p : Ast.pattern) =
+(* A cached access costs no messages at all: the origin answers it from
+   its result cache. Cardinality is kept — join ordering still depends
+   on it — and [ABroadcast] is never cached (see {!Qcache.cacheable}).
+   The probe must be side-effect free ({!Qcache.cached_access}). *)
+let bias ~cached a (e : Cost.estimate) =
+  match cached with
+  | Some hit when hit a -> { e with Cost.messages = 0.0; latency = 0.0 }
+  | _ -> e
+
+let access_candidates env stats ~qgrams ?cached cmap (p : Ast.pattern) =
   let candidates = ref [] in
   let add a = candidates := a :: !candidates in
   (match p.Ast.subj with Ast.TConst (Value.S oid) -> add (Cost.AOid oid) | _ -> ());
@@ -62,7 +71,7 @@ let access_candidates env stats ~qgrams cmap (p : Ast.pattern) =
   | Ast.TConst _, _ -> ());
   add Cost.ABroadcast;
   !candidates
-  |> List.map (fun a -> (a, Cost.estimate_access env stats a))
+  |> List.map (fun a -> (a, bias ~cached a (Cost.estimate_access env stats a)))
   |> List.sort (fun (_, e1) (_, e2) -> Float.compare (Cost.objective e1) (Cost.objective e2))
 
 let shares_var bound p = List.exists (fun v -> List.mem v bound) (Ast.pattern_vars p)
@@ -79,7 +88,7 @@ let bindjoin_possible bound (p : Ast.pattern) =
 
 let join_card card_left card_right = Float.max 1.0 (Float.min card_left card_right)
 
-let choose_next env stats ~qgrams cmap ~bound ~card_left remaining =
+let choose_next env stats ~qgrams ?cached cmap ~bound ~card_left remaining =
   if remaining = [] then invalid_arg "Optimizer.choose_next: no remaining patterns";
   let connected, disconnected = List.partition (shares_var bound) remaining in
   let pool = if connected <> [] then connected else disconnected in
@@ -88,7 +97,7 @@ let choose_next env stats ~qgrams cmap ~bound ~card_left remaining =
     List.map
       (fun p ->
         let bulk =
-          match access_candidates env stats ~qgrams cmap p with
+          match access_candidates env stats ~qgrams ?cached cmap p with
           | (a, e) :: _ -> (a, e)
           | [] -> (Cost.ABroadcast, Cost.estimate_access env stats Cost.ABroadcast)
         in
@@ -146,12 +155,12 @@ let attach_filters steps filters =
   in
   go [] [] filters steps
 
-let first_step env stats ~qgrams cmap patterns =
+let first_step env stats ~qgrams ?cached cmap patterns =
   if patterns = [] then invalid_arg "Optimizer.first_step: no patterns";
   let scores =
     List.map
       (fun p ->
-        match access_candidates env stats ~qgrams cmap p with
+        match access_candidates env stats ~qgrams ?cached cmap p with
         | (a, e) :: _ -> (p, a, e)
         | [] -> (p, Cost.ABroadcast, Cost.estimate_access env stats Cost.ABroadcast))
       patterns
@@ -189,15 +198,15 @@ let topn_opportunity (q : Ast.query) =
     Some (a, n)
   | _ -> None
 
-let plan env stats ~qgrams ?(expansions = []) (q : Ast.query) =
+let plan env stats ~qgrams ?cached ?(expansions = []) (q : Ast.query) =
   let cmap = Algebra.var_constraints q.Ast.filters in
   let steps =
-    let fs, rest0 = first_step env stats ~qgrams cmap q.Ast.patterns in
+    let fs, rest0 = first_step env stats ~qgrams ?cached cmap q.Ast.patterns in
     let rec extend acc bound card_left remaining =
       match remaining with
       | [] -> List.rev acc
       | _ ->
-        let step, rest = choose_next env stats ~qgrams cmap ~bound ~card_left remaining in
+        let step, rest = choose_next env stats ~qgrams ?cached cmap ~bound ~card_left remaining in
         let bound = List.sort_uniq compare (bound @ Ast.pattern_vars step.Physical.pattern) in
         extend (step :: acc) bound step.Physical.est.Cost.cardinality rest
     in

@@ -20,6 +20,7 @@ val access_candidates :
   Cost.env ->
   Qstats.t ->
   qgrams:bool ->
+  ?cached:(Cost.access -> bool) ->
   (string * Unistore_vql.Algebra.constraint_ list) list ->
   Ast.pattern ->
   (Cost.access * Cost.estimate) list
@@ -32,6 +33,7 @@ val choose_next :
   Cost.env ->
   Qstats.t ->
   qgrams:bool ->
+  ?cached:(Cost.access -> bool) ->
   (string * Unistore_vql.Algebra.constraint_ list) list ->
   bound:string list ->
   card_left:float ->
@@ -45,15 +47,20 @@ val first_step :
   Cost.env ->
   Qstats.t ->
   qgrams:bool ->
+  ?cached:(Cost.access -> bool) ->
   (string * Unistore_vql.Algebra.constraint_ list) list ->
   Ast.pattern list ->
   Physical.step * Ast.pattern list
 
-(** Full static plan for a query. *)
+(** Full static plan for a query. [cached] (a side-effect-free probe of
+    the origin's result cache, see {!Qcache.cached_access}) zeroes the
+    message/latency cost of accesses that would be answered locally, so
+    plans gravitate toward already-cached work. *)
 val plan :
   Cost.env ->
   Qstats.t ->
   qgrams:bool ->
+  ?cached:(Cost.access -> bool) ->
   ?expansions:(string * string list) list ->
   Ast.query ->
   Physical.t

@@ -1,0 +1,68 @@
+module Triple = Unistore_triple.Triple
+module Result_cache = Unistore_cache.Result_cache
+
+type t = {
+  access : Triple.t list Result_cache.t;
+  bind : Triple.t list Result_cache.t;
+  now : unit -> float;
+  version_of : string option -> int;
+}
+
+let create ?metrics ?(capacity = 256) ?(ttl_ms = 30_000.) ~now ~version_of () =
+  {
+    access = Result_cache.create ~name:"cache.result" ?metrics ~capacity ~ttl_ms ();
+    bind = Result_cache.create ~name:"cache.bind" ?metrics ~capacity ~ttl_ms ();
+    now;
+    version_of;
+  }
+
+let set_metrics t m =
+  Result_cache.set_metrics t.access m;
+  Result_cache.set_metrics t.bind m
+
+let attr_of_access = function
+  | Cost.AAttrValue (a, _)
+  | Cost.AAttrRange (a, _, _)
+  | Cost.AAttrAll a
+  | Cost.AAttrPrefix (a, _)
+  | Cost.ATopN (a, _)
+  | Cost.ASim (Some a, _, _)
+  | Cost.ASubstring (Some a, _) ->
+    Some a
+  | Cost.AOid _ | Cost.AValue _ | Cost.ASim (None, _, _) | Cost.ASubstring (None, _)
+  | Cost.ABroadcast ->
+    None
+
+(* A broadcast's answer depends on the residual pattern (an opaque
+   predicate), so [access_key] cannot identify it; everything else is a
+   pure function of the access. *)
+let cacheable = function Cost.ABroadcast -> false | _ -> true
+
+let find_access t access =
+  if not (cacheable access) then None
+  else
+    Result_cache.find t.access ~key:(Cost.access_key access)
+      ~version:(t.version_of (attr_of_access access))
+      ~now:(t.now ())
+
+let store_access t access triples =
+  if cacheable access then
+    Result_cache.put t.access ~key:(Cost.access_key access)
+      ~version:(t.version_of (attr_of_access access))
+      ~now:(t.now ()) triples
+
+let cached_access t access =
+  cacheable access
+  && Result_cache.mem t.access ~key:(Cost.access_key access)
+       ~version:(t.version_of (attr_of_access access))
+       ~now:(t.now ())
+
+let find_bind t ~attr ~key =
+  Result_cache.find t.bind ~key ~version:(t.version_of attr) ~now:(t.now ())
+
+let store_bind t ~attr ~key triples =
+  Result_cache.put t.bind ~key ~version:(t.version_of attr) ~now:(t.now ()) triples
+
+let clear t =
+  Result_cache.clear t.access;
+  Result_cache.clear t.bind

@@ -1,0 +1,64 @@
+(** The query origin's result cache (level 2 of the caching subsystem,
+    specialized to triple-pattern processing).
+
+    Two {!Unistore_cache.Result_cache} instances cooperate:
+
+    - ["cache.result"] keyed by {!Cost.access_key}: the full answer of a
+      bulk access path — a repeated [av-lookup(name=“x”)] costs zero
+      messages the second time;
+    - ["cache.bind"] keyed by DHT index key: the per-key probes of
+      bind-joins, so overlapping bind-joins (or re-runs of the same one)
+      only look up keys they have not resolved recently.
+
+    Invalidation is version-first with a TTL safety net. [version_of]
+    maps an attribute (or [None] for accesses not tied to one — OID and
+    value lookups) to the current invalidation version; the facade wires
+    it to local write counters plus the gossiped write epochs of the
+    statistics cache, so both local writes and remotely-observed writes
+    flush affected entries. *)
+
+module Triple = Unistore_triple.Triple
+
+type t
+
+(** [create ~now ~version_of ()] — [now] supplies the clock for TTL
+    aging (simulated time); [capacity] (default 256) and [ttl_ms]
+    (default 30s) apply to each of the two caches; [metrics] enables
+    hit/miss/staleness counters under ["cache.result.*"] and
+    ["cache.bind.*"]. *)
+val create :
+  ?metrics:Unistore_obs.Metrics.t ->
+  ?capacity:int ->
+  ?ttl_ms:float ->
+  now:(unit -> float) ->
+  version_of:(string option -> int) ->
+  unit ->
+  t
+
+val set_metrics : t -> Unistore_obs.Metrics.t option -> unit
+
+(** The attribute whose writes invalidate this access ([None] = any
+    write anywhere). *)
+val attr_of_access : Cost.access -> string option
+
+(** [find_access t a] returns the cached complete answer of access [a],
+    if current. Never caches [ABroadcast] (its answer depends on an
+    opaque predicate). *)
+val find_access : t -> Cost.access -> Triple.t list option
+
+(** [store_access t a triples] caches a {e complete} answer under the
+    current version; callers must not cache partial results. *)
+val store_access : t -> Cost.access -> Triple.t list -> unit
+
+(** [cached_access t a] — would [find_access] hit? Side-effect free
+    (no counters, no recency update): the optimizer probes this to bias
+    plan costs toward already-cached accesses. *)
+val cached_access : t -> Cost.access -> bool
+
+(** [find_bind t ~attr ~key] / [store_bind]: the bind-join per-key
+    cache; [attr] selects the invalidation version exactly as in
+    {!attr_of_access}. *)
+val find_bind : t -> attr:string option -> key:string -> Triple.t list option
+
+val store_bind : t -> attr:string option -> key:string -> Triple.t list -> unit
+val clear : t -> unit

@@ -55,6 +55,34 @@ let collect tstore ~origin =
   let triples, _ = Tstore.scan_sync tstore ~origin ~pred:(fun _ -> true) in
   of_triples triples
 
+module Statcache = Unistore_cache.Statcache
+
+let of_summaries (aggs : (string * Statcache.agg) list) =
+  let attrs =
+    List.filter_map
+      (fun (a, (g : Statcache.agg)) ->
+        let count = int_of_float (Float.ceil g.Statcache.a_count) in
+        if count <= 0 then None
+        else
+          Some
+            ( a,
+              {
+                count;
+                distinct = min g.Statcache.a_distinct count;
+                lo = Value.decode g.Statcache.a_lo;
+                hi = Value.decode g.Statcache.a_hi;
+                string_valued = g.Statcache.a_string;
+              } ))
+      aggs
+  in
+  let total_triples = List.fold_left (fun acc (_, s) -> acc + s.count) 0 attrs in
+  (* No summary counts objects, only (attribute, value) occurrences; use
+     the largest per-attribute count as the OID estimate — exact when
+     each object carries at most one triple per attribute, a lower bound
+     otherwise. *)
+  let distinct_oids = List.fold_left (fun acc (_, s) -> max acc s.count) 0 attrs in
+  { total_triples; distinct_oids; attrs }
+
 (* ------------------------------------------------------------------ *)
 (* Estimators                                                          *)
 

@@ -36,6 +36,16 @@ val of_triples : Triple.t list -> t
     cached, like the paper's repeatedly-applied cost model inputs. *)
 val collect : Unistore_triple.Tstore.t -> origin:int -> t
 
+(** [of_summaries aggs] reconstructs statistics from the aggregated
+    gossiped summaries of the statistics cache
+    ({!Unistore_cache.Statcache.aggregate}) — the decentralized
+    replacement for the {!of_triples}/{!collect} oracles: counts,
+    distinct values and (decoded) value bounds come straight from the
+    per-region samples; [distinct_oids] is estimated as the largest
+    per-attribute count (exact when every object carries an attribute at
+    most once, a lower bound otherwise). *)
+val of_summaries : (string * Unistore_cache.Statcache.agg) list -> t
+
 (** {2 Selectivity estimation} *)
 
 (** Estimated triples matching [attr = v]. *)

@@ -32,6 +32,8 @@ type t = {
   depth : unit -> int;
   alive_peers : unit -> int list;
   responsible_peer : string -> int option;
+  stat_gossip_round : (unit -> unit) option;
+  statcache_of : (int -> Unistore_cache.Statcache.t) option;
 }
 
 let await t f =
@@ -114,6 +116,12 @@ let of_pgrid ov =
         |> function
         | [] -> None
         | p :: _ -> Some p);
+    stat_gossip_round =
+      Some
+        (fun () ->
+          Unistore_pgrid.Gossip.stats_round ov ~sample:Stat_sample.of_node;
+          Sim.run_all (Overlay.sim ov));
+    statcache_of = Some (fun peer -> (Overlay.node ov peer).Unistore_pgrid.Node.stat_cache);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -196,4 +204,6 @@ let of_chord_trie chord =
         let hex = Trie_index.hex_of_key key in
         let p = Chord.responsible chord ("B:" ^ hex) in
         if Chord.is_alive chord p then Some p else None);
+    stat_gossip_round = None;
+    statcache_of = None;
   }

@@ -41,6 +41,13 @@ type t = {
   responsible_peer : string -> int option;
       (** an alive peer responsible for a key (used to pick the next
           carrier when shipping mutant query plans) *)
+  stat_gossip_round : (unit -> unit) option;
+      (** one round of statistics sampling + epidemic spread (see
+          {!Unistore_pgrid.Gossip.stats_round}), driven to completion;
+          [None] when the substrate has no statistics gossip *)
+  statcache_of : (int -> Unistore_cache.Statcache.t) option;
+      (** a peer's gossiped-statistics cache — what the optimizer plans
+          from in the distributed path; [None] on substrates without it *)
 }
 
 (** {2 Synchronous wrappers} *)

@@ -1,0 +1,63 @@
+module Node = Unistore_pgrid.Node
+module Store = Unistore_pgrid.Store
+module Statcache = Unistore_cache.Statcache
+
+(* An A#v index key is "A\000" ^ attr ^ "\000" ^ encoded-value. *)
+let parse_av_key key =
+  let n = String.length key in
+  if n < 2 || key.[0] <> 'A' || key.[1] <> '\000' then None
+  else
+    match String.index_from_opt key 2 '\000' with
+    | Some sep when sep > 2 ->
+      Some (String.sub key 2 (sep - 2), String.sub key (sep + 1) (n - sep - 1))
+    | _ -> None
+
+type acc = {
+  mutable count : int;
+  distinct : (string, unit) Hashtbl.t;
+  mutable lo : string;
+  mutable hi : string;
+  mutable string_valued : bool;
+}
+
+let of_node ~now (nd : Node.t) =
+  let per_attr : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  Store.iter nd.Node.store (fun (i : Store.item) ->
+      match parse_av_key i.Store.key with
+      | None -> ()
+      | Some (attr, enc) ->
+        let a =
+          match Hashtbl.find_opt per_attr attr with
+          | Some a -> a
+          | None ->
+            let a =
+              { count = 0; distinct = Hashtbl.create 8; lo = enc; hi = enc; string_valued = false }
+            in
+            Hashtbl.replace per_attr attr a;
+            a
+        in
+        a.count <- a.count + 1;
+        Hashtbl.replace a.distinct enc ();
+        if String.compare enc a.lo < 0 then a.lo <- enc;
+        if String.compare enc a.hi > 0 then a.hi <- enc;
+        if (not a.string_valued)
+           && (match Value.decode enc with Some v -> Option.is_some (Value.as_string v) | None -> false)
+        then a.string_valued <- true)
+      ;
+  let region_lo, _ = Node.region nd in
+  Hashtbl.fold
+    (fun attr a l ->
+      {
+        Statcache.attr;
+        region_lo;
+        peer = nd.Node.id;
+        count = a.count;
+        distinct = Hashtbl.length a.distinct;
+        lo = a.lo;
+        hi = a.hi;
+        string_valued = a.string_valued;
+        version = nd.Node.write_epoch;
+        sampled_at = now;
+      }
+      :: l)
+    per_attr []

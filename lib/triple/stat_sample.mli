@@ -1,0 +1,19 @@
+(** Local statistics sampling for the gossiped statistics cache.
+
+    A responsible peer can summarize its share of the data without any
+    network traffic: its store holds, among the three index families,
+    the A#v entries of every triple whose (attribute, value) pair hashes
+    into its region. This module decodes those entries into the
+    per-attribute {!Unistore_cache.Statcache.summary} records that
+    {!Unistore_pgrid.Gossip.stats_round} spreads — the decoding lives
+    here because only the triple layer knows the index key layout
+    ({!Keys}) and the value encodings ({!Value}).
+
+    Replica-group safety: summaries carry the peer's region, and the
+    statistics cache deduplicates by (attribute, region), so replicas
+    holding the same region never double count. *)
+
+(** [of_node ~now node] summarizes [node]'s local A#v entries, one
+    summary per attribute present, stamped with the node's write epoch
+    and [now]. *)
+val of_node : now:float -> Unistore_pgrid.Node.t -> Unistore_cache.Statcache.summary list
