@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test lint bench bench-baseline bench-smoke clean
+.PHONY: all check test lint bench bench-baseline bench-bulk bench-smoke clean
 
 all: check
 
@@ -37,12 +37,20 @@ bench:
 bench-baseline:
 	dune exec bench/main.exe -- core
 
-# CI bench gate: the small cached-vs-uncached run. Fails if the caching
-# subsystem stops engaging (zero hits) or stops paying for itself.
-# The committed full-size numbers live in BENCH_cache.json
-# (regenerate with `dune exec bench/main.exe -- cache`).
+# Regenerate the committed batched-vs-unbatched numbers
+# (BENCH_bulk.json). Run after any change to the bulk-operation
+# pipeline (lib/pgrid batching, multi-key probes, range aggregation)
+# and commit the diff. See EXPERIMENTS.md, section "Bulk operations".
+bench-bulk:
+	dune exec bench/main.exe -- bulk
+
+# CI bench gate: the small cached-vs-uncached and batched-vs-unbatched
+# runs. Fails if the caching subsystem or the bulk-operation pipeline
+# stops engaging, or stops paying for itself (e.g. the batched bulk
+# load drops below a 40% message reduction). The committed full-size
+# numbers live in BENCH_cache.json and BENCH_bulk.json.
 bench-smoke:
-	dune exec bench/main.exe -- cache-smoke
+	dune exec bench/main.exe -- cache-smoke bulk-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,389 @@
+(* E-bulk: the bulk-operation pipeline, measured.
+
+   Two identical deployments — same seed, same dataset, same workload —
+   differ only in the batch configuration: one routes every operation
+   per item (the `no_batch` baseline), the other runs the full pipeline
+   (batched shower inserts, in-network range aggregation, multi-key
+   bind-join probes). Three phases:
+
+   - bulk load: the whole publications dataset inserted via
+     {!Unistore.load}. Batched, each origin's triples travel as one
+     splitting [InsertBatch] with per-region [AckBatch] replies; the
+     per-item baseline routes one Insert + one Ack per index entry
+     (messages, bytes, latency);
+   - narrow range scans: repeated small windows over the `year`
+     attribute. Batched, [RangeHit] replies converge-cast up the split
+     tree, merging per hop and eliding single-child chains (bytes);
+   - a bind-join workload: queries whose probe rounds ship many bound
+     keys. Batched, deduplicated keys travel as region-splitting
+     [MultiLookup]s instead of one routed lookup per key (messages).
+
+   Both arms must return identical rows — asserted here, not just in
+   the test suite. Writes BENCH_bulk.json; `make bench-smoke` runs the
+   small variant without touching the file. *)
+
+module Rng = Unistore_util.Rng
+module Metrics = Unistore_obs.Metrics
+module Json = Unistore_obs.Json
+module Publications = Unistore_workload.Publications
+module Binding = Unistore_qproc.Binding
+module Keys = Unistore_triple.Keys
+
+let out_file = "BENCH_bulk.json"
+
+type arm = {
+  label : string;
+  load_messages : int;
+  load_bytes : int;
+  load_latency : float;
+  load_stored : int;
+  bulk_batches : int;
+  retransmits : int;
+  range_messages : int;
+  range_bytes : int;
+  range_rows : string list;
+  agg_elided : int;
+  wide_messages : int;
+  wide_bytes : int;
+  wide_rows : string list;
+  wide_origin_hits : int;
+  agg_merged : int;
+  join_messages : int;
+  join_latency : float;
+  join_rows : string list;
+  probe_batches : int;
+}
+
+(* Narrow windows: a handful of rows per scan, so the shower's
+   traversal overhead — routed [Range] forwards and per-node reply
+   headers — dominates the item payload. That is the regime in-network
+   aggregation is built for: single-child chains forward their child's
+   token instead of emitting an empty [RangeHit] of their own. *)
+let range_queries =
+  [
+    "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 25 FILTER ?g <= 27 }";
+    "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 33 FILTER ?g <= 35 }";
+    "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 41 FILTER ?g <= 43 }";
+    "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 50 FILTER ?g <= 52 }";
+    "SELECT ?p,?y WHERE { (?p,'year',?y) FILTER ?y >= 1999 FILTER ?y <= 1999 }";
+    "SELECT ?p,?y WHERE { (?p,'year',?y) FILTER ?y >= 2004 FILTER ?y <= 2004 }";
+  ]
+
+let range_origins = [| 5; 11; 23; 2 |]
+
+(* Whole-attribute windows: the shower fans out to every leaf of the
+   region, so the reply tree has real forks — the converge-cast merges
+   child hits per hop and the origin receives one reply instead of one
+   per visited node (the inbound-concentration relief; total bytes go
+   the other way, since merge points retransmit their subtree's items). *)
+let wide_origin = 9
+
+let wide_queries =
+  [
+    "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 24 FILTER ?g <= 68 }";
+    "SELECT ?p,?y WHERE { (?p,'year',?y) FILTER ?y >= 1998 FILTER ?y <= 2007 }";
+  ]
+
+(* The second pattern's attribute is a variable, so its only bulk
+   access is flooding — the probe round over the year-bound OIDs is
+   the cheap plan, and with multi-key probes its message cost scales
+   with touched regions instead of bound keys. The third query is a
+   conventional chain join for contrast. *)
+let join_queries =
+  [
+    "SELECT ?a,?att,?v WHERE { (?a,'num_of_pubs',2) (?a,?att,?v) }";
+    "SELECT ?a,?att,?v WHERE { (?a,'num_of_pubs',3) (?a,?att,?v) }";
+    "SELECT ?a,?att,?v WHERE { (?a,'num_of_pubs',4) (?a,?att,?v) }";
+    "SELECT ?n,?t WHERE { (?a,'name',?n) (?a,'has_published',?t) (?p,'title',?t) }";
+  ]
+
+(* Sorted row fingerprints: order-independent result identity. *)
+let row_set (r : Unistore.Report.report) =
+  List.sort compare (List.map Binding.fingerprint r.Unistore.Report.rows)
+
+let run_arm ~peers ~authors ~scans ~batched () =
+  let batch = if batched then Unistore.default_batch_config else Unistore.no_batch in
+  let rng = Rng.create 43 in
+  let ds =
+    Publications.generate rng { Publications.default_params with n_authors = authors }
+  in
+  (* Caching off in both arms: this experiment isolates batching, and a
+     result-cache hit would zero out repeated queries on both sides.
+     The q-gram index is off too — none of the workloads use similarity
+     selections, and its keys otherwise dominate the key space, leaving
+     the attribute regions the range scans traverse too small to span
+     several peers. The trie is shaped accordingly (three-way index
+     keys only). *)
+  let sample_keys =
+    List.concat_map
+      (fun (tr : Unistore.Triple.t) ->
+        [
+          Keys.oid_key tr.Unistore.Triple.oid;
+          Keys.attr_value_key tr.Unistore.Triple.attr tr.Unistore.Triple.value;
+          Keys.value_key tr.Unistore.Triple.value;
+        ])
+      ds.Publications.triples
+  in
+  let store =
+    Unistore.create ~sample_keys
+      {
+        Unistore.default_config with
+        peers;
+        seed = 42;
+        qgram_index = false;
+        cache = Unistore.no_cache;
+        batch;
+      }
+  in
+  let m = Unistore.metrics store in
+  (* Phase 1: bulk load. *)
+  Metrics.clear m;
+  let t0 = Unistore.now store in
+  let load_stored = Unistore.load store ds.Publications.tuples in
+  let load_latency = Unistore.now store -. t0 in
+  Unistore.settle store;
+  let load_messages = Metrics.counter m "net.sent" in
+  let load_bytes = Metrics.counter m "net.bytes.sent" in
+  let bulk_batches = Metrics.counter m "batch.bulk.batches" in
+  let retransmits = Metrics.counter m "batch.retransmit" in
+  Unistore.set_stats_of_triples store ds.Publications.triples;
+  (* Phase 2: narrow range scans. *)
+  Metrics.clear m;
+  let range_rows = ref [] in
+  for round = 1 to scans do
+    List.iteri
+      (fun i vql ->
+        let origin = range_origins.((round + i) mod Array.length range_origins) in
+        let r = Common.run_query_exn store ~origin vql in
+        if not r.Unistore.Report.complete then failwith "bulk bench range query incomplete";
+        range_rows := List.rev_append (row_set r) !range_rows)
+      range_queries
+  done;
+  let range_messages = Metrics.counter m "net.sent" in
+  let range_bytes = Metrics.counter m "net.bytes.sent" in
+  let agg_elided = Metrics.counter m "batch.agg.elided" in
+  (* Phase 2b: whole-attribute scans, traced to count how many range
+     replies converge on the querying peer. *)
+  Metrics.clear m;
+  let trace = Unistore.start_trace store in
+  let wide_rows = ref [] in
+  List.iter
+    (fun vql ->
+      let r = Common.run_query_exn store ~origin:wide_origin vql in
+      if not r.Unistore.Report.complete then failwith "bulk bench wide scan incomplete";
+      wide_rows := List.rev_append (row_set r) !wide_rows)
+    wide_queries;
+  Unistore.stop_trace store;
+  let wide_origin_hits =
+    List.length
+      (List.filter
+         (fun (e : Unistore_sim.Trace.event) ->
+           String.equal e.Unistore_sim.Trace.kind "range-hit"
+           && e.Unistore_sim.Trace.dst = wide_origin)
+         (Unistore_sim.Trace.events trace))
+  in
+  let wide_messages = Metrics.counter m "net.sent" in
+  let wide_bytes = Metrics.counter m "net.bytes.sent" in
+  let agg_merged = Metrics.counter m "batch.agg.merged" in
+  (* Phase 3: bind-join probe rounds. *)
+  Metrics.clear m;
+  let t0 = Unistore.now store in
+  let join_rows = ref [] in
+  List.iter
+    (fun vql ->
+      let r = Common.run_query_exn store ~origin:7 vql in
+      if not r.Unistore.Report.complete then failwith "bulk bench join query incomplete";
+      join_rows := List.rev_append (row_set r) !join_rows)
+    join_queries;
+  let join_messages = Metrics.counter m "net.sent" in
+  let join_latency = Unistore.now store -. t0 in
+  {
+    label = (if batched then "batched" else "unbatched");
+    load_messages;
+    load_bytes;
+    load_latency;
+    load_stored;
+    bulk_batches;
+    retransmits;
+    range_messages;
+    range_bytes;
+    range_rows = List.sort compare !range_rows;
+    agg_elided;
+    wide_messages;
+    wide_bytes;
+    wide_rows = List.sort compare !wide_rows;
+    wide_origin_hits;
+    agg_merged;
+    join_messages;
+    join_latency;
+    join_rows = List.sort compare !join_rows;
+    probe_batches = Metrics.counter m "batch.probe.batches";
+  }
+
+let arm_json a =
+  Json.Obj
+    [
+      ("label", Json.Str a.label);
+      ( "load",
+        Json.Obj
+          [
+            ("messages", Json.Int a.load_messages);
+            ("bytes", Json.Int a.load_bytes);
+            ("latency_ms", Json.Float a.load_latency);
+            ("triples_stored", Json.Int a.load_stored);
+            ("insert_batches", Json.Int a.bulk_batches);
+            ("retransmits", Json.Int a.retransmits);
+          ] );
+      ( "narrow_range_scans",
+        Json.Obj
+          [
+            ("messages", Json.Int a.range_messages);
+            ("bytes", Json.Int a.range_bytes);
+            ("rows", Json.Int (List.length a.range_rows));
+            ("hits_elided", Json.Int a.agg_elided);
+          ] );
+      ( "wide_range_scans",
+        Json.Obj
+          [
+            ("messages", Json.Int a.wide_messages);
+            ("bytes", Json.Int a.wide_bytes);
+            ("rows", Json.Int (List.length a.wide_rows));
+            ("replies_into_origin", Json.Int a.wide_origin_hits);
+            ("hits_merged_in_network", Json.Int a.agg_merged);
+          ] );
+      ( "bind_joins",
+        Json.Obj
+          [
+            ("messages", Json.Int a.join_messages);
+            ("latency_ms", Json.Float a.join_latency);
+            ("rows", Json.Int (List.length a.join_rows));
+            ("probe_batches", Json.Int a.probe_batches);
+          ] );
+    ]
+
+let reduction ~unbatched ~batched =
+  if unbatched <= 0.0 then 0.0 else (unbatched -. batched) /. unbatched
+
+let ired ~unbatched ~batched =
+  reduction ~unbatched:(float_of_int unbatched) ~batched:(float_of_int batched)
+
+let measure ~peers ~authors ~scans =
+  let unbatched = run_arm ~peers ~authors ~scans ~batched:false () in
+  let batched = run_arm ~peers ~authors ~scans ~batched:true () in
+  if unbatched.load_stored <> batched.load_stored then
+    failwith "bulk bench: arms stored different triple counts";
+  if not (List.equal String.equal unbatched.range_rows batched.range_rows) then
+    failwith "bulk bench: range arms returned different rows";
+  if not (List.equal String.equal unbatched.wide_rows batched.wide_rows) then
+    failwith "bulk bench: wide-scan arms returned different rows";
+  if not (List.equal String.equal unbatched.join_rows batched.join_rows) then
+    failwith "bulk bench: join arms returned different rows";
+  let load_msg_red = ired ~unbatched:unbatched.load_messages ~batched:batched.load_messages in
+  let load_byte_red = ired ~unbatched:unbatched.load_bytes ~batched:batched.load_bytes in
+  let range_byte_red = ired ~unbatched:unbatched.range_bytes ~batched:batched.range_bytes in
+  let range_msg_red = ired ~unbatched:unbatched.range_messages ~batched:batched.range_messages in
+  let origin_hit_red =
+    ired ~unbatched:unbatched.wide_origin_hits ~batched:batched.wide_origin_hits
+  in
+  let join_msg_red = ired ~unbatched:unbatched.join_messages ~batched:batched.join_messages in
+  Common.print_table
+    [ "metric"; "unbatched"; "batched"; "reduction" ]
+    [
+      [ "load messages"; Common.i unbatched.load_messages; Common.i batched.load_messages;
+        Common.pct load_msg_red ];
+      [ "load bytes"; Common.i unbatched.load_bytes; Common.i batched.load_bytes;
+        Common.pct load_byte_red ];
+      [ "load latency (ms)"; Common.f1 unbatched.load_latency; Common.f1 batched.load_latency;
+        Common.pct
+          (reduction ~unbatched:unbatched.load_latency ~batched:batched.load_latency) ];
+      [ "narrow scan messages"; Common.i unbatched.range_messages;
+        Common.i batched.range_messages; Common.pct range_msg_red ];
+      [ "narrow scan bytes"; Common.i unbatched.range_bytes; Common.i batched.range_bytes;
+        Common.pct range_byte_red ];
+      [ "wide scan replies into origin"; Common.i unbatched.wide_origin_hits;
+        Common.i batched.wide_origin_hits; Common.pct origin_hit_red ];
+      [ "bind-join messages"; Common.i unbatched.join_messages; Common.i batched.join_messages;
+        Common.pct join_msg_red ];
+    ];
+  Printf.printf
+    "\nbatched arm: %d insert batches, %d probe batches, %d hits elided on narrow scans, %d \
+     merged in-network on wide scans, %d retransmits; identical rows in both arms\n"
+    batched.bulk_batches batched.probe_batches batched.agg_elided batched.agg_merged
+    batched.retransmits;
+  (unbatched, batched, load_msg_red, range_byte_red, origin_hit_red, join_msg_red)
+
+let run () =
+  Common.section "E-bulk: bulk-operation pipeline"
+    "batched splitting inserts cut bulk-load traffic by the per-item routing factor; \
+     converge-cast aggregation trims range-scan reply bytes; multi-key probes make \
+     bind-join rounds scale with touched regions, not bound keys";
+  let peers, authors, scans = (192, 60, 10) in
+  let unbatched, batched, load_msg_red, range_byte_red, origin_hit_red, join_msg_red =
+    measure ~peers ~authors ~scans
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ( "description",
+          Json.Str
+            "UniStore bulk-operation pipeline: identical deployments and workloads, batching \
+             disabled (per-item baseline) vs enabled. Load phase: the publications dataset \
+             via splitting InsertBatch messages. Narrow-scan phase: repeated small windows \
+             over 'age'/'year' (single-child chains elide their empty hits). Wide-scan \
+             phase: whole-attribute windows (converge-cast merging; replies into the origin \
+             counted from a trace). Join phase: bind-join queries (multi-key probes). Both \
+             arms returned identical rows. Regenerate with `dune exec bench/main.exe -- \
+             bulk` (or `make bench-bulk`). See EXPERIMENTS.md, section 'Bulk operations'." );
+        ( "config",
+          Json.Obj
+            [
+              ("peers", Json.Int peers);
+              ("seed", Json.Int 42);
+              ("latency_model", Json.Str "lan");
+              ("workload", Json.Str (Printf.sprintf "publications(authors=%d)" authors));
+              ("range_scan_rounds", Json.Int scans);
+              ("caching", Json.Str "disabled in both arms");
+            ] );
+        ("unbatched", arm_json unbatched);
+        ("batched", arm_json batched);
+        ( "reductions",
+          Json.Obj
+            [
+              ("load_messages", Json.Float load_msg_red);
+              ( "load_bytes",
+                Json.Float (ired ~unbatched:unbatched.load_bytes ~batched:batched.load_bytes) );
+              ("narrow_scan_bytes", Json.Float range_byte_red);
+              ( "narrow_scan_messages",
+                Json.Float
+                  (ired ~unbatched:unbatched.range_messages ~batched:batched.range_messages) );
+              ("wide_scan_replies_into_origin", Json.Float origin_hit_red);
+              ("bind_join_messages", Json.Float join_msg_red);
+            ] );
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file
+
+(* The CI smoke variant: small enough for a PR gate, asserts the
+   pipeline engages and pays for itself, writes no file. *)
+let run_smoke () =
+  Common.section "E-bulk (smoke)" "bulk-operation pipeline engages and pays for itself";
+  let _, batched, load_msg_red, range_byte_red, origin_hit_red, join_msg_red =
+    measure ~peers:128 ~authors:20 ~scans:5
+  in
+  if batched.bulk_batches = 0 then failwith "bench-smoke: no insert batches";
+  if batched.probe_batches = 0 then failwith "bench-smoke: no multi-key probe batches";
+  if batched.agg_merged = 0 then failwith "bench-smoke: no in-network range aggregation";
+  if load_msg_red < 0.4 then
+    failwith
+      (Printf.sprintf "bench-smoke: bulk-load message reduction %.0f%% < 40%%"
+         (100.0 *. load_msg_red));
+  if range_byte_red <= 0.0 then failwith "bench-smoke: range aggregation saved no bytes";
+  if origin_hit_red <= 0.0 then
+    failwith "bench-smoke: converge-cast did not concentrate wide-scan replies";
+  if join_msg_red <= 0.0 then failwith "bench-smoke: multi-key probes saved no messages";
+  Printf.printf "\nbench-smoke: OK\n"

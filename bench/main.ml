@@ -25,6 +25,8 @@ let experiments =
     ("e14", "E14: decentralized construction + merging", Exp_bootstrap.run);
     ("cache", "E-cache: multi-level caching, cached vs uncached -> BENCH_cache.json", Exp_cache.run);
     ("cache-smoke", "E-cache smoke variant (CI gate, no file output)", Exp_cache.run_smoke);
+    ("bulk", "E-bulk: bulk-operation pipeline, batched vs unbatched -> BENCH_bulk.json", Exp_bulk.run);
+    ("bulk-smoke", "E-bulk smoke variant (CI gate, no file output)", Exp_bulk.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -52,7 +52,13 @@ let no_cache_t =
            ~doc:"Disable the caching subsystem (routing shortcuts, result caches, gossiped \
                  statistics); the optimizer then plans from oracle statistics.")
 
-let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache =
+let no_batch_t =
+  Arg.(value & flag
+       & info [ "no-batch" ]
+           ~doc:"Disable the bulk-operation pipeline (batched inserts, in-network range \
+                 aggregation, multi-key bind-join probes); every operation routes per item.")
+
+let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch =
   let rng = Unistore_util.Rng.create (seed + 1) in
   let tuples, triples, sample =
     match dataset with
@@ -77,9 +83,10 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache =
       (tuples, triples, sample)
   in
   let cache = if no_cache then Unistore.no_cache else Unistore.default_cache_config in
+  let batch = if no_batch then Unistore.no_batch else Unistore.default_batch_config in
   let store =
     Unistore.create ~sample_keys:sample
-      { Unistore.default_config with peers; seed; overlay; latency; cache }
+      { Unistore.default_config with peers; seed; overlay; latency; cache; batch }
   in
   let n = Unistore.load store tuples in
   Unistore.set_stats_of_triples store triples;
@@ -124,9 +131,9 @@ let print_explain_analyze (report : Unistore.Report.report) =
     report.Unistore.Report.messages report.Unistore.Report.latency
     (List.length report.Unistore.Report.rows)
 
-let run_query peers seed overlay latency authors dataset strategy no_cache explain explain_only
-    trace profile metrics check vql =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache in
+let run_query peers seed overlay latency authors dataset strategy no_cache no_batch explain
+    explain_only trace profile metrics check vql =
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch in
   if check then begin
     (* Static analysis only: parse, run the semantic analyzer against the
        catalog derived from the loaded dataset's statistics, report
@@ -197,8 +204,8 @@ let query_cmd =
   let term =
     Term.(
       const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
-      $ strategy_t $ no_cache_t $ explain_t $ explain_only_t $ trace_t $ profile_t $ metrics_t
-      $ check_t $ vql_t)
+      $ strategy_t $ no_cache_t $ no_batch_t $ explain_t $ explain_only_t $ trace_t
+      $ profile_t $ metrics_t $ check_t $ vql_t)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
 
@@ -231,7 +238,7 @@ let demo_workload = function
     ]
 
 let lint peers seed overlay latency authors dataset allowed_revisits =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false in
   let failures = ref 0 in
   let report section diags =
     Format.printf "@.%s:@." section;
@@ -297,7 +304,7 @@ let lint_cmd =
 (* repl                                                                *)
 
 let repl peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false in
   Format.printf
     "Interactive VQL. End with ';' on its own line. Commands: \\help \\stats \\peers \\quit@.";
   let buf = Buffer.create 256 in
@@ -352,7 +359,7 @@ let repl_cmd =
 (* inspect                                                             *)
 
 let inspect peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false in
   match Unistore.pgrid store with
   | None -> Format.printf "inspect currently supports the P-Grid overlay only@."
   | Some ov ->

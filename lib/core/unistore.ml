@@ -40,6 +40,32 @@ let default_cache_config =
 let no_cache =
   { shortcut_capacity = 0; result_capacity = 0; result_ttl_ms = 0.0; stats_half_life_ms = 0.0 }
 
+type batch_config = {
+  bulk_insert : bool;
+  range_aggregation : bool;
+  multi_probe : bool;
+  agg_fanin : int;
+  agg_flush_ms : float;
+}
+
+let default_batch_config =
+  {
+    bulk_insert = Config.default.Config.bulk_insert;
+    range_aggregation = Config.default.Config.range_aggregation;
+    multi_probe = Config.default.Config.multi_probe;
+    agg_fanin = Config.default.Config.agg_fanin;
+    agg_flush_ms = Config.default.Config.agg_flush_ms;
+  }
+
+let no_batch =
+  {
+    bulk_insert = false;
+    range_aggregation = false;
+    multi_probe = false;
+    agg_fanin = 0;
+    agg_flush_ms = 0.0;
+  }
+
 type config = {
   peers : int;
   replication : int;
@@ -51,6 +77,7 @@ type config = {
   qgram_index : bool;
   load_balanced : bool;
   cache : cache_config;
+  batch : batch_config;
 }
 
 let default_config =
@@ -65,6 +92,7 @@ let default_config =
     qgram_index = true;
     load_balanced = true;
     cache = default_cache_config;
+    batch = default_batch_config;
   }
 
 type t = {
@@ -96,6 +124,13 @@ let create ?(sample_keys = []) config =
           Config.replication = config.replication;
           refs_per_level = config.refs_per_level;
           shortcut_capacity = config.cache.shortcut_capacity;
+          bulk_insert = config.batch.bulk_insert;
+          range_aggregation = config.batch.range_aggregation;
+          multi_probe = config.batch.multi_probe;
+          agg_fanin = max 1 config.batch.agg_fanin;
+          agg_flush_ms =
+            (if config.batch.agg_flush_ms > 0.0 then config.batch.agg_flush_ms
+             else Config.default.Config.agg_flush_ms);
         }
       in
       let ov =
@@ -208,8 +243,38 @@ let update_value t ?origin ~oid ~attr ~old_value new_value =
   bump_write t (Some attr);
   Tstore.update_value_sync t.tstore ~origin ~oid ~attr ~old_value new_value
 
+(* Bulk load: assign each tuple its round-robin origin as before, then
+   ship every origin's triples as one batched insert
+   ({!Tstore.insert_bulk}) instead of one routed exchange per index
+   entry. Per-triple insertion remains the fallback when batching is off
+   or a batch comes back incomplete. *)
 let load t tuples =
-  List.fold_left (fun acc (oid, fields) -> acc + insert_tuple t ~oid fields) 0 tuples
+  match t.dht.Dht.bulk_insert with
+  | None -> List.fold_left (fun acc (oid, fields) -> acc + insert_tuple t ~oid fields) 0 tuples
+  | Some _ ->
+    let groups = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (oid, fields) ->
+        let origin = pick_origin t in
+        List.iter (fun (a, _) -> bump_write t (Some a)) fields;
+        let triples = Triple.tuple_to_triples ~oid fields in
+        match Hashtbl.find_opt groups origin with
+        | Some r -> r := List.rev_append triples !r
+        | None ->
+          order := origin :: !order;
+          Hashtbl.add groups origin (ref (List.rev triples)))
+      tuples;
+    List.fold_left
+      (fun acc origin ->
+        let triples = List.rev !(Hashtbl.find groups origin) in
+        if Tstore.insert_bulk_sync t.tstore ~origin triples then acc + List.length triples
+        else
+          acc
+          + List.fold_left
+              (fun a tr -> if Tstore.insert_sync t.tstore ~origin tr then a + 1 else a)
+              0 triples)
+      0 (List.rev !order)
 
 let add_mapping t ?origin a b =
   let origin = match origin with Some o -> o | None -> pick_origin t in

@@ -44,6 +44,21 @@ type cache_config = {
 val default_cache_config : cache_config
 val no_cache : cache_config
 
+(** Knobs of the bulk-operation pipeline (P-Grid only): batched shower
+    inserts, in-network range aggregation and multi-key bind-join
+    probes. {!no_batch} turns every batch path off — the per-item
+    baseline of the E-bulk benchmark, mirroring {!no_cache}. *)
+type batch_config = {
+  bulk_insert : bool;  (** load via splitting [InsertBatch] messages *)
+  range_aggregation : bool;  (** converge-cast shower range replies *)
+  multi_probe : bool;  (** group bind-join lookups by region *)
+  agg_fanin : int;  (** children merged per aggregation node *)
+  agg_flush_ms : float;  (** partial-merge flush (loss tolerance) *)
+}
+
+val default_batch_config : batch_config
+val no_batch : batch_config
+
 type config = {
   peers : int;
   replication : int;
@@ -55,6 +70,7 @@ type config = {
   qgram_index : bool;  (** maintain the string-similarity index *)
   load_balanced : bool;  (** P-Grid data-aware partitioning (needs sample) *)
   cache : cache_config;
+  batch : batch_config;
 }
 
 val default_config : config
@@ -94,7 +110,10 @@ val update_value :
   t -> ?origin:int -> oid:string -> attr:string -> old_value:Value.t -> Value.t -> bool
 
 (** [load t tuples] inserts tuples from round-robin origins (as if each
-    participant contributed its own data); returns triples stored. *)
+    participant contributed its own data); returns triples stored. With
+    [batch.bulk_insert] on, each origin's triples travel as one batched
+    insert ({!Unistore_triple.Tstore.insert_bulk}); per-triple insertion
+    is the fallback when batching is off or a batch stays incomplete. *)
 val load : t -> (string * (string * Value.t) list) list -> int
 
 (** [add_mapping t a b] publishes an attribute correspondence. *)
@@ -183,7 +202,8 @@ val stop_trace : t -> unit
 
     Every deployment carries a {!Unistore_obs.Metrics} registry,
     attached to its network and overlay at creation: per-kind message
-    counters ([net.sent.lookup], [net.bytes.range], ...), outcome
+    counters ([net.sent.lookup], [net.bytes.sent.range],
+    [net.bytes.delivered], ...), outcome
     counters, and per-operation hop/retry/latency/fan-out histograms
     ([overlay.lookup.hops], [overlay.range.fanout], ...). Unlike a
     trace it is always on; [reset_metrics] after loading to scope a

@@ -8,6 +8,11 @@ type t = {
   gossip_fanout : int;
   max_hops : int;
   shortcut_capacity : int;
+  bulk_insert : bool;
+  range_aggregation : bool;
+  multi_probe : bool;
+  agg_fanin : int;
+  agg_flush_ms : float;
 }
 
 let default =
@@ -21,4 +26,9 @@ let default =
     gossip_fanout = 2;
     max_hops = 128;
     shortcut_capacity = 128;
+    bulk_insert = true;
+    range_aggregation = true;
+    multi_probe = true;
+    agg_fanin = 8;
+    agg_flush_ms = 2_500.0;
   }

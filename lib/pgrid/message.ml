@@ -21,13 +21,30 @@ type t =
       clip_lo : string;  (** inclusive *)
       clip_hi : string option;  (** exclusive; [None] = unbounded *)
       origin : int;
+      reply_to : int;
       hops : int;
       strategy : range_strategy;
       budget : int option;
           (** remaining result budget for sequential top-N traversals:
               stop forwarding once this many items were produced *)
     }
-  | RangeHit of { rid : int; token : int; items : Store.item list; targets : int list; hops : int }
+  | RangeHit of {
+      rid : int;
+      token : int;
+      items : Store.item list;
+      targets : int list;
+      origin : int;
+      hops : int;
+    }
+  | InsertBatch of { rid : int; items : Store.item list; origin : int; hops : int }
+  | AckBatch of { rid : int; keys : string list; region : string * string option; hops : int }
+  | MultiLookup of { rid : int; keys : string list; origin : int; hops : int }
+  | MultiFound of {
+      rid : int;
+      found : (string * Store.item list) list;
+      region : string * string option;
+      hops : int;
+    }
   | Probe of {
       rid : int;
       token : int;
@@ -61,7 +78,16 @@ let size = function
   | Lookup { key; _ } -> header + String.length key
   | Found { items; region; _ } -> header + items_bytes items + region_bytes region
   | Range { lo; hi; _ } -> header + 16 + String.length lo + String.length hi
-  | RangeHit { items; _ } -> header + items_bytes items
+  | RangeHit { items; targets; _ } -> header + items_bytes items + (4 * List.length targets)
+  | InsertBatch { items; _ } -> header + items_bytes items
+  | AckBatch { keys; region; _ } ->
+    header + List.fold_left (fun acc k -> acc + String.length k) 0 keys + region_bytes region
+  | MultiLookup { keys; _ } ->
+    header + List.fold_left (fun acc k -> acc + String.length k) 0 keys
+  | MultiFound { found; region; _ } ->
+    header
+    + List.fold_left (fun acc (k, items) -> acc + String.length k + items_bytes items) 0 found
+    + region_bytes region
   | Probe _ -> header + 32
   | Task { bytes; _ } -> header + bytes
   | SyncDigest { digest } ->
@@ -89,6 +115,10 @@ let corr = function
   | Found { rid; _ }
   | Range { rid; _ }
   | RangeHit { rid; _ }
+  | InsertBatch { rid; _ }
+  | AckBatch { rid; _ }
+  | MultiLookup { rid; _ }
+  | MultiFound { rid; _ }
   | Probe { rid; _ } ->
     rid
   | Replicate _ | Unreplicate _ | Task _ | SyncDigest _ | SyncRequest _ | SyncItems _
@@ -106,6 +136,10 @@ let kind = function
   | Found _ -> "found"
   | Range _ -> "range"
   | RangeHit _ -> "range-hit"
+  | InsertBatch _ -> "insert-batch"
+  | AckBatch _ -> "ack-batch"
+  | MultiLookup _ -> "multi-lookup"
+  | MultiFound _ -> "multi-found"
   | Probe _ -> "probe"
   | Task _ -> "task"
   | SyncDigest _ -> "sync-digest"

@@ -39,15 +39,44 @@ type t =
       clip_lo : string;  (** routing clip, inclusive *)
       clip_hi : string option;  (** routing clip, exclusive; [None] = +inf *)
       origin : int;
+      reply_to : int;
+          (** where the receiver's hit goes: the origin, or — under
+              in-network range aggregation — the parent in the split
+              tree, which merges child hits before replying upward *)
       hops : int;
       strategy : range_strategy;
       budget : int option;
           (** remaining result budget for sequential top-N traversals:
               stop forwarding once this many items were produced *)
     }
-  | RangeHit of { rid : int; token : int; items : Store.item list; targets : int list; hops : int }
+  | RangeHit of {
+      rid : int;
+      token : int;
+      items : Store.item list;
+      targets : int list;
+      origin : int;
+      hops : int;
+    }
       (** [token] identifies which message this hit answers; [targets]
-          lists the tokens of the messages the sender forwarded *)
+          lists the tokens of messages the sender forwarded whose hits
+          it did {e not} merge itself; [origin] lets a peer holding no
+          aggregation buffer for [token] relay the hit home *)
+  | InsertBatch of { rid : int; items : Store.item list; origin : int; hops : int }
+      (** bulk insert: sorted items that split shower-style as the batch
+          descends the trie; each covering peer stores its share and
+          acks it as one [AckBatch] *)
+  | AckBatch of { rid : int; keys : string list; region : string * string option; hops : int }
+      (** per-region ack of a bulk insert: [keys] were stored by the
+          sender; unacked keys are selectively retransmitted *)
+  | MultiLookup of { rid : int; keys : string list; origin : int; hops : int }
+      (** batched bind-join probe: deduplicated lookup keys that split
+          like an [InsertBatch]; answered per region *)
+  | MultiFound of {
+      rid : int;
+      found : (string * Store.item list) list;
+      region : string * string option;
+      hops : int;
+    }  (** one region's answers to a [MultiLookup] *)
   | Probe of {
       rid : int;
       token : int;
@@ -68,6 +97,11 @@ type t =
           {!Gossip.stats_round}) *)
   | Exchange of { bytes : int; run : int -> unit }
       (** bootstrap pairwise exchange step (see {!Build.bootstrap}) *)
+
+(** Fixed per-message envelope cost assumed by [size] (addressing,
+    correlation ids, framing). Batching wins come largely from paying
+    this once per batch instead of once per item. *)
+val header : int
 
 (** Estimated wire size in bytes. *)
 val size : t -> int

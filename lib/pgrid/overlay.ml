@@ -37,6 +37,36 @@ type pending =
       started : float;
       k : result -> unit;
     }
+  | Pbatch of {
+      op : string;  (* metric label: bulk-insert/multi-lookup *)
+      origin : int;
+      unacked : (string, unit) Hashtbl.t;  (* keys no region acked yet *)
+      resend : unit -> unit;  (* selective retransmit of unacked keys *)
+      mutable attempts : int;
+      mutable hops : int;
+      mutable regions : int;  (* per-region ack messages received *)
+      mutable items : Store.item list;
+      on_ack : string -> Store.item list -> unit;  (* per-key payload *)
+      started : float;
+      k : result -> unit;
+    }
+
+(* One in-network aggregation buffer for a shower range: the interior
+   node that spawned [waiting] merges those children's hits into its own
+   before replying to [agg_parent]. Shared (aliased) across the entries
+   of [t.aggs] for its waiting tokens. *)
+type agg = {
+  agg_rid : int;
+  agg_token : int;  (* the token echoed upward by the merged hit *)
+  agg_parent : int;
+  agg_origin : int;
+  agg_owner : int;
+  mutable waiting : int list;  (* child tokens not yet merged *)
+  mutable carried : int list;  (* tokens announced upward unmerged *)
+  mutable agg_items : Store.item list;
+  mutable agg_hops : int;
+  mutable flushed : bool;
+}
 
 type t = {
   sim : Sim.t;
@@ -45,6 +75,7 @@ type t = {
   rng : Rng.t;
   nodes : (int, Node.t) Hashtbl.t;
   pending : (int, pending) Hashtbl.t;
+  aggs : (int, agg) Hashtbl.t;  (* child token -> its parent's buffer *)
   mutable next_rid : int;
   mutable metrics : Metrics.t option;
   mutable read_observer : (origin:int -> Store.item list -> unit) option;
@@ -60,6 +91,7 @@ let create sim ~latency ~rng ?(drop = 0.0) ~config () =
     rng;
     nodes = Hashtbl.create 256;
     pending = Hashtbl.create 64;
+    aggs = Hashtbl.create 64;
     next_rid = 0;
     metrics = None;
     read_observer = None;
@@ -245,6 +277,54 @@ let arm_multi_timeout t rid =
   Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
       if Hashtbl.mem t.pending rid then finish_multi t rid ~complete:false)
 
+let finish_batch t rid ~complete =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Pbatch p) ->
+    Hashtbl.remove t.pending rid;
+    let latency = Sim.now t.sim -. p.started in
+    record_multi t p.op ~hops:p.hops ~peers_hit:p.regions ~latency ~complete;
+    p.k { items = dedupe_items p.items; hops = p.hops; peers_hit = p.regions; complete; latency }
+  | _ -> ()
+
+let arm_batch_timeout t rid =
+  let rec arm () =
+    Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
+        match Hashtbl.find_opt t.pending rid with
+        | Some (Pbatch p) ->
+          if p.attempts < t.config.retries then begin
+            p.attempts <- p.attempts + 1;
+            (match t.metrics with Some m -> Metrics.incr m "overlay.resend" | None -> ());
+            cache_incr t "batch.retransmit";
+            p.resend ();
+            arm ()
+          end
+          else finish_batch t rid ~complete:false
+        | _ -> ())
+  in
+  arm ()
+
+(* Send an aggregation buffer's merged hit upward. [reason] is
+   ["complete"] (every buffered child answered) or ["timeout"] (loss or
+   churn below): leftover waiting tokens travel as targets so the origin
+   still accounts for them — their hits, if any straggle in later, find
+   no buffer and are relayed home. *)
+let flush_agg t (a : agg) ~reason =
+  if not a.flushed then begin
+    a.flushed <- true;
+    List.iter (fun tok -> Hashtbl.remove t.aggs tok) a.waiting;
+    cache_incr t ("batch.agg.flush." ^ reason);
+    Net.send t.net ~src:a.agg_owner ~dst:a.agg_parent
+      (Message.RangeHit
+         {
+           rid = a.agg_rid;
+           token = a.agg_token;
+           items = a.agg_items;
+           targets = a.waiting @ a.carried;
+           origin = a.agg_origin;
+           hops = a.agg_hops;
+         })
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Routing                                                             *)
 
@@ -397,12 +477,126 @@ let handle_update t (me : Node.t) ~rid ~item ~origin ~hops ~rounds =
     Net.send t.net ~src:me.id ~dst:p (Message.Update { rid; item; origin; hops = hops + 1; rounds })
   | `Forward _ | `Stuck -> ()
 
-(* Shower range/probe processing: partition the clip among my own region
-   and my complementary subtrees (computed level by level from my own
-   split boundaries), forward each non-empty sub-clip to one reference of
-   that subtree, answer my own region locally. *)
-let process_shower t (me : Node.t) ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward =
-  let targets = ref [] in
+(* ------------------------------------------------------------------ *)
+(* Batched operations (bulk insert / multi-key lookup)                  *)
+
+(* Partition a batch at [me]: the share [me] covers locally, plus one
+   group per first-divergence level, mirroring [route_step] per key. One
+   forwarded message per touched subtree replaces one routed message per
+   item. *)
+let split_batch (me : Node.t) ~key_of xs =
+  let len = Bitkey.length me.Node.path in
+  let local = ref [] in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      let key = key_of x in
+      let rec go l =
+        if l >= len then local := x :: !local
+        else if Node.key_side me ~level:l key <> Bitkey.get me.Node.path l then begin
+          match Hashtbl.find_opt groups l with
+          | Some r -> r := x :: !r
+          | None -> Hashtbl.add groups l (ref [ x ])
+        end
+        else go (l + 1)
+      in
+      go 0)
+    xs;
+  let forwards =
+    Hashtbl.fold (fun l r acc -> (l, List.rev !r) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  (List.rev !local, forwards)
+
+(* A region's [AckBatch]/[MultiFound] arrived at the batch origin:
+   resolve its keys (first answer per key wins), keep its payload, and
+   learn a shortcut to the responding region. *)
+let deliver_batch_ack t rid ~from ~found ~region ~hops =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Pbatch p) ->
+    (match Hashtbl.find_opt t.nodes p.origin with
+    | Some me -> learn_shortcut t me ~peer:from ~region
+    | None -> ());
+    p.regions <- p.regions + 1;
+    p.hops <- max p.hops hops;
+    List.iter
+      (fun (key, items) ->
+        if Hashtbl.mem p.unacked key then begin
+          Hashtbl.remove p.unacked key;
+          p.on_ack key items;
+          p.items <- List.rev_append items p.items
+        end)
+      found;
+    if Hashtbl.length p.unacked = 0 then finish_batch t rid ~complete:true
+  | _ -> ()
+
+let batch_observe t name n =
+  match t.metrics with
+  | Some m -> Metrics.observe m ~buckets:fanout_buckets name (float_of_int n)
+  | None -> ()
+
+let handle_insert_batch t (me : Node.t) ~rid ~items ~origin ~hops =
+  let local, forwards = split_batch me ~key_of:(fun (i : Store.item) -> i.Store.key) items in
+  if local <> [] then begin
+    let changed = ref false in
+    List.iter (fun i -> if Store.put me.store i then changed := true) local;
+    if !changed then Node.bump_epoch me;
+    (* Batched replication: one [SyncItems] per replica instead of one
+       [Replicate] per item per replica. *)
+    List.iter
+      (fun r -> Net.send t.net ~src:me.id ~dst:r (Message.SyncItems { items = local }))
+      me.replicas;
+    let keys =
+      List.sort_uniq String.compare (List.map (fun (i : Store.item) -> i.Store.key) local)
+    in
+    cache_incr t ~by:((List.length local - 1) * Message.header) "batch.bytes.saved";
+    if me.id = origin then
+      deliver_batch_ack t rid ~from:me.id
+        ~found:(List.map (fun k -> (k, [])) keys)
+        ~region:(Node.region me) ~hops
+    else
+      Net.send t.net ~src:me.id ~dst:origin
+        (Message.AckBatch { rid; keys; region = Node.region me; hops })
+  end;
+  if not (too_far t hops) then
+    List.iter
+      (fun (level, group) ->
+        match choose_ref t me level with
+        | Some p ->
+          cache_incr t "batch.bulk.batches";
+          batch_observe t "batch.bulk.size" (List.length group);
+          Net.send t.net ~src:me.id ~dst:p
+            (Message.InsertBatch { rid; items = group; origin; hops = hops + 1 })
+        | None -> ())
+      forwards
+
+let handle_multi_lookup t (me : Node.t) ~rid ~keys ~origin ~hops =
+  let local, forwards = split_batch me ~key_of:(fun k -> k) keys in
+  if local <> [] then begin
+    let found = List.map (fun key -> (key, Store.find me.store key)) local in
+    cache_incr t ~by:((List.length local - 1) * Message.header) "batch.bytes.saved";
+    if me.id = origin then deliver_batch_ack t rid ~from:me.id ~found ~region:(Node.region me) ~hops
+    else
+      Net.send t.net ~src:me.id ~dst:origin
+        (Message.MultiFound { rid; found; region = Node.region me; hops })
+  end;
+  if not (too_far t hops) then
+    List.iter
+      (fun (level, group) ->
+        match choose_ref t me level with
+        | Some p ->
+          cache_incr t "batch.probe.batches";
+          batch_observe t "batch.probe.size" (List.length group);
+          Net.send t.net ~src:me.id ~dst:p
+            (Message.MultiLookup { rid; keys = group; origin; hops = hops + 1 })
+        | None -> ())
+      forwards
+
+(* The shower split of the clip at [me]: one (ref, sub-clip) per
+   complementary subtree intersecting it, computed level by level from
+   [me]'s own split boundaries. *)
+let shower_splits t (me : Node.t) ~hops ~clip_lo ~clip_hi =
+  let acc = ref [] in
   let len = Bitkey.length me.path in
   let plo = ref "" and phi = ref None in
   for l = 0 to len - 1 do
@@ -411,32 +605,117 @@ let process_shower t (me : Node.t) ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~
     let sibling = if mybit then (!plo, Some boundary) else (boundary, !phi) in
     (match interval_intersect (clip_lo, clip_hi) sibling with
     | Some (lo', hi') when not (too_far t hops) -> (
-      match choose_ref t me l with
-      | Some p ->
-        let tok = fresh_rid t in
-        targets := tok :: !targets;
-        forward ~dst:p ~token:tok ~clip_lo:lo' ~clip_hi:hi'
-      | None -> ())
+      match choose_ref t me l with Some p -> acc := (p, lo', hi') :: !acc | None -> ())
     | _ -> ());
     if mybit then plo := boundary else phi := Some boundary
   done;
+  List.rev !acc
+
+(* Shower probe processing: partition the clip among my own region and my
+   complementary subtrees, forward each non-empty sub-clip to one
+   reference of that subtree, answer my own region locally. *)
+let process_shower t (me : Node.t) ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward =
+  let targets =
+    List.map
+      (fun (p, lo', hi') ->
+        let tok = fresh_rid t in
+        forward ~dst:p ~token:tok ~clip_lo:lo' ~clip_hi:hi';
+        tok)
+      (shower_splits t me ~hops ~clip_lo ~clip_hi)
+  in
   let items = local () in
-  if me.id = origin then deliver_hit t rid ~from:me.id ~token ~items ~targets:!targets ~hops
+  if me.id = origin then deliver_hit t rid ~from:me.id ~token ~items ~targets ~hops
   else
     Net.send t.net ~src:me.id ~dst:origin
-      (Message.RangeHit { rid; token; items; targets = !targets; hops })
+      (Message.RangeHit { rid; token; items; targets; origin; hops })
 
-let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~hops ~strategy
-    ~budget =
+let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~reply_to ~hops
+    ~strategy ~budget =
   match (strategy : Message.range_strategy) with
-  | Shower ->
-    let local () = Store.range me.store ~lo ~hi in
-    let forward ~dst ~token ~clip_lo ~clip_hi =
+  | Shower -> (
+    let forward ~dst ~token ~clip_lo ~clip_hi ~reply_to =
       Net.send t.net ~src:me.id ~dst
         (Message.Range
-           { rid; token; lo; hi; clip_lo; clip_hi; origin; hops = hops + 1; strategy; budget })
+           {
+             rid;
+             token;
+             lo;
+             hi;
+             clip_lo;
+             clip_hi;
+             origin;
+             reply_to;
+             hops = hops + 1;
+             strategy;
+             budget;
+           })
     in
-    process_shower t me ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward
+    let splits = shower_splits t me ~hops ~clip_lo ~clip_hi in
+    let items = Store.range me.store ~lo ~hi in
+    if me.id = origin || not t.config.range_aggregation then begin
+      (* Top of the split tree, or aggregation off: children reply
+         straight to the origin's token accounting. *)
+      let targets =
+        List.map
+          (fun (p, lo', hi') ->
+            let tok = fresh_rid t in
+            forward ~dst:p ~token:tok ~clip_lo:lo' ~clip_hi:hi' ~reply_to:origin;
+            tok)
+          splits
+      in
+      if me.id = origin then deliver_hit t rid ~from:me.id ~token ~items ~targets ~hops
+      else
+        Net.send t.net ~src:me.id ~dst:origin
+          (Message.RangeHit { rid; token; items; targets; origin; hops })
+    end
+    else
+      match (items, splits) with
+      | [], [ (p, lo', hi') ] ->
+        (* Path compression: nothing local and a single subtree — pass my
+           token through and let the child answer whom I would have; my
+           own (empty) hit is elided entirely. *)
+        cache_incr t "batch.agg.elided";
+        cache_incr t ~by:Message.header "batch.bytes.saved";
+        forward ~dst:p ~token ~clip_lo:lo' ~clip_hi:hi' ~reply_to
+      | _, [] ->
+        (* Leaf of the split tree: reply to my parent, fully merged. *)
+        Net.send t.net ~src:me.id ~dst:reply_to
+          (Message.RangeHit { rid; token; items; targets = []; origin; hops })
+      | _, _ ->
+        (* Interior node: buffer up to [agg_fanin] children and merge
+           their hits into mine before replying upward; overflow children
+           reply straight to the origin and their tokens travel upward
+           unmerged. *)
+        let fanin = max 1 t.config.agg_fanin in
+        let tagged =
+          List.mapi
+            (fun i (p, lo', hi') ->
+              let tok = fresh_rid t in
+              let buffered = i < fanin in
+              forward ~dst:p ~token:tok ~clip_lo:lo' ~clip_hi:hi'
+                ~reply_to:(if buffered then me.id else origin);
+              (tok, buffered))
+            splits
+        in
+        let waiting = List.filter_map (fun (tok, b) -> if b then Some tok else None) tagged in
+        let carried = List.filter_map (fun (tok, b) -> if b then None else Some tok) tagged in
+        if carried <> [] then cache_incr t ~by:(List.length carried) "batch.agg.overflow";
+        let a =
+          {
+            agg_rid = rid;
+            agg_token = token;
+            agg_parent = reply_to;
+            agg_origin = origin;
+            agg_owner = me.id;
+            waiting;
+            carried;
+            agg_items = items;
+            agg_hops = hops;
+            flushed = false;
+          }
+        in
+        List.iter (fun tok -> Hashtbl.replace t.aggs tok a) waiting;
+        Sim.schedule t.sim ~delay:t.config.agg_flush_ms (fun () -> flush_agg t a ~reason:"timeout"))
   | Sequential ->
     (* Every receiving peer reports a hit (routing-only peers report an
        empty one naming their next hop) so the origin's termination
@@ -444,7 +723,8 @@ let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~
     let emit items targets =
       if me.id = origin then deliver_hit t rid ~from:me.id ~token ~items ~targets ~hops
       else
-        Net.send t.net ~src:me.id ~dst:origin (Message.RangeHit { rid; token; items; targets; hops })
+        Net.send t.net ~src:me.id ~dst:origin
+          (Message.RangeHit { rid; token; items; targets; origin; hops })
     in
     if not (Node.covers me clip_lo) then begin
       (* Still routing toward the low end of the remaining range. *)
@@ -453,7 +733,19 @@ let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~
         let tok = fresh_rid t in
         Net.send t.net ~src:me.id ~dst:p
           (Message.Range
-             { rid; token = tok; lo; hi; clip_lo; clip_hi; origin; hops = hops + 1; strategy; budget });
+             {
+               rid;
+               token = tok;
+               lo;
+               hi;
+               clip_lo;
+               clip_hi;
+               origin;
+               reply_to = origin;
+               hops = hops + 1;
+               strategy;
+               budget;
+             });
         emit [] [ tok ]
       | `Forward _ | `Local | `Stuck -> emit [] []
     end
@@ -496,6 +788,7 @@ let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~
                    clip_lo = nxt;
                    clip_hi;
                    origin;
+                   reply_to = origin;
                    hops = hops + 1;
                    strategy;
                    budget = budget_left;
@@ -581,10 +874,34 @@ let dispatch t (me : Node.t) ~src msg =
   | Ack { rid; hops; region } ->
     learn_shortcut t me ~peer:src ~region;
     finish_single t rid ~items:[] ~hops ~complete:true
-  | Range { rid; token; lo; hi; clip_lo; clip_hi; origin; hops; strategy; budget } ->
-    handle_range t me ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~hops ~strategy ~budget
-  | RangeHit { rid; token; items; targets; hops } ->
-    deliver_hit t rid ~from:src ~token ~items ~targets ~hops
+  | Range { rid; token; lo; hi; clip_lo; clip_hi; origin; reply_to; hops; strategy; budget } ->
+    handle_range t me ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~reply_to ~hops ~strategy
+      ~budget
+  | RangeHit { rid; token; items; targets; origin; hops } -> (
+    match Hashtbl.find_opt t.aggs token with
+    | Some a ->
+      (* A buffered child answered: merge its hit into the buffer. *)
+      Hashtbl.remove t.aggs token;
+      a.waiting <- List.filter (fun x -> x <> token) a.waiting;
+      a.carried <- List.rev_append targets a.carried;
+      a.agg_items <- List.rev_append items a.agg_items;
+      a.agg_hops <- max a.agg_hops hops;
+      cache_incr t "batch.agg.merged";
+      if a.waiting = [] then flush_agg t a ~reason:"complete"
+    | None ->
+      if me.id = origin then deliver_hit t rid ~from:src ~token ~items ~targets ~hops
+      else begin
+        (* No buffer (it already flushed on timeout): relay the straggler
+           home so the origin's accounting still sees its token. *)
+        cache_incr t "batch.agg.relayed";
+        Net.send t.net ~src:me.id ~dst:origin
+          (Message.RangeHit { rid; token; items; targets; origin; hops })
+      end)
+  | InsertBatch { rid; items; origin; hops } -> handle_insert_batch t me ~rid ~items ~origin ~hops
+  | AckBatch { rid; keys; region; hops } ->
+    deliver_batch_ack t rid ~from:src ~found:(List.map (fun k -> (k, [])) keys) ~region ~hops
+  | MultiLookup { rid; keys; origin; hops } -> handle_multi_lookup t me ~rid ~keys ~origin ~hops
+  | MultiFound { rid; found; region; hops } -> deliver_batch_ack t rid ~from:src ~found ~region ~hops
   | Probe { rid; token; clip_lo; clip_hi; origin; hops; pred } ->
     handle_probe t me ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred
   | Replicate { item; rounds_left } -> handle_replicate t me ~item ~rounds_left
@@ -670,7 +987,7 @@ let range t ~origin ?(strategy = Message.Shower) ?budget ~lo ~hi ~k () =
   let rid = start_multi t ~op:"range" ~k in
   let me = node t origin in
   handle_range t me ~rid ~token:(fresh_rid t) ~lo ~hi ~clip_lo:lo ~clip_hi:(after_inclusive hi)
-    ~origin ~hops:0 ~strategy ~budget
+    ~origin ~reply_to:origin ~hops:0 ~strategy ~budget
 
 let prefix t ~origin ~prefix:p ~k =
   let rid = start_multi t ~op:"prefix" ~k in
@@ -679,7 +996,89 @@ let prefix t ~origin ~prefix:p ~k =
      exclusive clip just past the last extension. *)
   let hi = p ^ String.make 64 '\xff' in
   handle_range t me ~rid ~token:(fresh_rid t) ~lo:p ~hi ~clip_lo:p ~clip_hi:(after_inclusive hi)
-    ~origin ~hops:0 ~strategy:Message.Shower ~budget:None
+    ~origin ~reply_to:origin ~hops:0 ~strategy:Message.Shower ~budget:None
+
+(* Bulk insert: ship the whole (sorted) batch as one [InsertBatch] that
+   splits shower-style down the trie; every covering region stores its
+   share and acks it once. Timeouts selectively retransmit only the
+   still-unacked items. *)
+let bulk_insert t ~origin ~items ~k =
+  match items with
+  | [] -> k { items = []; hops = 0; peers_hit = 0; complete = true; latency = 0.0 }
+  | _ ->
+    let rid = fresh_rid t in
+    let me = node t origin in
+    let items =
+      List.sort (fun (a : Store.item) b -> String.compare a.Store.key b.Store.key) items
+    in
+    let unacked = Hashtbl.create (List.length items) in
+    List.iter (fun (i : Store.item) -> Hashtbl.replace unacked i.Store.key ()) items;
+    let resend () =
+      let remaining =
+        List.filter (fun (i : Store.item) -> Hashtbl.mem unacked i.Store.key) items
+      in
+      if remaining <> [] then handle_insert_batch t me ~rid ~items:remaining ~origin ~hops:0
+    in
+    Hashtbl.replace t.pending rid
+      (Pbatch
+         {
+           op = "bulk-insert";
+           origin;
+           unacked;
+           resend;
+           attempts = 0;
+           hops = 0;
+           regions = 0;
+           items = [];
+           on_ack = (fun _ _ -> ());
+           started = Sim.now t.sim;
+           k;
+         });
+    arm_batch_timeout t rid;
+    resend ()
+
+(* Batched point lookups for bind-join probes: deduplicated keys travel
+   as one [MultiLookup] that splits by responsible region; each region
+   answers once. [k] receives the per-key answers alongside the combined
+   result. *)
+let multi_lookup t ~origin ~keys ~k =
+  match keys with
+  | [] -> k ([], { items = []; hops = 0; peers_hit = 0; complete = true; latency = 0.0 })
+  | _ ->
+    let rid = fresh_rid t in
+    let me = node t origin in
+    let keys = List.sort_uniq String.compare keys in
+    let unacked = Hashtbl.create (List.length keys) in
+    List.iter (fun key -> Hashtbl.replace unacked key ()) keys;
+    let found = Hashtbl.create (List.length keys) in
+    let resend () =
+      let remaining = List.filter (Hashtbl.mem unacked) keys in
+      if remaining <> [] then handle_multi_lookup t me ~rid ~keys:remaining ~origin ~hops:0
+    in
+    Hashtbl.replace t.pending rid
+      (Pbatch
+         {
+           op = "multi-lookup";
+           origin;
+           unacked;
+           resend;
+           attempts = 0;
+           hops = 0;
+           regions = 0;
+           items = [];
+           on_ack = (fun key items -> Hashtbl.replace found key items);
+           started = Sim.now t.sim;
+           k =
+             (fun r ->
+               let assoc =
+                 List.map
+                   (fun key -> (key, Option.value (Hashtbl.find_opt found key) ~default:[]))
+                   keys
+               in
+               k (assoc, r));
+         });
+    arm_batch_timeout t rid;
+    resend ()
 
 let broadcast t ~origin ~pred ~k =
   let rid = start_multi t ~op:"broadcast" ~k in
@@ -716,3 +1115,13 @@ let range_sync t ~origin ?strategy ?budget ~lo ~hi () =
 
 let prefix_sync t ~origin ~prefix:p = await t (fun k -> prefix t ~origin ~prefix:p ~k)
 let broadcast_sync t ~origin ~pred = await t (fun k -> broadcast t ~origin ~pred ~k)
+
+let bulk_insert_sync t ~origin ~items = await t (fun k -> bulk_insert t ~origin ~items ~k)
+
+let multi_lookup_sync t ~origin ~keys =
+  let cell = ref None in
+  multi_lookup t ~origin ~keys ~k:(fun r -> cell := Some r);
+  ignore (Sim.run_until t.sim (fun () -> !cell <> None));
+  match !cell with
+  | Some r -> r
+  | None -> ([], { items = []; hops = 0; peers_hit = 0; complete = false; latency = 0.0 })

@@ -147,6 +147,33 @@ val prefix : t -> origin:int -> prefix:string -> k:(result -> unit) -> unit
     index applies. *)
 val broadcast : t -> origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit
 
+(** {2 Batched operations}
+
+    Enabled by {!Config.t.bulk_insert} / [multi_probe]; both fall back to
+    nothing here — callers are expected to check the flags and issue
+    per-item operations themselves when batching is off (see
+    {!Unistore_triple.Dht}). *)
+
+(** [bulk_insert t ~origin ~items ~k] stores the whole batch with one
+    [InsertBatch] message that splits shower-style down the trie
+    (O(touched regions · depth) messages instead of one routed exchange
+    per item). Each covering region acks its share once; timeouts
+    selectively retransmit only still-unacked items. [result.items] is
+    empty; [result.peers_hit] counts acking regions. *)
+val bulk_insert : t -> origin:int -> items:Store.item list -> k:(result -> unit) -> unit
+
+(** [multi_lookup t ~origin ~keys ~k] resolves many exact-key lookups
+    with one [MultiLookup] message per touched subtree (the bind-join
+    probe pattern). [k] receives the per-key answers (deduplicated,
+    sorted keys; missing keys map to [[]]) alongside the combined
+    result. *)
+val multi_lookup :
+  t ->
+  origin:int ->
+  keys:string list ->
+  k:((string * Store.item list) list * result -> unit) ->
+  unit
+
 (** [send_task t ~src ~dst ~bytes f] ships an application-level computation
     (e.g. a mutant query plan) to [dst]; [f] runs there on arrival. Counted
     as one message of [bytes] payload. [f] is not run if [dst] is dead. *)
@@ -184,6 +211,8 @@ val range_sync :
 
 val prefix_sync : t -> origin:int -> prefix:string -> result
 val broadcast_sync : t -> origin:int -> pred:(Store.item -> bool) -> result
+val bulk_insert_sync : t -> origin:int -> items:Store.item list -> result
+val multi_lookup_sync : t -> origin:int -> keys:string list -> (string * Store.item list) list * result
 
 (** {2 Replica maintenance} (see {!Gossip}) *)
 

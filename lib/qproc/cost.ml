@@ -53,7 +53,13 @@ let access_key access =
   | ABroadcast -> s "flood");
   Buffer.contents b
 
-type env = { peers : int; depth : int; replication : int; expected_latency : float }
+type env = {
+  peers : int;
+  depth : int;
+  replication : int;
+  expected_latency : float;
+  batched_probes : bool;
+}
 
 let env_of_dht (dht : Unistore_triple.Dht.t) ~replication =
   {
@@ -61,6 +67,7 @@ let env_of_dht (dht : Unistore_triple.Dht.t) ~replication =
     depth = max 1 (dht.Unistore_triple.Dht.depth ());
     replication = max 1 replication;
     expected_latency = dht.Unistore_triple.Dht.expected_latency;
+    batched_probes = dht.Unistore_triple.Dht.multi_lookup <> None;
   }
 
 type estimate = { messages : float; latency : float; cardinality : float }
@@ -157,6 +164,28 @@ let estimate_access env stats access =
        attribute's worth of data as a neutral middle ground. *)
     flood_cost env
       ~cardinality:(Float.max 1.0 (float_of_int stats.Qstats.total_triples *. 0.05))
+
+(* A bind-join probe round over [card_left] deduplicated keys.
+   Unbatched: one routed lookup (and reply) per key, in parallel.
+   Batched ([env.batched_probes]): one multi-lookup splits down the trie
+   — O(depth) splitting messages reach the ~min(card_left, leaves)
+   touched regions, each answering the origin once — so the messages
+   term stops scaling linearly with the left cardinality and the
+   optimizer's bind-vs-bulk break-even moves accordingly. *)
+let bindjoin_cost env ~card_left ~cardinality =
+  let card_left = Float.max 1.0 card_left in
+  if env.batched_probes then begin
+    let regions = Float.min card_left (leaves env) in
+    {
+      messages = float_of_int env.depth +. (2.0 *. regions);
+      latency = (float_of_int env.depth +. 2.0) *. env.expected_latency;
+      cardinality;
+    }
+  end
+  else begin
+    let per = lookup_cost env ~cardinality:0.0 in
+    { messages = card_left *. per.messages; latency = per.latency; cardinality }
+  end
 
 let ship_estimate env ~bytes =
   (* One direct task message; size matters for bandwidth, not count. *)

@@ -41,6 +41,10 @@ type env = {
   depth : int;  (** trie depth / log2 ring *)
   replication : int;
   expected_latency : float;  (** mean one-way ms *)
+  batched_probes : bool;
+      (** the substrate groups bind-join lookups into multi-key probes
+          ({!Unistore_triple.Dht.t.multi_lookup} present), so probe-round
+          message cost scales with touched regions, not keys *)
 }
 
 val env_of_dht : Unistore_triple.Dht.t -> replication:int -> env
@@ -55,6 +59,12 @@ val pp_estimate : Format.formatter -> estimate -> unit
 
 (** [estimate_access env stats access] predicts one access path's cost. *)
 val estimate_access : env -> Qstats.t -> access -> estimate
+
+(** [bindjoin_cost env ~card_left ~cardinality] predicts one bind-join
+    probe round over [card_left] deduplicated bound keys: per-key routed
+    lookups, or — with [env.batched_probes] — one region-splitting
+    multi-lookup whose message count scales with touched regions. *)
+val bindjoin_cost : env -> card_left:float -> cardinality:float -> estimate
 
 (** Cost of shipping [bytes] of plan+bindings to another peer. *)
 val ship_estimate : env -> bytes:int -> estimate

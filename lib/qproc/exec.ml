@@ -165,26 +165,49 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
         | None -> (key, attr) :: acc)
       keymap []
   in
-  (* One parallel round of lookups. *)
-  let outstanding = ref (List.length keys) in
   let ok = ref true in
-  List.iter
-    (fun (key, attr) ->
-      dht.Dht.lookup ~origin ~key ~k:(fun r ->
-          if not r.Dht.complete then ok := false;
-          let triples =
-            List.filter_map
-              (fun (i : Dht.Store.item) -> Triple.deserialize i.Dht.Store.payload)
-              r.Dht.items
-          in
-          Hashtbl.replace resolved key triples;
-          (match cache with
-          | Some c when r.Dht.complete -> Qcache.store_bind c ~attr ~key triples
-          | _ -> ());
-          decr outstanding))
-    keys;
-  ignore (Sim.run_until dht.Dht.sim (fun () -> !outstanding <= 0));
-  if !outstanding > 0 then ok := false;
+  let decode items =
+    List.filter_map (fun (i : Dht.Store.item) -> Triple.deserialize i.Dht.Store.payload) items
+  in
+  (match (dht.Dht.multi_lookup, keys) with
+  | Some ml, _ :: _ :: _ ->
+    (* Batched probe round: the deduplicated keys travel as one
+       multi-lookup that splits by responsible region, instead of one
+       routed lookup per key. *)
+    let done_ = ref false in
+    ml ~origin
+      ~keys:(List.map fst keys)
+      ~k:(fun (found, r) ->
+        if not r.Dht.complete then ok := false;
+        List.iter
+          (fun (key, items) ->
+            let triples = decode items in
+            Hashtbl.replace resolved key triples;
+            match cache with
+            | Some c when r.Dht.complete ->
+              let attr = Option.join (Hashtbl.find_opt keymap key) in
+              Qcache.store_bind c ~attr ~key triples
+            | _ -> ())
+          found;
+        done_ := true);
+    ignore (Sim.run_until dht.Dht.sim (fun () -> !done_));
+    if not !done_ then ok := false
+  | _ ->
+    (* One parallel round of per-key lookups. *)
+    let outstanding = ref (List.length keys) in
+    List.iter
+      (fun (key, attr) ->
+        dht.Dht.lookup ~origin ~key ~k:(fun r ->
+            if not r.Dht.complete then ok := false;
+            let triples = decode r.Dht.items in
+            Hashtbl.replace resolved key triples;
+            (match cache with
+            | Some c when r.Dht.complete -> Qcache.store_bind c ~attr ~key triples
+            | _ -> ());
+            decr outstanding))
+      keys;
+    ignore (Sim.run_until dht.Dht.sim (fun () -> !outstanding <= 0));
+    if !outstanding > 0 then ok := false);
   let triples_for key = Option.value ~default:[] (Hashtbl.find_opt resolved key) in
   let joined =
     List.concat_map

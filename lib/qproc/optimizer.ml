@@ -103,16 +103,10 @@ let choose_next env stats ~qgrams ?cached cmap ~bound ~card_left remaining =
         in
         let bulk_access, bulk_est = bulk in
         let bind_cost =
-          if bindjoin_possible bound p then begin
-            let per = Cost.estimate_access env stats (Cost.AOid "x") in
-            (* One parallel round of [card_left] lookups. *)
+          if bindjoin_possible bound p then
             Some
-              {
-                Cost.messages = card_left *. per.Cost.messages;
-                latency = per.Cost.latency;
-                cardinality = join_card card_left bulk_est.Cost.cardinality;
-              }
-          end
+              (Cost.bindjoin_cost env ~card_left
+                 ~cardinality:(join_card card_left bulk_est.Cost.cardinality))
           else None
         in
         let use_bind =

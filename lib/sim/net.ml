@@ -1,13 +1,21 @@
 module Rng = Unistore_util.Rng
 module Metrics = Unistore_obs.Metrics
 
-type stats = { sent : int; delivered : int; dropped : int; to_dead : int; bytes : int }
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  to_dead : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+}
 
-let zero_stats = { sent = 0; delivered = 0; dropped = 0; to_dead = 0; bytes = 0 }
+let zero_stats =
+  { sent = 0; delivered = 0; dropped = 0; to_dead = 0; bytes_sent = 0; bytes_delivered = 0 }
 
 let pp_stats fmt s =
-  Format.fprintf fmt "sent=%d delivered=%d dropped=%d to_dead=%d bytes=%d" s.sent s.delivered
-    s.dropped s.to_dead s.bytes
+  Format.fprintf fmt "sent=%d delivered=%d dropped=%d to_dead=%d bytes_sent=%d bytes_delivered=%d"
+    s.sent s.delivered s.dropped s.to_dead s.bytes_sent s.bytes_delivered
 
 type 'msg t = {
   sim : Sim.t;
@@ -23,6 +31,11 @@ type 'msg t = {
   mutable total_sent : int;
   mutable tracer : Trace.t option;
   mutable metrics : Metrics.t option;
+  (* Sorted peer lists are rebuilt lazily and cached: gossip rounds call
+     [peers]/[alive_peers] once per peer per round, and a fold+sort over
+     the handler table each time dominates their cost. *)
+  mutable peers_cache : int list option;
+  mutable alive_cache : int list option;
 }
 
 let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ -> "msg")
@@ -41,6 +54,8 @@ let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ 
     total_sent = 0;
     tracer = None;
     metrics = None;
+    peers_cache = None;
+    alive_cache = None;
   }
 
 let set_trace t tr = t.tracer <- tr
@@ -48,30 +63,55 @@ let trace t = t.tracer
 let set_metrics t m = t.metrics <- m
 let metrics t = t.metrics
 
+let invalidate_peer_caches t =
+  t.peers_cache <- None;
+  t.alive_cache <- None
+
 let register t peer handler =
   Hashtbl.replace t.handlers peer handler;
-  Hashtbl.remove t.dead peer
+  Hashtbl.remove t.dead peer;
+  invalidate_peer_caches t
 
 let is_alive t peer = Hashtbl.mem t.handlers peer && not (Hashtbl.mem t.dead peer)
 
-let kill t peer = if Hashtbl.mem t.handlers peer then Hashtbl.replace t.dead peer ()
-let revive t peer = Hashtbl.remove t.dead peer
+let kill t peer =
+  if Hashtbl.mem t.handlers peer then begin
+    Hashtbl.replace t.dead peer ();
+    t.alive_cache <- None
+  end
 
-let peers t = Hashtbl.fold (fun id _ acc -> id :: acc) t.handlers [] |> List.sort compare
+let revive t peer =
+  Hashtbl.remove t.dead peer;
+  t.alive_cache <- None
 
-let alive_peers t = List.filter (is_alive t) (peers t)
+let peers t =
+  match t.peers_cache with
+  | Some l -> l
+  | None ->
+    let l = Hashtbl.fold (fun id _ acc -> id :: acc) t.handlers [] |> List.sort compare in
+    t.peers_cache <- Some l;
+    l
+
+let alive_peers t =
+  match t.alive_cache with
+  | Some l -> l
+  | None ->
+    let l = List.filter (is_alive t) (peers t) in
+    t.alive_cache <- Some l;
+    l
 
 let send t ~src ~dst msg =
   let nbytes = t.size msg in
-  t.stats <- { t.stats with sent = t.stats.sent + 1; bytes = t.stats.bytes + nbytes };
+  t.stats <-
+    { t.stats with sent = t.stats.sent + 1; bytes_sent = t.stats.bytes_sent + nbytes };
   t.total_sent <- t.total_sent + 1;
   (match t.metrics with
   | Some m ->
     let kind = t.kind msg in
     Metrics.incr m "net.sent";
-    Metrics.incr m ~by:nbytes "net.bytes";
+    Metrics.incr m ~by:nbytes "net.bytes.sent";
     Metrics.incr m ("net.sent." ^ kind);
-    Metrics.incr m ~by:nbytes ("net.bytes." ^ kind)
+    Metrics.incr m ~by:nbytes ("net.bytes.sent." ^ kind)
   | None -> ());
   let event =
     match t.tracer with
@@ -89,7 +129,8 @@ let send t ~src ~dst msg =
         | Trace.Delivered -> "net.delivered"
         | Trace.Dropped -> "net.dropped"
         | Trace.To_dead -> "net.to_dead"
-        | Trace.In_flight -> "net.in_flight")
+        | Trace.In_flight -> "net.in_flight");
+      if outcome = Trace.Delivered then Metrics.incr m ~by:nbytes "net.bytes.delivered"
     | None -> ());
     match event with Some e -> e.Trace.outcome <- outcome | None -> ()
   in
@@ -103,7 +144,12 @@ let send t ~src ~dst msg =
         if is_alive t dst then begin
           match Hashtbl.find_opt t.handlers dst with
           | Some handler ->
-            t.stats <- { t.stats with delivered = t.stats.delivered + 1 };
+            t.stats <-
+              {
+                t.stats with
+                delivered = t.stats.delivered + 1;
+                bytes_delivered = t.stats.bytes_delivered + nbytes;
+              };
             resolve Trace.Delivered;
             handler ~src msg
           | None ->

@@ -16,7 +16,11 @@ type stats = {
   delivered : int;  (** messages that reached a live handler *)
   dropped : int;  (** lost to the iid loss process *)
   to_dead : int;  (** addressed to a dead peer at delivery time *)
-  bytes : int;  (** total payload bytes sent *)
+  bytes_sent : int;  (** payload bytes handed to the network *)
+  bytes_delivered : int;
+      (** payload bytes that reached a live handler — dropped or
+          dead-lettered messages do not count, so bandwidth-reduction
+          numbers stay trustworthy under loss *)
 }
 
 val zero_stats : stats
@@ -46,10 +50,11 @@ val set_trace : 'msg t -> Trace.t option -> unit
 val trace : 'msg t -> Trace.t option
 
 (** [set_metrics t (Some m)] starts accounting every message into [m]:
-    counters [net.sent], [net.bytes], [net.sent.<kind>],
-    [net.bytes.<kind>] at send time and [net.delivered] /
-    [net.dropped] / [net.to_dead] as outcomes resolve. [None] stops;
-    like tracing, the disabled path costs nothing. *)
+    counters [net.sent], [net.bytes.sent], [net.sent.<kind>],
+    [net.bytes.sent.<kind>] at send time and [net.delivered] /
+    [net.dropped] / [net.to_dead] plus [net.bytes.delivered] as
+    outcomes resolve. [None] stops; like tracing, the disabled path
+    costs nothing. *)
 val set_metrics : 'msg t -> Unistore_obs.Metrics.t option -> unit
 
 val metrics : 'msg t -> Unistore_obs.Metrics.t option
@@ -71,7 +76,11 @@ val kill : 'msg t -> int -> unit
 (** [revive t peer] brings a killed peer back (same handler and state). *)
 val revive : 'msg t -> int -> unit
 
+(** Registered peer ids, sorted. The list is cached and invalidated on
+    {!register}/{!kill}/{!revive} — hot callers (gossip rounds) may call
+    it per peer per round. *)
 val peers : 'msg t -> int list
+
 val alive_peers : 'msg t -> int list
 val stats : 'msg t -> stats
 val reset_stats : 'msg t -> unit

@@ -26,6 +26,13 @@ type t = {
     (origin:int -> lo:string -> hi:string -> n:int -> k:(result -> unit) -> unit) option;
   prefix : origin:int -> prefix:string -> k:(result -> unit) -> unit;
   broadcast : origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit;
+  bulk_insert : (origin:int -> items:Store.item list -> k:(result -> unit) -> unit) option;
+  multi_lookup :
+    (origin:int ->
+    keys:string list ->
+    k:((string * Store.item list) list * result -> unit) ->
+    unit)
+    option;
   send_task : (src:int -> dst:int -> bytes:int -> (int -> unit) -> unit) option;
   total_sent : unit -> int;
   expected_latency : float;
@@ -102,6 +109,19 @@ let of_pgrid ov =
     broadcast =
       (fun ~origin ~pred ~k ->
         Overlay.broadcast ov ~origin ~pred ~k:(fun r -> k (of_overlay_result r)));
+    bulk_insert =
+      (if (Overlay.config ov).Unistore_pgrid.Config.bulk_insert then
+         Some
+           (fun ~origin ~items ~k ->
+             Overlay.bulk_insert ov ~origin ~items ~k:(fun r -> k (of_overlay_result r)))
+       else None);
+    multi_lookup =
+      (if (Overlay.config ov).Unistore_pgrid.Config.multi_probe then
+         Some
+           (fun ~origin ~keys ~k ->
+             Overlay.multi_lookup ov ~origin ~keys ~k:(fun (found, r) ->
+                 k (found, of_overlay_result r)))
+       else None);
     send_task = Some (fun ~src ~dst ~bytes run -> Overlay.send_task ov ~src ~dst ~bytes run);
     total_sent = (fun () -> Net.total_sent net);
     expected_latency = Unistore_sim.Latency.expected (Net.latency net);
@@ -194,6 +214,8 @@ let of_chord_trie chord =
         Chord.broadcast chord ~origin ~pred:wrapped ~k:(fun r ->
             let items = List.filter_map decode_bucket_item r.Chord.items in
             k { (of_chord_result r) with items }));
+    bulk_insert = None;
+    multi_lookup = None;
     send_task = None;
     total_sent = (fun () -> Chord.total_sent chord);
     expected_latency = Chord.expected_latency chord;

@@ -31,6 +31,19 @@ type t = {
           after [n] items, giving the n smallest matches *)
   prefix : origin:int -> prefix:string -> k:(result -> unit) -> unit;
   broadcast : origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit;
+  bulk_insert : (origin:int -> items:Store.item list -> k:(result -> unit) -> unit) option;
+      (** batched insert: one splitting [InsertBatch] instead of one
+          routed exchange per item; [None] when the substrate has no
+          batch path or it is disabled ({!Unistore_pgrid.Config.t}) *)
+  multi_lookup :
+    (origin:int ->
+    keys:string list ->
+    k:((string * Store.item list) list * result -> unit) ->
+    unit)
+    option;
+      (** batched exact-key lookups grouped by responsible region (the
+          bind-join probe pattern); the continuation receives per-key
+          answers plus the combined result *)
   send_task : (src:int -> dst:int -> bytes:int -> (int -> unit) -> unit) option;
       (** application-level plan shipping; [None] when the substrate does
           not support it (plain Chord) *)

@@ -84,6 +84,40 @@ let insert_tuple_sync t ~origin ~oid fields =
   let triples = Triple.tuple_to_triples ~oid fields in
   List.fold_left (fun acc tr -> if insert_sync t ~origin tr then acc + 1 else acc) 0 triples
 
+(* Bulk insertion: materialize every index entry of every triple and ship
+   them as one batch. Falls back to per-triple insertion when the
+   substrate has no batch path. *)
+let items_of_triples t triples =
+  List.concat_map
+    (fun tr ->
+      let payload = Triple.serialize tr in
+      let item_id = Triple.id tr in
+      List.map
+        (fun key -> { Store.key; item_id; payload; version = 0 })
+        (index_keys t tr))
+    triples
+
+let insert_bulk t ~origin triples ~k =
+  match (triples, t.dht.Dht.bulk_insert) with
+  | [], _ -> k true
+  | _, Some bulk -> bulk ~origin ~items:(items_of_triples t triples) ~k:(fun r -> k r.Dht.complete)
+  | _, None ->
+    let outstanding = ref (List.length triples) in
+    let ok = ref true in
+    List.iter
+      (fun tr ->
+        insert t ~origin tr ~k:(fun success ->
+            if not success then ok := false;
+            decr outstanding;
+            if !outstanding = 0 then k !ok))
+      triples
+
+let insert_bulk_sync t ~origin triples =
+  let cell = ref None in
+  insert_bulk t ~origin triples ~k:(fun ok -> cell := Some ok);
+  ignore (Sim.run_until t.dht.Dht.sim (fun () -> !cell <> None));
+  Option.value ~default:false !cell
+
 (* ------------------------------------------------------------------ *)
 (* Result decoding                                                     *)
 

@@ -39,6 +39,16 @@ val insert_sync : t -> origin:int -> Triple.t -> bool
     inserts a logical tuple; returns the number of triples stored. *)
 val insert_tuple_sync : t -> origin:int -> oid:string -> (string * Value.t) list -> int
 
+(** [insert_bulk t ~origin triples ~k] stores many triples at once: all
+    their index entries travel as one batch through
+    {!Dht.t.bulk_insert} (one splitting message per touched subtree
+    instead of one routed exchange per entry). Falls back to per-triple
+    {!insert} when the substrate has no batch path. [k true] iff every
+    entry was acked. *)
+val insert_bulk : t -> origin:int -> Triple.t list -> k:(bool -> unit) -> unit
+
+val insert_bulk_sync : t -> origin:int -> Triple.t list -> bool
+
 (** {2 Deletion & update}
 
     Deleting a triple removes all of its index entries. Caveat (inherent

@@ -664,6 +664,117 @@ let test_bootstrap_merge () =
          r.Overlay.items)
 
 (* ------------------------------------------------------------------ *)
+(* Message sizes *)
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let region = ("lo-bound", Some "hi-bound")
+
+(* One witness per constructor; a new constructor without a case here
+   fails the exhaustiveness check below. *)
+let message_witnesses =
+  let it = item "key#one" "id1" "payload-bytes" in
+  [
+    Message.Insert { rid = 1; item = it; origin = 0; hops = 0 };
+    Message.Update { rid = 1; item = it; origin = 0; hops = 0; rounds = 1 };
+    Message.Delete { rid = 1; key = "k"; item_id = "i"; origin = 0; hops = 0 };
+    Message.Replicate { item = it; rounds_left = 1 };
+    Message.Unreplicate { key = "k"; item_id = "i" };
+    Message.Ack { rid = 1; hops = 0; region };
+    Message.Lookup { rid = 1; key = "k"; origin = 0; hops = 0 };
+    Message.Found { rid = 1; items = [ it ]; hops = 0; region };
+    Message.Range
+      {
+        rid = 1; token = 2; lo = "a"; hi = "b"; clip_lo = "a"; clip_hi = Some "b"; origin = 0;
+        reply_to = 0; hops = 0; strategy = Message.Shower; budget = None;
+      };
+    Message.RangeHit { rid = 1; token = 2; items = [ it ]; targets = [ 3; 4 ]; origin = 0; hops = 0 };
+    Message.InsertBatch { rid = 1; items = [ it; it ]; origin = 0; hops = 0 };
+    Message.AckBatch { rid = 1; keys = [ "k1"; "k2" ]; region; hops = 0 };
+    Message.MultiLookup { rid = 1; keys = [ "k1"; "k2" ]; origin = 0; hops = 0 };
+    Message.MultiFound { rid = 1; found = [ ("k1", [ it ]) ]; region; hops = 0 };
+    Message.Probe
+      { rid = 1; token = 2; clip_lo = ""; clip_hi = None; origin = 0; hops = 0; pred = (fun _ -> true) };
+    Message.Task { bytes = 16; run = ignore };
+    Message.SyncDigest { digest = [ ("k", "i", 1) ] };
+    Message.SyncRequest { wanted = [ ("k", "i") ] };
+    Message.SyncItems { items = [ it ] };
+    Message.StatGossip { summaries = [] };
+    Message.Exchange { bytes = 16; run = ignore };
+  ]
+
+let test_message_sizes_positive () =
+  (* Every constructor appears exactly once above. *)
+  let kinds = List.sort_uniq compare (List.map Message.kind message_witnesses) in
+  check Alcotest.int "all constructors covered" (List.length message_witnesses)
+    (List.length kinds);
+  List.iter
+    (fun m ->
+      if Message.size m < Message.header then
+        Alcotest.failf "size of %s below header (%d < %d)" (Message.kind m) (Message.size m)
+          Message.header;
+      if Message.size m <= 0 then Alcotest.failf "non-positive size for %s" (Message.kind m))
+    message_witnesses
+
+let gen_item =
+  QCheck2.Gen.(
+    let str n = string_size ~gen:(char_range 'a' 'z') (1 -- n) in
+    map
+      (fun ((key, item_id), (payload, version)) -> { Store.key; item_id; payload; version })
+      (pair (pair (str 24) (str 8)) (pair (str 60) (0 -- 5))))
+
+let gen_items = QCheck2.Gen.(list_size (0 -- 12) gen_item)
+
+(* Batch messages must cost exactly one envelope plus their items: the
+   per-item payload bytes of the singleton messages they replace, with
+   all but one header amortized away. *)
+let prop_insert_batch_size =
+  qtest "insert-batch size = header + item payloads" gen_items (fun items ->
+      let single (it : Store.item) =
+        Message.size (Message.Insert { rid = 0; item = it; origin = 0; hops = 0 })
+        - Message.header
+      in
+      Message.size (Message.InsertBatch { rid = 0; items; origin = 0; hops = 0 })
+      = Message.header + List.fold_left (fun acc it -> acc + single it) 0 items)
+
+let prop_multi_lookup_size =
+  qtest "multi-lookup size = header + key bytes"
+    QCheck2.Gen.(list_size (0 -- 12) (string_size ~gen:(char_range 'a' 'z') (1 -- 24)))
+    (fun keys ->
+      Message.size (Message.MultiLookup { rid = 0; keys; origin = 0; hops = 0 })
+      = Message.header + List.fold_left (fun acc k -> acc + String.length k) 0 keys)
+
+let prop_multi_found_size =
+  qtest "multi-found size = header + keyed item payloads"
+    QCheck2.Gen.(
+      list_size (0 -- 8)
+        (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 24)) (list_size (0 -- 4) gen_item)))
+    (fun found ->
+      let expected =
+        Message.header
+        + List.fold_left
+            (fun acc (k, items) ->
+              acc + String.length k
+              + List.fold_left (fun a (i : Store.item) -> a + Store.item_bytes i) 0 items)
+            0 found
+        + String.length (fst region)
+        + String.length (Option.get (snd region))
+        + 2
+      in
+      Message.size (Message.MultiFound { rid = 0; found; region; hops = 0 }) = expected)
+
+let prop_range_hit_size =
+  qtest "range-hit size = header + items + tokens"
+    QCheck2.Gen.(pair gen_items (list_size (0 -- 6) small_nat))
+    (fun (items, targets) ->
+      Message.size
+        (Message.RangeHit { rid = 0; token = 0; items; targets; origin = 0; hops = 0 })
+      = Message.header
+        + List.fold_left (fun a (i : Store.item) -> a + Store.item_bytes i) 0 items
+        + (4 * List.length targets))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "unistore_pgrid"
@@ -711,6 +822,14 @@ let () =
           Alcotest.test_case "load balancing under skew" `Slow test_load_balancing_under_skew;
           Alcotest.test_case "ranges exact under jittery latency" `Quick
             test_range_under_jittery_latency;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "every constructor sized" `Quick test_message_sizes_positive;
+          prop_insert_batch_size;
+          prop_multi_lookup_size;
+          prop_multi_found_size;
+          prop_range_hit_size;
         ] );
       ( "bootstrap",
         [

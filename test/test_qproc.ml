@@ -178,7 +178,8 @@ let synthetic_stats =
       ];
   }
 
-let env = { Cost.peers = 256; depth = 8; replication = 2; expected_latency = 50.0 }
+let env =
+  { Cost.peers = 256; depth = 8; replication = 2; expected_latency = 50.0; batched_probes = false }
 
 let test_cost_lookup_cheaper_than_scan () =
   let lookup = Cost.estimate_access env synthetic_stats (Cost.AAttrValue ("name", Value.S "Bob")) in

@@ -214,6 +214,49 @@ let test_net_in_flight_to_killed () =
   Sim.run_all sim;
   Alcotest.(check bool) "lost in flight" false !got
 
+let test_net_bytes_split_under_loss () =
+  (* Sent bytes count everything handed to the network; delivered bytes
+     only what reached a live handler — so bandwidth numbers computed
+     from [bytes_delivered] stay trustworthy under loss. *)
+  let sim = Sim.create () in
+  let rng = Rng.create 7 in
+  let latency = Latency.create (Latency.Constant 1.0) ~n:2 ~rng in
+  let net = Net.create sim ~latency ~rng ~drop:0.5 ~size:String.length () in
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.register net 1 (fun ~src:_ _ -> ());
+  let payload = String.make 10 'x' in
+  for _ = 1 to 100 do
+    Net.send net ~src:0 ~dst:1 payload
+  done;
+  Sim.run_all sim;
+  let s = Net.stats net in
+  check Alcotest.int "all bytes counted as sent" 1000 s.Net.bytes_sent;
+  check Alcotest.int "delivered bytes track delivered messages" (10 * s.Net.delivered)
+    s.Net.bytes_delivered;
+  Alcotest.(check bool) "some loss occurred" true (s.Net.dropped > 0);
+  Alcotest.(check bool) "delivered strictly less than sent" true
+    (s.Net.bytes_delivered < s.Net.bytes_sent)
+
+let test_net_peer_lists_invalidated () =
+  (* [peers]/[alive_peers] are cached; every mutation must invalidate. *)
+  let _, net = mknet 4 in
+  List.iter (fun i -> Net.register net i (fun ~src:_ _ -> ())) [ 2; 0; 3 ];
+  check Alcotest.(list int) "sorted" [ 0; 2; 3 ] (Net.peers net);
+  check Alcotest.(list int) "all alive" [ 0; 2; 3 ] (Net.alive_peers net);
+  Net.register net 1 (fun ~src:_ _ -> ());
+  check Alcotest.(list int) "register invalidates" [ 0; 1; 2; 3 ] (Net.peers net);
+  Net.kill net 2;
+  check Alcotest.(list int) "kill invalidates alive" [ 0; 1; 3 ] (Net.alive_peers net);
+  check Alcotest.(list int) "kill keeps membership" [ 0; 1; 2; 3 ] (Net.peers net);
+  Net.revive net 2;
+  check Alcotest.(list int) "revive invalidates" [ 0; 1; 2; 3 ] (Net.alive_peers net);
+  (* Idempotent mutations keep the caches consistent. *)
+  Net.kill net 0;
+  Net.kill net 0;
+  check Alcotest.(list int) "double kill" [ 1; 2; 3 ] (Net.alive_peers net);
+  Net.register net 0 (fun ~src:_ _ -> ());
+  check Alcotest.(list int) "re-register revives" [ 0; 1; 2; 3 ] (Net.alive_peers net)
+
 (* ------------------------------------------------------------------ *)
 (* Trace *)
 
@@ -324,5 +367,9 @@ let () =
           Alcotest.test_case "drop" `Quick test_net_drop;
           Alcotest.test_case "counters" `Quick test_net_counters;
           Alcotest.test_case "in-flight to killed" `Quick test_net_in_flight_to_killed;
+          Alcotest.test_case "sent/delivered bytes under loss" `Quick
+            test_net_bytes_split_under_loss;
+          Alcotest.test_case "peer-list caches invalidated" `Quick
+            test_net_peer_lists_invalidated;
         ] );
     ]
