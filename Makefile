@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test lint bench bench-baseline bench-bulk bench-smoke clean
+.PHONY: all check test test-faults lint bench bench-baseline bench-bulk bench-churn bench-smoke clean
 
 all: check
 
@@ -10,6 +10,15 @@ check:
 	dune build && dune runtest
 
 test: check
+
+# Just the churn/fault-injection suites: the deterministic fault
+# driver, retry/failover/partial-result behavior, self-healing repair,
+# the failover property test and the fault-aware linter checks. All
+# randomness in these flows from explicit scenario seeds — see
+# EXPERIMENTS.md, section "Churn", for the flaky-test policy.
+test-faults:
+	dune exec test/test_faults.exe
+	dune exec test/test_pgrid.exe -- test failover
 
 # Static-analysis gate (lib/analysis): strict-warning build, then the
 # full analyzer suite against live deployments on both substrates —
@@ -44,13 +53,23 @@ bench-baseline:
 bench-bulk:
 	dune exec bench/main.exe -- bulk
 
-# CI bench gate: the small cached-vs-uncached and batched-vs-unbatched
-# runs. Fails if the caching subsystem or the bulk-operation pipeline
-# stops engaging, or stops paying for itself (e.g. the batched bulk
-# load drops below a 40% message reduction). The committed full-size
-# numbers live in BENCH_cache.json and BENCH_bulk.json.
+# Regenerate the committed churn robustness numbers (BENCH_churn.json):
+# the retry/failover arm vs the no-retry baseline under 0/10/30% churn.
+# Run after any change to the retry policy, the shower wave-retry logic
+# or the fault driver, and commit the diff. See EXPERIMENTS.md, section
+# "Churn".
+bench-churn:
+	dune exec bench/main.exe -- churn
+
+# CI bench gate: the small cached-vs-uncached, batched-vs-unbatched and
+# churn runs. Fails if the caching subsystem or the bulk-operation
+# pipeline stops engaging or stops paying for itself (e.g. the batched
+# bulk load drops below a 40% message reduction), or if the retry arm
+# no longer beats the no-retry baseline under churn. The committed
+# full-size numbers live in BENCH_cache.json, BENCH_bulk.json and
+# BENCH_churn.json.
 bench-smoke:
-	dune exec bench/main.exe -- cache-smoke bulk-smoke
+	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke
 
 clean:
 	dune clean

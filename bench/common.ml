@@ -17,7 +17,7 @@ let subsection title = Printf.printf "\n-- %s --\n" title
 let build_pubs ?(peers = 64) ?(authors = 40) ?(seed = 42) ?(latency = Latency.Lan)
     ?(overlay = Unistore.Pgrid) ?(replication = 2) ?(typo_rate = 0.1) ?(qgrams = true)
     ?(load_balanced = true) ?(cache = Unistore.default_cache_config)
-    ?(batch = Unistore.default_batch_config) () =
+    ?(batch = Unistore.default_batch_config) ?(retry = Unistore.default_retry_config) () =
   let rng = Rng.create (seed + 1) in
   let ds =
     Publications.generate rng { Publications.default_params with n_authors = authors; typo_rate }
@@ -36,6 +36,7 @@ let build_pubs ?(peers = 64) ?(authors = 40) ?(seed = 42) ?(latency = Latency.La
         load_balanced;
         cache;
         batch;
+        retry;
       }
   in
   ignore (Unistore.load store ds.Publications.tuples);

@@ -27,6 +27,8 @@ let experiments =
     ("cache-smoke", "E-cache smoke variant (CI gate, no file output)", Exp_cache.run_smoke);
     ("bulk", "E-bulk: bulk-operation pipeline, batched vs unbatched -> BENCH_bulk.json", Exp_bulk.run);
     ("bulk-smoke", "E-bulk smoke variant (CI gate, no file output)", Exp_bulk.run_smoke);
+    ("churn", "E-churn: query robustness under churn, retry vs no-retry -> BENCH_churn.json", Exp_fault.run);
+    ("churn-smoke", "E-churn smoke variant (CI gate, no file output)", Exp_fault.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -58,7 +58,26 @@ let no_batch_t =
            ~doc:"Disable the bulk-operation pipeline (batched inserts, in-network range \
                  aggregation, multi-key bind-join probes); every operation routes per item.")
 
-let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch =
+let no_retry_t =
+  Arg.(value & flag
+       & info [ "no-retry" ]
+           ~doc:"Disable robust query execution (timeout retries with backoff, replica \
+                 failover); timed-out requests immediately yield partial results.")
+
+let churn_t =
+  Arg.(value & opt float 0.0
+       & info [ "churn" ] ~docv:"RATE"
+           ~doc:"Inject crash/revive churn: every 10ms of simulated time, kill this fraction \
+                 of the alive peers (each revives 10ms later), so even a single query runs \
+                 through several kill waves. 0 disables.")
+
+let fault_seed_t =
+  Arg.(value & opt int 7
+       & info [ "fault-seed" ] ~docv:"N"
+           ~doc:"Seed of the fault-injection scenario. The same seed against the same \
+                 deployment replays the identical failure schedule.")
+
+let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?(no_retry = false) () =
   let rng = Unistore_util.Rng.create (seed + 1) in
   let tuples, triples, sample =
     match dataset with
@@ -84,9 +103,10 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch =
   in
   let cache = if no_cache then Unistore.no_cache else Unistore.default_cache_config in
   let batch = if no_batch then Unistore.no_batch else Unistore.default_batch_config in
+  let retry = if no_retry then Unistore.no_retry else Unistore.default_retry_config in
   let store =
     Unistore.create ~sample_keys:sample
-      { Unistore.default_config with peers; seed; overlay; latency; cache; batch }
+      { Unistore.default_config with peers; seed; overlay; latency; cache; batch; retry }
   in
   let n = Unistore.load store tuples in
   Unistore.set_stats_of_triples store triples;
@@ -131,9 +151,32 @@ let print_explain_analyze (report : Unistore.Report.report) =
     report.Unistore.Report.messages report.Unistore.Report.latency
     (List.length report.Unistore.Report.rows)
 
-let run_query peers seed overlay latency authors dataset strategy no_cache no_batch explain
-    explain_only trace profile metrics check vql =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch in
+let run_query peers seed overlay latency authors dataset strategy no_cache no_batch no_retry
+    churn fault_seed explain explain_only trace profile metrics check vql =
+  let store =
+    setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ~no_retry ()
+  in
+  let faults =
+    if churn > 0.0 then begin
+      let spec =
+        (* A single query lives for tens of simulated ms, so the CLI uses
+           the bench cadence (kill wave every 10ms, peers down 10ms):
+           steady-state dead fraction ~ rate, and every query actually
+           meets churn. *)
+        Unistore.Faults.spec ~seed:fault_seed
+          ~churn:(Unistore.Faults.churn_spec ~interval_ms:10.0 ~down_ms:10.0 ~rate:churn ())
+          ~protected:[ 0 ] ()
+      in
+      match Unistore.inject_faults store spec with
+      | Some h ->
+        Format.printf "[churn %.0f%% every 10ms, fault seed %d]@." (100.0 *. churn) fault_seed;
+        Some h
+      | None ->
+        Format.printf "[churn ignored: fault injection needs the P-Grid overlay]@.";
+        None
+    end
+    else None
+  in
   if check then begin
     (* Static analysis only: parse, run the semantic analyzer against the
        catalog derived from the loaded dataset's statistics, report
@@ -172,7 +215,10 @@ let run_query peers seed overlay latency authors dataset strategy no_cache no_ba
         (* EXPLAIN ANALYZE: per-operator rows/messages/latency. *)
         Format.printf "@.query profile:@.%a@." Unistore.pp_profile
           (Unistore.profile ~query:vql report);
-      if metrics then Format.printf "@.deployment metrics:@.%s@." (Unistore.metrics_json store)
+      if metrics then Format.printf "@.deployment metrics:@.%s@." (Unistore.metrics_json store);
+      (match faults with
+      | Some h -> Format.printf "@.faults fired: %a@." Unistore.Faults.pp h
+      | None -> ())
     | Error e ->
       Format.printf "error: %s@." e;
       exit 1
@@ -204,8 +250,8 @@ let query_cmd =
   let term =
     Term.(
       const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
-      $ strategy_t $ no_cache_t $ no_batch_t $ explain_t $ explain_only_t $ trace_t
-      $ profile_t $ metrics_t $ check_t $ vql_t)
+      $ strategy_t $ no_cache_t $ no_batch_t $ no_retry_t $ churn_t $ fault_seed_t
+      $ explain_t $ explain_only_t $ trace_t $ profile_t $ metrics_t $ check_t $ vql_t)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
 
@@ -238,7 +284,7 @@ let demo_workload = function
     ]
 
 let lint peers seed overlay latency authors dataset allowed_revisits =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false () in
   let failures = ref 0 in
   let report section diags =
     Format.printf "@.%s:@." section;
@@ -304,7 +350,7 @@ let lint_cmd =
 (* repl                                                                *)
 
 let repl peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false () in
   Format.printf
     "Interactive VQL. End with ';' on its own line. Commands: \\help \\stats \\peers \\quit@.";
   let buf = Buffer.create 256 in
@@ -359,7 +405,7 @@ let repl_cmd =
 (* inspect                                                             *)
 
 let inspect peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false in
+  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false () in
   match Unistore.pgrid store with
   | None -> Format.printf "inspect currently supports the P-Grid overlay only@."
   | Some ov ->

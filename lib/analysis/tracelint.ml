@@ -120,13 +120,26 @@ let check_clocks events =
 
 let check_conservation metrics (tr : Trace.t) =
   let ds = ref [] in
+  (* Fault markers ([fault.*]) are recorded by the injection driver and
+     the partial-result path, not by [Net.send] — message conservation
+     must count real sends only. *)
+  let sends = List.filter (fun e -> not (Trace.is_fault e)) (Trace.events tr) in
   let total = Metrics.counter metrics "net.sent" in
-  if total <> Trace.length tr then
+  if total <> List.length sends then
     ds :=
       D.makef ~severity:D.Error ~code:"conservation"
-        "trace has %d events but metrics counted %d sends" (Trace.length tr) total
+        "trace has %d send events but metrics counted %d sends" (List.length sends) total
       :: !ds;
-  let by_kind = Trace.by_kind tr in
+  let by_kind =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Trace.event) ->
+        let c, b = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl e.Trace.kind) in
+        Hashtbl.replace tbl e.Trace.kind (c + 1, b + e.Trace.bytes))
+      sends;
+    Hashtbl.fold (fun k (c, b) acc -> (k, c, b) :: acc) tbl []
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  in
   List.iter
     (fun (kind, count, _bytes) ->
       let counted = Metrics.counter metrics ("net.sent." ^ kind) in
@@ -154,6 +167,60 @@ let check_conservation metrics (tr : Trace.t) =
     (Metrics.counters metrics);
   List.rev !ds
 
+(* Every request that died against a crashed peer must be visibly
+   handled: a later same-correlation request (a retry or failover
+   resend), a later same-correlation reply (another replica answered),
+   or an explicit [fault.partial] marker (the query finished degraded).
+   A query that silently swallows the loss — no retry, no marker — is
+   exactly the wedge/recall bug class churn testing exists to catch. *)
+let check_fault_response rules events =
+  let crashed = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if String.equal e.Trace.kind "fault.crash" then Hashtbl.replace crashed e.Trace.src ())
+    events;
+  if Hashtbl.length crashed = 0 then []
+  else begin
+    let reply_kinds = List.map (fun r -> r.reply) rules.replies in
+    let ds = ref [] in
+    let reported = Hashtbl.create 16 in
+    let rec scan = function
+      | [] -> ()
+      | (e : Trace.event) :: rest ->
+        (if
+           e.Trace.corr >= 0
+           && e.Trace.outcome = Trace.To_dead
+           && List.mem e.Trace.kind rules.request_kinds
+           && Hashtbl.mem crashed e.Trace.dst
+           && not (Hashtbl.mem reported e.Trace.corr)
+         then
+           let handled =
+             List.exists
+               (fun (f : Trace.event) ->
+                 f.Trace.corr = e.Trace.corr
+                 && (List.mem f.Trace.kind rules.request_kinds
+                    || List.mem f.Trace.kind reply_kinds
+                    || String.equal f.Trace.kind "fault.partial"))
+               rest
+           in
+           if not handled then begin
+             Hashtbl.replace reported e.Trace.corr ();
+             ds :=
+               D.makef ~severity:D.Error ~code:"unhandled-crash"
+                 ~hint:
+                   "after a crash eats a request, the query must retry, fail over, or mark \
+                    itself partial"
+                 "request id %d: '%s' to crashed peer %d at %.3f, with no later retry, reply, \
+                  or partial-result marker"
+                 e.Trace.corr e.Trace.kind e.Trace.dst e.Trace.time
+               :: !ds
+           end);
+        scan rest
+    in
+    scan events;
+    List.rev !ds
+  end
+
 let check_in_flight (tr : Trace.t) =
   let _, _, _, in_flight = Trace.outcome_counts tr in
   if in_flight = 0 then []
@@ -170,7 +237,9 @@ let lint ?(allowed_revisits = 0) ?metrics ~rules tr =
   Diagnostic.sort
     (check_clocks events @ check_replies rules tbl
     @ check_loops ~allowed_revisits rules events
-    @ conservation @ check_in_flight tr)
+    @ conservation
+    @ check_fault_response rules events
+    @ check_in_flight tr)
 
 (* ------------------------------------------------------------------ *)
 (* Cache staleness: monotone reads                                     *)

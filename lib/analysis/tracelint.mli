@@ -17,7 +17,12 @@
     - message-count conservation against an {!Unistore_obs.Metrics}
       registry that was attached over the same window: total events vs
       [net.sent] and per-kind counts vs [net.sent.<kind>]
-      ("conservation", error);
+      ("conservation", error) — fault markers ([fault.*], recorded
+      outside [Net.send]) are excluded from both sides;
+    - crash handling: every request that died against a crashed peer
+      ([To_dead] outcome with a matching [fault.crash] marker) must be
+      followed by a same-correlation retry, reply, or [fault.partial]
+      marker ("unhandled-crash", error);
     - unresolved events at the end of a settled run ("in-flight",
       info).
 
@@ -40,6 +45,11 @@ type rules = {
 
 val pgrid_rules : rules
 val chord_rules : rules
+
+(** [check_fault_response rules events] runs just the crash-handling
+    check (it is part of {!lint}); exposed for fixture tests and for
+    linting event lists assembled by hand. *)
+val check_fault_response : rules -> Trace.event list -> Diagnostic.t list
 
 (** [lint ~rules trace] checks the trace; [metrics] enables the
     conservation check. *)

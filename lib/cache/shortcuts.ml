@@ -44,6 +44,11 @@ let invalidate_peer t peer =
   t.map <- SMap.filter (fun _ e -> e.peer <> peer) t.map;
   before - SMap.cardinal t.map
 
+let invalidate_where t ~f =
+  let before = SMap.cardinal t.map in
+  t.map <- SMap.filter (fun _ e -> not (f e.peer)) t.map;
+  before - SMap.cardinal t.map
+
 let set_capacity t c =
   let c = max 0 c in
   t.capacity <- c;

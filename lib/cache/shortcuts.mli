@@ -40,4 +40,9 @@ val find : t -> key:string -> int option
     of entries removed. *)
 val invalidate_peer : t -> int -> int
 
+(** [invalidate_where t ~f] drops every entry whose target peer satisfies
+    [f] (e.g. "currently dead" or "moved by a repair round"); returns the
+    number dropped. *)
+val invalidate_where : t -> f:(int -> bool) -> int
+
 val clear : t -> unit

@@ -40,6 +40,23 @@ let default_cache_config =
 let no_cache =
   { shortcut_capacity = 0; result_capacity = 0; result_ttl_ms = 0.0; stats_half_life_ms = 0.0 }
 
+type retry_config = {
+  retries : int;
+  backoff : float;
+  jitter : float;
+  failover : bool;
+}
+
+let default_retry_config =
+  {
+    retries = Config.default.Config.retries;
+    backoff = Config.default.Config.retry_backoff;
+    jitter = Config.default.Config.retry_jitter;
+    failover = Config.default.Config.failover;
+  }
+
+let no_retry = { retries = 0; backoff = 1.0; jitter = 0.0; failover = false }
+
 type batch_config = {
   bulk_insert : bool;
   range_aggregation : bool;
@@ -78,6 +95,7 @@ type config = {
   load_balanced : bool;
   cache : cache_config;
   batch : batch_config;
+  retry : retry_config;
 }
 
 let default_config =
@@ -93,6 +111,7 @@ let default_config =
     load_balanced = true;
     cache = default_cache_config;
     batch = default_batch_config;
+    retry = default_retry_config;
   }
 
 type t = {
@@ -131,6 +150,10 @@ let create ?(sample_keys = []) config =
           agg_flush_ms =
             (if config.batch.agg_flush_ms > 0.0 then config.batch.agg_flush_ms
              else Config.default.Config.agg_flush_ms);
+          retries = config.retry.retries;
+          retry_backoff = config.retry.backoff;
+          retry_jitter = config.retry.jitter;
+          failover = config.retry.failover;
         }
       in
       let ov =
@@ -351,6 +374,28 @@ let alive_peers t = t.dht.Dht.alive_peers ()
 
 let join_peer t ~id ~bootstrap =
   match t.pgrid with Some ov -> Build.join ov ~id ~bootstrap | None -> false
+
+(* Scenario-driven fault injection (P-Grid only: the driver needs the
+   overlay's network handle). The scenario fires as the caller advances
+   the simulation; all its randomness comes from [spec.seed], never from
+   the deployment's RNG, so queries replay identically with faults on. *)
+
+module Faults = Unistore_sim.Faults
+
+type faults = Unistore_pgrid.Message.t Faults.t
+
+let inject_faults t spec =
+  match t.pgrid with Some ov -> Some (Faults.inject (Overlay.net ov) spec) | None -> None
+
+module Repair = Unistore_pgrid.Repair
+
+let repair_round t =
+  match t.pgrid with
+  | Some ov ->
+    let r = Repair.round ov in
+    Sim.run_all t.sim;
+    Some r
+  | None -> None
 
 let anti_entropy_round t =
   match t.pgrid with

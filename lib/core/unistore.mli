@@ -44,6 +44,22 @@ type cache_config = {
 val default_cache_config : cache_config
 val no_cache : cache_config
 
+(** Knobs of robust query execution under churn (P-Grid only): how many
+    times a timed-out request is re-sent (with exponential backoff and
+    jitter, see {!Unistore_pgrid.Config}), and whether routing falls
+    back to alive replicas of dead references. {!no_retry} turns all of
+    it off — the brittle baseline of the churn benchmark, mirroring
+    {!no_cache}/{!no_batch}. *)
+type retry_config = {
+  retries : int;  (** re-sends after the first timeout; 0 disables *)
+  backoff : float;  (** timeout multiplier per attempt (>= 1) *)
+  jitter : float;  (** +/- fraction randomizing each retry delay *)
+  failover : bool;  (** route to alive replicas of dead references *)
+}
+
+val default_retry_config : retry_config
+val no_retry : retry_config
+
 (** Knobs of the bulk-operation pipeline (P-Grid only): batched shower
     inserts, in-network range aggregation and multi-key bind-join
     probes. {!no_batch} turns every batch path off — the per-item
@@ -71,6 +87,7 @@ type config = {
   load_balanced : bool;  (** P-Grid data-aware partitioning (needs sample) *)
   cache : cache_config;
   batch : batch_config;
+  retry : retry_config;
 }
 
 val default_config : config
@@ -189,6 +206,28 @@ val join_peer : t -> id:int -> bootstrap:int -> bool
 (** One anti-entropy round among replica groups (P-Grid only; no-op on
     Chord). *)
 val anti_entropy_round : t -> unit
+
+(** Deterministic, seeded fault scenarios ({!Unistore_sim.Faults}):
+    churn waves, loss bursts, slow peers, partitions. *)
+module Faults = Unistore_sim.Faults
+
+type faults = Unistore_pgrid.Message.t Faults.t
+
+(** [inject_faults t spec] schedules the scenario over the overlay
+    network and returns the handle for inspecting what fired
+    ([Faults.log], [render_log], [crashes], ...). [None] on Chord (the
+    driver needs the P-Grid network handle). The scenario's randomness
+    comes from [spec.seed] only, never from the deployment's RNG. *)
+val inject_faults : t -> Faults.spec -> faults option
+
+(** Self-healing maintenance ({!Unistore_pgrid.Repair}). *)
+module Repair = Unistore_pgrid.Repair
+
+(** [repair_round t] runs one repair round — re-point dead references,
+    adopt strays, re-replicate depleted leaf groups from spare peers,
+    drop stale shortcuts — and drives the resulting state transfers to
+    completion. [None] on Chord. *)
+val repair_round : t -> Repair.report option
 
 (** [start_trace t] attaches a fresh message-level trace to the overlay
     network (P-Grid or Chord) and returns it; analyze with

@@ -16,6 +16,7 @@ type t = {
   latency_ms : float;
   bytes_shipped : int;
   complete : bool;
+  completeness : float;
   ops : op list;
 }
 
@@ -41,6 +42,7 @@ let to_json t =
         ("latency_ms", Json.Float t.latency_ms);
         ("bytes_shipped", Json.Int t.bytes_shipped);
         ("complete", Json.Bool t.complete);
+        ("completeness", Json.Float t.completeness);
         ("operators", Json.Arr (List.map op_to_json t.ops));
       ])
 
@@ -76,5 +78,6 @@ let pp fmt t =
   List.iter print_row rows;
   Format.fprintf fmt "total: %d row(s), %d msgs, %.1f ms simulated, %d bytes shipped, %s (%s)@]"
     t.rows t.messages t.latency_ms t.bytes_shipped
-    (if t.complete then "complete" else "PARTIAL")
+    (if t.complete then "complete"
+     else Printf.sprintf "PARTIAL (%.0f%% coverage)" (100.0 *. t.completeness))
     t.strategy

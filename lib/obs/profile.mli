@@ -30,6 +30,9 @@ type t = {
   latency_ms : float;
   bytes_shipped : int;  (** plan + binding bytes moved (mutant only) *)
   complete : bool;
+  completeness : float;
+      (** coverage estimate in [0,1] (regions reached / addressed);
+          [1.0] iff [complete] *)
   ops : op list;
 }
 

@@ -4,6 +4,9 @@ type t = {
   max_depth : int;
   timeout_ms : float;
   retries : int;
+  retry_backoff : float;
+  retry_jitter : float;
+  failover : bool;
   proximity_routing : bool;
   gossip_fanout : int;
   max_hops : int;
@@ -22,6 +25,9 @@ let default =
     max_depth = 96;
     timeout_ms = 10_000.0;
     retries = 2;
+    retry_backoff = 2.0;
+    retry_jitter = 0.2;
+    failover = true;
     proximity_routing = false;
     gossip_fanout = 2;
     max_hops = 128;

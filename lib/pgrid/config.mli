@@ -8,6 +8,18 @@ type t = {
   max_depth : int;  (** maximum trie depth (paths never grow beyond this) *)
   timeout_ms : float;  (** request timeout before retry / partial completion *)
   retries : int;  (** end-to-end retries for lookups and inserts *)
+  retry_backoff : float;
+      (** exponential backoff base: retry [n] waits
+          [timeout_ms * retry_backoff^n]; [1.0] = fixed interval *)
+  retry_jitter : float;
+      (** uniform jitter fraction applied to each retry timeout
+          ([+-retry_jitter * timeout]); [0.0] = deterministic timeouts,
+          desynchronizes retry storms otherwise *)
+  failover : bool;
+      (** when every routing reference for the next hop is dead, fail
+          over to a live replica of one of them (gossiped replica-group
+          membership doubles as a backup routing table) and learn it as
+          a new reference *)
   proximity_routing : bool;
       (** when true, forward to the ref with the lowest base latency
           (topology-aware routing); otherwise pick uniformly *)

@@ -10,6 +10,10 @@ type result = {
   hops : int;
   peers_hit : int;
   complete : bool;
+  completeness : float;
+      (* coverage estimate in [0,1]: regions reached / regions addressed
+         (answered tokens for showers, acked keys for batches, all or
+         nothing for single-destination requests); 1.0 iff [complete] *)
   latency : float;
 }
 
@@ -28,18 +32,27 @@ type pending =
     }
   | Pmulti of {
       op : string;  (* metric label: range/prefix/broadcast *)
+      origin : int;
       expected : (int, unit) Hashtbl.t;  (* message tokens announced as forwards *)
       received : (int, unit) Hashtbl.t;  (* tokens whose hit arrived *)
       mutable missing : int;  (* |expected \ received| *)
       mutable peers : (int, unit) Hashtbl.t;  (* distinct peers that reported *)
       mutable items : Store.item list;
       mutable hops : int;
+      mutable resend : (unit -> unit) option;  (* re-issue the whole shower *)
+      mutable attempts : int;
+      mutable wave_floor : int;
+          (* tokens below this belong to abandoned waves: a retry resets
+             the termination accounting and only counts tokens minted by
+             the new wave, so stragglers from a half-dead old wave cannot
+             wedge completion (their rows are still salvaged) *)
       started : float;
       k : result -> unit;
     }
   | Pbatch of {
       op : string;  (* metric label: bulk-insert/multi-lookup *)
       origin : int;
+      total : int;  (* batch size, for the acked/total coverage estimate *)
       unacked : (string, unit) Hashtbl.t;  (* keys no region acked yet *)
       resend : unit -> unit;  (* selective retransmit of unacked keys *)
       mutable attempts : int;
@@ -191,17 +204,39 @@ let record_multi t (op : string) ~hops ~peers_hit ~latency ~complete =
     Metrics.observe m ("overlay." ^ op ^ ".latency_ms") latency;
     Metrics.incr m ("overlay." ^ op ^ if complete then ".ok" else ".incomplete")
 
+let cache_incr t ?by name =
+  match t.metrics with Some m -> Metrics.incr m ?by name | None -> ()
+
+(* An operation is finishing without full coverage: leave an explicit
+   partial-result marker in the trace (correlated to the request id) so
+   trace linting can tell "crash handled by graceful degradation" from
+   "crash silently swallowed". *)
+let mark_partial t ~rid ~origin =
+  cache_incr t "fault.partial";
+  match Net.trace t.net with
+  | Some tr -> Trace.mark tr ~corr:rid ~time:(Sim.now t.sim) ~src:origin ~kind:"fault.partial" ()
+  | None -> ()
+
 let finish_single t rid ~items ~hops ~complete =
   match Hashtbl.find_opt t.pending rid with
   | Some (Psingle p) ->
     Hashtbl.remove t.pending rid;
     let latency = Sim.now t.sim -. p.started in
     record_single t p.op ~hops ~attempts:p.attempts ~latency ~complete;
+    if not complete then mark_partial t ~rid ~origin:p.origin;
     let items = dedupe_items items in
     (match t.read_observer with
     | Some f when complete && String.equal p.op "lookup" -> f ~origin:p.origin items
     | _ -> ());
-    p.k { items; hops; peers_hit = 1; complete; latency }
+    p.k
+      {
+        items;
+        hops;
+        peers_hit = 1;
+        complete;
+        completeness = (if complete then 1.0 else 0.0);
+        latency;
+      }
   | _ -> ()
 
 let finish_multi t rid ~complete =
@@ -211,7 +246,15 @@ let finish_multi t rid ~complete =
     let latency = Sim.now t.sim -. p.started in
     let peers_hit = Hashtbl.length p.peers in
     record_multi t p.op ~hops:p.hops ~peers_hit ~latency ~complete;
-    p.k { items = dedupe_items p.items; hops = p.hops; peers_hit; complete; latency }
+    if not complete then mark_partial t ~rid ~origin:p.origin;
+    (* Coverage = answered tokens / announced tokens: each token stands
+       for one addressed region of the shower split tree. *)
+    let expected = Hashtbl.length p.expected in
+    let completeness =
+      if complete || expected = 0 then if complete then 1.0 else 0.0
+      else float_of_int (expected - max 0 p.missing) /. float_of_int expected
+    in
+    p.k { items = dedupe_items p.items; hops = p.hops; peers_hit; complete; completeness; latency }
   | _ -> ()
 
 (* Termination detection is order-independent: every Range/Probe message
@@ -224,6 +267,12 @@ let finish_multi t rid ~complete =
    per message. *)
 let deliver_hit t rid ~from ~token ~items ~targets ~hops =
   match Hashtbl.find_opt t.pending rid with
+  | Some (Pmulti p) when token < p.wave_floor ->
+    (* Straggler from an abandoned wave: salvage its rows, but keep its
+       tokens out of the live wave's termination accounting. *)
+    Hashtbl.replace p.peers from ();
+    p.items <- List.rev_append items p.items;
+    p.hops <- max p.hops hops
   | Some (Pmulti p) ->
     Hashtbl.replace p.peers from ();
     if not (Hashtbl.mem p.received token) then begin
@@ -243,17 +292,27 @@ let deliver_hit t rid ~from ~token ~items ~targets ~hops =
     if p.missing <= 0 then finish_multi t rid ~complete:true
   | _ -> ()
 
-let cache_incr t ?by name =
-  match t.metrics with Some m -> Metrics.incr m ?by name | None -> ()
+(* Retry [n] waits [timeout_ms * retry_backoff^n], up to [retry_jitter]
+   fractional jitter either way. Exponential backoff rides out multi-wave
+   churn (a replica group wholly down now is likely partly back later);
+   jitter desynchronizes the retry storm after a crash wave. *)
+let retry_delay t ~attempt =
+  let base = t.config.timeout_ms *. (t.config.retry_backoff ** float_of_int attempt) in
+  let j = t.config.retry_jitter in
+  if j <= 0.0 then base else base *. (1.0 +. Rng.float_in t.rng (-.j) j)
 
 let arm_single_timeout t rid =
-  let rec arm () =
-    Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
+  let rec arm ~attempt =
+    Sim.schedule t.sim ~delay:(retry_delay t ~attempt) (fun () ->
         match Hashtbl.find_opt t.pending rid with
         | Some (Psingle p) ->
           if p.attempts < t.config.retries then begin
             p.attempts <- p.attempts + 1;
-            (match t.metrics with Some m -> Metrics.incr m "overlay.resend" | None -> ());
+            (match t.metrics with
+            | Some m ->
+              Metrics.incr m "overlay.resend";
+              Metrics.incr m "retry.attempt"
+            | None -> ());
             (* If a shortcut carried this request, distrust its target:
                drop that peer's entries so the retry routes greedily. *)
             (match p.via with
@@ -266,16 +325,46 @@ let arm_single_timeout t rid =
               p.via <- None
             | None -> ());
             p.resend ();
-            arm ()
+            arm ~attempt:p.attempts
           end
-          else finish_single t rid ~items:[] ~hops:0 ~complete:false
+          else begin
+            cache_incr t "retry.giveup";
+            finish_single t rid ~items:[] ~hops:0 ~complete:false
+          end
         | _ -> ())
   in
-  arm ()
+  arm ~attempt:0
 
+(* Shower timeouts retry like single requests do, but a shower has no
+   single destination to resend to: the retry abandons the old wave's
+   token accounting wholesale and re-issues the operation from the
+   origin, whose routing (with failover) now steers around the peers
+   that ate the first wave. *)
 let arm_multi_timeout t rid =
-  Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
-      if Hashtbl.mem t.pending rid then finish_multi t rid ~complete:false)
+  let rec arm ~attempt =
+    Sim.schedule t.sim ~delay:(retry_delay t ~attempt) (fun () ->
+        match Hashtbl.find_opt t.pending rid with
+        | Some (Pmulti p) -> (
+          match p.resend with
+          | Some resend when p.attempts < t.config.retries ->
+            p.attempts <- p.attempts + 1;
+            (match t.metrics with
+            | Some m ->
+              Metrics.incr m "overlay.resend";
+              Metrics.incr m "retry.attempt"
+            | None -> ());
+            p.wave_floor <- t.next_rid;
+            Hashtbl.reset p.expected;
+            Hashtbl.reset p.received;
+            p.missing <- 0;
+            resend ();
+            arm ~attempt:p.attempts
+          | _ ->
+            cache_incr t "retry.giveup";
+            finish_multi t rid ~complete:false)
+        | _ -> ())
+  in
+  arm ~attempt:0
 
 let finish_batch t rid ~complete =
   match Hashtbl.find_opt t.pending rid with
@@ -283,25 +372,46 @@ let finish_batch t rid ~complete =
     Hashtbl.remove t.pending rid;
     let latency = Sim.now t.sim -. p.started in
     record_multi t p.op ~hops:p.hops ~peers_hit:p.regions ~latency ~complete;
-    p.k { items = dedupe_items p.items; hops = p.hops; peers_hit = p.regions; complete; latency }
+    if not complete then mark_partial t ~rid ~origin:p.origin;
+    (* Coverage = acked keys / batch keys. *)
+    let completeness =
+      if complete || p.total = 0 then if complete then 1.0 else 0.0
+      else float_of_int (p.total - Hashtbl.length p.unacked) /. float_of_int p.total
+    in
+    p.k
+      {
+        items = dedupe_items p.items;
+        hops = p.hops;
+        peers_hit = p.regions;
+        complete;
+        completeness;
+        latency;
+      }
   | _ -> ()
 
 let arm_batch_timeout t rid =
-  let rec arm () =
-    Sim.schedule t.sim ~delay:t.config.timeout_ms (fun () ->
+  let rec arm ~attempt =
+    Sim.schedule t.sim ~delay:(retry_delay t ~attempt) (fun () ->
         match Hashtbl.find_opt t.pending rid with
         | Some (Pbatch p) ->
           if p.attempts < t.config.retries then begin
             p.attempts <- p.attempts + 1;
-            (match t.metrics with Some m -> Metrics.incr m "overlay.resend" | None -> ());
+            (match t.metrics with
+            | Some m ->
+              Metrics.incr m "overlay.resend";
+              Metrics.incr m "retry.attempt"
+            | None -> ());
             cache_incr t "batch.retransmit";
             p.resend ();
-            arm ()
+            arm ~attempt:p.attempts
           end
-          else finish_batch t rid ~complete:false
+          else begin
+            cache_incr t "retry.giveup";
+            finish_batch t rid ~complete:false
+          end
         | _ -> ())
   in
-  arm ()
+  arm ~attempt:0
 
 (* Send an aggregation buffer's merged hit upward. [reason] is
    ["complete"] (every buffered child answered) or ["timeout"] (loss or
@@ -312,45 +422,84 @@ let flush_agg t (a : agg) ~reason =
   if not a.flushed then begin
     a.flushed <- true;
     List.iter (fun tok -> Hashtbl.remove t.aggs tok) a.waiting;
-    cache_incr t ("batch.agg.flush." ^ reason);
-    Net.send t.net ~src:a.agg_owner ~dst:a.agg_parent
-      (Message.RangeHit
-         {
-           rid = a.agg_rid;
-           token = a.agg_token;
-           items = a.agg_items;
-           targets = a.waiting @ a.carried;
-           origin = a.agg_origin;
-           hops = a.agg_hops;
-         })
+    if not (Net.is_alive t.net a.agg_owner) then
+      (* The buffering peer was killed while holding child tokens: a dead
+         peer cannot transmit its merged hit. Dropping the buffer (rather
+         than sending from a corpse) leaves those tokens unanswered at
+         the origin, whose own timeout then finishes the operation as
+         explicitly partial — termination accounting never wedges on a
+         crashed aggregator. *)
+      cache_incr t "fault.agg.dead_flush"
+    else begin
+      cache_incr t ("batch.agg.flush." ^ reason);
+      Net.send t.net ~src:a.agg_owner ~dst:a.agg_parent
+        (Message.RangeHit
+           {
+             rid = a.agg_rid;
+             token = a.agg_token;
+             items = a.agg_items;
+             targets = a.waiting @ a.carried;
+             origin = a.agg_origin;
+             hops = a.agg_hops;
+           })
+    end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Routing                                                             *)
 
+(* Replica failover: every ref at this level is dead, so stand in a live
+   member of a dead ref's replica group. Replica-group membership spreads
+   with the exchange/join gossip, so a peer plausibly knows its refs'
+   replicas; P-Grid's own fault-tolerance story is exactly that any
+   replica of the addressed region can serve. *)
+let failover_candidates t refs =
+  List.concat_map
+    (fun r ->
+      match Hashtbl.find_opt t.nodes r with
+      | Some nd -> List.filter (Net.is_alive t.net) nd.Node.replicas
+      | None -> [])
+    refs
+  |> List.sort_uniq compare
+
 (* Peers are assumed to detect failures of their direct references (via
    keep-alive pings, as deployed DHTs do), so routing prefers alive refs;
-   if every ref of a level looks dead we still try one, and the request
-   times out and retries. *)
+   if every ref of a level looks dead we fail over to a live replica of
+   one of them (and learn it as a ref); with failover off — or no replica
+   alive either — we still try one, and the request times out and
+   retries. *)
 let choose_ref t (me : Node.t) level =
-  let candidates =
-    match List.filter (Net.is_alive t.net) (Node.refs_at me level) with
-    | [] -> Node.refs_at me level
-    | alive -> alive
+  let refs = Node.refs_at me level in
+  let candidates, failing_over =
+    match List.filter (Net.is_alive t.net) refs with
+    | [] when t.config.failover -> (
+      match failover_candidates t refs with [] -> (refs, false) | alts -> (alts, true))
+    | [] -> (refs, false)
+    | alive -> (alive, false)
   in
-  match candidates with
-  | [] -> None
-  | refs when t.config.proximity_routing ->
+  let chosen =
+    match candidates with
+    | [] -> None
+    | refs when t.config.proximity_routing ->
     let lat = Net.latency t.net in
-    let best =
-      List.fold_left
-        (fun acc p ->
-          let c = Latency.base lat ~src:me.id ~dst:p in
-          match acc with Some (_, c0) when c0 <= c -> acc | _ -> Some (p, c))
-        None refs
-    in
-    Option.map fst best
-  | refs -> Some (Rng.pick_list t.rng refs)
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let c = Latency.base lat ~src:me.id ~dst:p in
+            match acc with Some (_, c0) when c0 <= c -> acc | _ -> Some (p, c))
+          None refs
+      in
+      Option.map fst best
+    | refs -> Some (Rng.pick_list t.rng refs)
+  in
+  (match chosen with
+  | Some p when failing_over ->
+    cache_incr t "retry.failover";
+    (* Learn the stand-in as a real reference: routing self-heals instead
+       of re-deriving the failover on every message. *)
+    Node.add_ref me ~level p ~cap:t.config.refs_per_level
+  | _ -> ());
+  chosen
 
 (* [`Local] if [me] covers [key]: greedy prefix routing forwards at the
    first level where the key branches away from [me]'s path. *)
@@ -962,41 +1111,60 @@ let lookup t ~origin ~key ~k =
   arm_single_timeout t rid;
   resend ()
 
-let start_multi t ~op ~k =
+let start_multi t ~op ~origin ~k =
   let rid = fresh_rid t in
   Hashtbl.replace t.pending rid
     (Pmulti
        {
          op;
+         origin;
          expected = Hashtbl.create 16;
          received = Hashtbl.create 16;
          missing = 0;
          peers = Hashtbl.create 16;
          items = [];
          hops = 0;
+         resend = None;
+         attempts = 0;
+         wave_floor = 0;
          started = Sim.now t.sim;
          k;
        });
   arm_multi_timeout t rid;
   rid
 
+(* The resend closure mints fresh tokens per call, so it is installed
+   after [start_multi] hands back the rid it needs to close over. *)
+let set_multi_resend t rid f =
+  match Hashtbl.find_opt t.pending rid with
+  | Some (Pmulti p) -> p.resend <- Some f
+  | _ -> ()
+
 let range t ~origin ?(strategy = Message.Shower) ?budget ~lo ~hi ~k () =
   (match (budget, strategy) with
   | Some _, Message.Shower -> invalid_arg "Overlay.range: budget requires Sequential"
   | _ -> ());
-  let rid = start_multi t ~op:"range" ~k in
+  let rid = start_multi t ~op:"range" ~origin ~k in
   let me = node t origin in
-  handle_range t me ~rid ~token:(fresh_rid t) ~lo ~hi ~clip_lo:lo ~clip_hi:(after_inclusive hi)
-    ~origin ~reply_to:origin ~hops:0 ~strategy ~budget
+  let send () =
+    handle_range t me ~rid ~token:(fresh_rid t) ~lo ~hi ~clip_lo:lo ~clip_hi:(after_inclusive hi)
+      ~origin ~reply_to:origin ~hops:0 ~strategy ~budget
+  in
+  set_multi_resend t rid send;
+  send ()
 
 let prefix t ~origin ~prefix:p ~k =
-  let rid = start_multi t ~op:"prefix" ~k in
+  let rid = start_multi t ~op:"prefix" ~origin ~k in
   let me = node t origin in
   (* All keys extending [p]: inclusive bounds for local filtering, and the
      exclusive clip just past the last extension. *)
   let hi = p ^ String.make 64 '\xff' in
-  handle_range t me ~rid ~token:(fresh_rid t) ~lo:p ~hi ~clip_lo:p ~clip_hi:(after_inclusive hi)
-    ~origin ~reply_to:origin ~hops:0 ~strategy:Message.Shower ~budget:None
+  let send () =
+    handle_range t me ~rid ~token:(fresh_rid t) ~lo:p ~hi ~clip_lo:p ~clip_hi:(after_inclusive hi)
+      ~origin ~reply_to:origin ~hops:0 ~strategy:Message.Shower ~budget:None
+  in
+  set_multi_resend t rid send;
+  send ()
 
 (* Bulk insert: ship the whole (sorted) batch as one [InsertBatch] that
    splits shower-style down the trie; every covering region stores its
@@ -1004,7 +1172,7 @@ let prefix t ~origin ~prefix:p ~k =
    still-unacked items. *)
 let bulk_insert t ~origin ~items ~k =
   match items with
-  | [] -> k { items = []; hops = 0; peers_hit = 0; complete = true; latency = 0.0 }
+  | [] -> k { items = []; hops = 0; peers_hit = 0; complete = true; completeness = 1.0; latency = 0.0 }
   | _ ->
     let rid = fresh_rid t in
     let me = node t origin in
@@ -1024,6 +1192,7 @@ let bulk_insert t ~origin ~items ~k =
          {
            op = "bulk-insert";
            origin;
+           total = List.length items;
            unacked;
            resend;
            attempts = 0;
@@ -1043,7 +1212,7 @@ let bulk_insert t ~origin ~items ~k =
    result. *)
 let multi_lookup t ~origin ~keys ~k =
   match keys with
-  | [] -> k ([], { items = []; hops = 0; peers_hit = 0; complete = true; latency = 0.0 })
+  | [] -> k ([], { items = []; hops = 0; peers_hit = 0; complete = true; completeness = 1.0; latency = 0.0 })
   | _ ->
     let rid = fresh_rid t in
     let me = node t origin in
@@ -1060,6 +1229,7 @@ let multi_lookup t ~origin ~keys ~k =
          {
            op = "multi-lookup";
            origin;
+           total = List.length keys;
            unacked;
            resend;
            attempts = 0;
@@ -1081,11 +1251,21 @@ let multi_lookup t ~origin ~keys ~k =
     resend ()
 
 let broadcast t ~origin ~pred ~k =
-  let rid = start_multi t ~op:"broadcast" ~k in
+  let rid = start_multi t ~op:"broadcast" ~origin ~k in
   let me = node t origin in
-  handle_probe t me ~rid ~token:(fresh_rid t) ~clip_lo:"" ~clip_hi:None ~origin ~hops:0 ~pred
+  let send () =
+    handle_probe t me ~rid ~token:(fresh_rid t) ~clip_lo:"" ~clip_hi:None ~origin ~hops:0 ~pred
+  in
+  set_multi_resend t rid send;
+  send ()
 
 let send_task t ~src ~dst ~bytes run = Net.send t.net ~src ~dst (Message.Task { bytes; run })
+
+(* Exposed for fault tests: peers currently holding an unflushed
+   aggregation buffer (interior nodes of in-flight shower ranges). *)
+let agg_owners t =
+  Hashtbl.fold (fun _ a acc -> if a.flushed then acc else a.agg_owner :: acc) t.aggs []
+  |> List.sort_uniq compare
 
 (* ------------------------------------------------------------------ *)
 (* Synchronous wrappers                                                *)
@@ -1098,7 +1278,7 @@ let await t f =
   | Some r -> r
   | None ->
     ignore completed;
-    { items = []; hops = 0; peers_hit = 0; complete = false; latency = 0.0 }
+    { items = []; hops = 0; peers_hit = 0; complete = false; completeness = 0.0; latency = 0.0 }
 
 let insert_sync t ~origin ~key ~item_id ~payload ?version () =
   await t (fun k -> insert t ~origin ~key ~item_id ~payload ?version ~k ())
@@ -1124,4 +1304,4 @@ let multi_lookup_sync t ~origin ~keys =
   ignore (Sim.run_until t.sim (fun () -> !cell <> None));
   match !cell with
   | Some r -> r
-  | None -> ([], { items = []; hops = 0; peers_hit = 0; complete = false; latency = 0.0 })
+  | None -> ([], { items = []; hops = 0; peers_hit = 0; complete = false; completeness = 0.0; latency = 0.0 })

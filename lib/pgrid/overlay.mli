@@ -24,6 +24,12 @@ type result = {
   hops : int;  (** longest message chain involved *)
   peers_hit : int;  (** peers that executed local work *)
   complete : bool;  (** false on timeout / unreachable region *)
+  completeness : float;
+      (** coverage estimate in [0,1]: regions reached / regions
+          addressed. Showers count answered vs announced split tokens,
+          batches count acked vs sent keys, single-destination requests
+          are all ([1.0]) or nothing ([0.0]). [1.0] iff [complete] —
+          partial results are tagged instead of silently truncated. *)
   latency : float;  (** simulated ms from issue to completion *)
 }
 
@@ -79,6 +85,11 @@ val responsible : t -> string -> Node.t list
 val kill : t -> int -> unit
 val revive : t -> int -> unit
 val alive : t -> int -> bool
+
+(** Peers currently holding an unflushed in-network aggregation buffer
+    (interior nodes of in-flight shower ranges). Exposed so fault tests
+    can kill an aggregator mid-query deterministically. *)
+val agg_owners : t -> int list
 
 (** {2 Asynchronous operations} *)
 

@@ -1,0 +1,1 @@
+include Unistore_sim.Trace

@@ -16,6 +16,7 @@ type report = {
   messages : int;
   latency : float;
   complete : bool;
+  completeness : float;
   plan : Physical.t;
   strategy : strategy;
   traces : Exec.step_trace list;
@@ -57,7 +58,8 @@ let pp_table fmt r =
   hline ();
   Format.fprintf fmt "%d row(s), %d msgs, %.0f ms simulated, %s@]" (List.length r.rows)
     r.messages r.latency
-    (if r.complete then "complete" else "PARTIAL")
+    (if r.complete then "complete"
+     else Printf.sprintf "PARTIAL (%.0f%% coverage)" (100.0 *. r.completeness))
 
 let const_attrs (q : Ast.query) =
   let of_patterns ps =
@@ -140,6 +142,7 @@ let run ts stats ~replication ?metrics ?cache ?(strategy = Centralized)
       messages = result.Exec.messages;
       latency = result.Exec.latency;
       complete = result.Exec.complete;
+      completeness = result.Exec.completeness;
       plan;
       strategy;
       traces = result.Exec.traces;
@@ -178,6 +181,8 @@ let run ts stats ~replication ?metrics ?cache ?(strategy = Centralized)
       messages = List.fold_left (fun acc (_, r) -> acc + r.Exec.messages) 0 results;
       latency = List.fold_left (fun acc (_, r) -> acc +. r.Exec.latency) 0.0 results;
       complete = List.for_all (fun (_, r) -> r.Exec.complete) results;
+      completeness =
+        List.fold_left (fun acc (_, r) -> Float.min acc r.Exec.completeness) 1.0 results;
       plan;
       strategy;
       traces = List.concat_map (fun (_, r) -> r.Exec.traces) results;
@@ -242,5 +247,6 @@ let profile ?query (r : report) =
     latency_ms = r.latency;
     bytes_shipped = r.bytes_shipped;
     complete = r.complete;
+    completeness = r.completeness;
     ops;
   }

@@ -18,6 +18,10 @@ type report = {
   messages : int;
   latency : float;  (** simulated ms *)
   complete : bool;
+  completeness : float;
+      (** coverage estimate in [0,1] — the minimum over every executed
+          step and UNION branch; rendered as "PARTIAL (N%% coverage)" by
+          {!pp_table} when [complete] is false *)
   plan : Physical.t;
   strategy : strategy;
   traces : Exec.step_trace list;

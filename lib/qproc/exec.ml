@@ -26,6 +26,7 @@ type run_result = {
   messages : int;
   latency : float;
   complete : bool;
+  completeness : float;
   traces : step_trace list;
   bytes_shipped : int;
 }
@@ -80,7 +81,15 @@ let uncached_access ts ~origin (access : Cost.access) (p : Ast.pattern) =
 
 (* The result returned by a cache hit: no messages, no hops, no
    simulated time — the origin answered from memory. *)
-let cached_meta = { Tstore.hops = 0; peers_hit = 0; complete = true; latency = 0.0; messages = 0 }
+let cached_meta =
+  {
+    Tstore.hops = 0;
+    peers_hit = 0;
+    complete = true;
+    completeness = 1.0;
+    latency = 0.0;
+    messages = 0;
+  }
 
 let exec_single_access ?cache ts ~origin access (p : Ast.pattern) =
   match Option.bind cache (fun c -> Qcache.find_access c access) with
@@ -108,15 +117,17 @@ let exec_access ?cache ts ~origin ~expansions access (p : Ast.pattern) =
     | _ -> List.map (fun a -> (access_with_attr access a, pattern_with_attr p a)) attrs
   in
   let ok = ref true in
+  let cov = ref 1.0 in
   let bindings =
     List.concat_map
       (fun (acc, pat) ->
         let triples, meta = exec_single_access ?cache ts ~origin acc pat in
         if not meta.Tstore.complete then ok := false;
+        cov := Float.min !cov meta.Tstore.completeness;
         List.filter_map (Binding.match_triple pat) triples)
       runs
   in
-  (bindings, !ok)
+  (bindings, !ok, !cov)
 
 (* ------------------------------------------------------------------ *)
 (* Bind-join: one parallel round of deduplicated direct lookups        *)
@@ -166,6 +177,7 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
       keymap []
   in
   let ok = ref true in
+  let cov = ref 1.0 in
   let decode items =
     List.filter_map (fun (i : Dht.Store.item) -> Triple.deserialize i.Dht.Store.payload) items
   in
@@ -179,6 +191,7 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
       ~keys:(List.map fst keys)
       ~k:(fun (found, r) ->
         if not r.Dht.complete then ok := false;
+        cov := Float.min !cov r.Dht.completeness;
         List.iter
           (fun (key, items) ->
             let triples = decode items in
@@ -191,7 +204,10 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
           found;
         done_ := true);
     ignore (Sim.run_until dht.Dht.sim (fun () -> !done_));
-    if not !done_ then ok := false
+    if not !done_ then begin
+      ok := false;
+      cov := 0.0
+    end
   | _ ->
     (* One parallel round of per-key lookups. *)
     let outstanding = ref (List.length keys) in
@@ -199,6 +215,7 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
       (fun (key, attr) ->
         dht.Dht.lookup ~origin ~key ~k:(fun r ->
             if not r.Dht.complete then ok := false;
+            cov := Float.min !cov r.Dht.completeness;
             let triples = decode r.Dht.items in
             Hashtbl.replace resolved key triples;
             (match cache with
@@ -207,7 +224,10 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
             decr outstanding))
       keys;
     ignore (Sim.run_until dht.Dht.sim (fun () -> !outstanding <= 0));
-    if !outstanding > 0 then ok := false);
+    if !outstanding > 0 then begin
+      ok := false;
+      cov := 0.0
+    end);
   let triples_for key = Option.value ~default:[] (Hashtbl.find_opt resolved key) in
   let joined =
     List.concat_map
@@ -235,7 +255,7 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
             keys)
       left
   in
-  (joined, !ok)
+  (joined, !ok, !cov)
 
 (* ------------------------------------------------------------------ *)
 (* Joins and filters                                                   *)
@@ -321,6 +341,7 @@ let run_centralized ?cache ts ~origin (plan : Physical.t) =
   let t0 = Sim.now dht.Dht.sim in
   let m0 = dht.Dht.total_sent () in
   let complete = ref true in
+  let cov = ref 1.0 in
   let traces = ref [] in
   let expansions = plan.Physical.expansions in
   let rows =
@@ -332,16 +353,19 @@ let run_centralized ?cache ts ~origin (plan : Physical.t) =
         let produced =
           match acc with
           | None ->
-            let bindings, ok = exec_access ?cache ts ~origin ~expansions step.Physical.access step.Physical.pattern in
+            let bindings, ok, c = exec_access ?cache ts ~origin ~expansions step.Physical.access step.Physical.pattern in
             if not ok then complete := false;
+            cov := Float.min !cov c;
             bindings
           | Some left when step.Physical.bindjoin ->
-            let joined, ok = exec_bindjoin ?cache ts ~origin ~expansions step.Physical.pattern left in
+            let joined, ok, c = exec_bindjoin ?cache ts ~origin ~expansions step.Physical.pattern left in
             if not ok then complete := false;
+            cov := Float.min !cov c;
             joined
           | Some left ->
-            let right, ok = exec_access ?cache ts ~origin ~expansions step.Physical.access step.Physical.pattern in
+            let right, ok, c = exec_access ?cache ts ~origin ~expansions step.Physical.access step.Physical.pattern in
             if not ok then complete := false;
+            cov := Float.min !cov c;
             hash_join left right
         in
         let produced = apply_filters step.Physical.residual produced in
@@ -365,6 +389,7 @@ let run_centralized ?cache ts ~origin (plan : Physical.t) =
     messages = dht.Dht.total_sent () - m0;
     latency = Sim.now dht.Dht.sim -. t0;
     complete = !complete;
+    completeness = !cov;
     traces = List.rev !traces;
     bytes_shipped = 0;
   }
@@ -394,6 +419,7 @@ let run_mutant ?cache ts stats env ~origin (q : Ast.query) ~expansions =
   let t0 = Sim.now dht.Dht.sim in
   let m0 = dht.Dht.total_sent () in
   let complete = ref true in
+  let cov = ref 1.0 in
   let traces = ref [] in
   let bytes_shipped = ref 0 in
   let qgrams = Tstore.qgrams_enabled ts in
@@ -430,16 +456,19 @@ let run_mutant ?cache ts stats env ~origin (q : Ast.query) ~expansions =
     let produced =
       match rows_opt with
       | None ->
-        let bindings, ok = exec_access ?cache ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
+        let bindings, ok, c = exec_access ?cache ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
         if not ok then complete := false;
+        cov := Float.min !cov c;
         bindings
       | Some left when step.Physical.bindjoin ->
-        let joined, ok = exec_bindjoin ?cache ts ~origin:carrier ~expansions step.Physical.pattern left in
+        let joined, ok, c = exec_bindjoin ?cache ts ~origin:carrier ~expansions step.Physical.pattern left in
         if not ok then complete := false;
+        cov := Float.min !cov c;
         joined
       | Some left ->
-        let right, ok = exec_access ?cache ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
+        let right, ok, c = exec_access ?cache ts ~origin:carrier ~expansions step.Physical.access step.Physical.pattern in
         if not ok then complete := false;
+        cov := Float.min !cov c;
         hash_join left right
     in
     let produced = apply_filters step.Physical.residual produced in
@@ -532,6 +561,7 @@ let run_mutant ?cache ts stats env ~origin (q : Ast.query) ~expansions =
     messages = dht.Dht.total_sent () - m0;
     latency = Sim.now dht.Dht.sim -. t0;
     complete = !complete;
+    completeness = !cov;
     traces = List.rev !traces;
     bytes_shipped = !bytes_shipped;
   }

@@ -37,6 +37,11 @@ type run_result = {
   messages : int;
   latency : float;  (** simulated ms *)
   complete : bool;
+  completeness : float;
+      (** coverage estimate in [0,1]: the minimum coverage over every
+          executed step (regions reached / regions addressed, from
+          {!Unistore_triple.Tstore.meta}); [1.0] iff every access saw
+          every region it addressed *)
   traces : step_trace list;
   bytes_shipped : int;  (** plan/binding bytes moved between carriers *)
 }

@@ -21,12 +21,17 @@ type 'msg t = {
   sim : Sim.t;
   latency : Latency.t;
   rng : Rng.t;
-  drop : float;
+  mutable drop : float;
   size : 'msg -> int;
   kind : 'msg -> string;
   corr : 'msg -> int;
   handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
   dead : (int, unit) Hashtbl.t;
+  (* Fault-injection state (see Faults): per-peer latency multipliers for
+     "slow peer" scenarios and partition-group ids — peers in different
+     groups cannot exchange messages while the partition lasts. *)
+  slow : (int, float) Hashtbl.t;
+  partition : (int, int) Hashtbl.t;
   mutable stats : stats;
   mutable total_sent : int;
   mutable tracer : Trace.t option;
@@ -50,6 +55,8 @@ let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ 
     corr;
     handlers = Hashtbl.create 256;
     dead = Hashtbl.create 16;
+    slow = Hashtbl.create 8;
+    partition = Hashtbl.create 8;
     stats = zero_stats;
     total_sent = 0;
     tracer = None;
@@ -62,6 +69,23 @@ let set_trace t tr = t.tracer <- tr
 let trace t = t.tracer
 let set_metrics t m = t.metrics <- m
 let metrics t = t.metrics
+
+let drop t = t.drop
+
+let set_drop t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Net.set_drop: probability out of [0,1]";
+  t.drop <- p
+
+let set_slow t peer ~factor =
+  if factor < 1.0 then invalid_arg "Net.set_slow: factor < 1";
+  Hashtbl.replace t.slow peer factor
+
+let clear_slow t peer = Hashtbl.remove t.slow peer
+let slow_factor t peer = Option.value ~default:1.0 (Hashtbl.find_opt t.slow peer)
+let set_partition t peer ~group = Hashtbl.replace t.partition peer group
+let clear_partitions t = Hashtbl.reset t.partition
+let partition_group t peer = Option.value ~default:0 (Hashtbl.find_opt t.partition peer)
+let partitioned t ~src ~dst = src <> dst && partition_group t src <> partition_group t dst
 
 let invalidate_peer_caches t =
   t.peers_cache <- None;
@@ -134,12 +158,21 @@ let send t ~src ~dst msg =
     | None -> ());
     match event with Some e -> e.Trace.outcome <- outcome | None -> ()
   in
-  if t.drop > 0.0 && Rng.bool t.rng ~p:t.drop then begin
+  if partitioned t ~src ~dst then begin
+    t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+    resolve Trace.Dropped
+  end
+  else if t.drop > 0.0 && Rng.bool t.rng ~p:t.drop then begin
     t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
     resolve Trace.Dropped
   end
   else begin
-    let delay = if src = dst then 0.01 else Latency.sample t.latency ~src ~dst in
+    let delay =
+      if src = dst then 0.01
+      else
+        Latency.sample t.latency ~src ~dst
+        *. Float.max (slow_factor t src) (slow_factor t dst)
+    in
     Sim.schedule t.sim ~delay (fun () ->
         if is_alive t dst then begin
           match Hashtbl.find_opt t.handlers dst with

@@ -59,6 +59,39 @@ val set_metrics : 'msg t -> Unistore_obs.Metrics.t option -> unit
 
 val metrics : 'msg t -> Unistore_obs.Metrics.t option
 
+(** {2 Fault-injection hooks}
+
+    Used by {!Faults} to run deterministic failure scenarios; all of
+    these default to "no fault" and cost nothing when unused. *)
+
+(** Current iid message-loss probability. *)
+val drop : 'msg t -> float
+
+(** [set_drop t p] changes the loss probability mid-run (loss bursts).
+    Raises [Invalid_argument] outside [0,1]. *)
+val set_drop : 'msg t -> float -> unit
+
+(** [set_slow t peer ~factor] multiplies every latency sample on links
+    touching [peer] by [factor] (>= 1); the slower endpoint of a link
+    wins. [clear_slow] restores normal speed. *)
+val set_slow : 'msg t -> int -> factor:float -> unit
+
+val clear_slow : 'msg t -> int -> unit
+val slow_factor : 'msg t -> int -> float
+
+(** [set_partition t peer ~group] assigns [peer] to a partition group;
+    messages between different groups are dropped at send time.
+    Unassigned peers are in group [0]. [clear_partitions] heals the
+    network. *)
+val set_partition : 'msg t -> int -> group:int -> unit
+
+val clear_partitions : 'msg t -> unit
+val partition_group : 'msg t -> int -> int
+
+(** [partitioned t ~src ~dst] holds when a message from [src] to [dst]
+    would be cut by the current partition. *)
+val partitioned : 'msg t -> src:int -> dst:int -> bool
+
 (** [register t peer handler] installs [handler] for [peer] and marks it
     alive. Re-registering replaces the handler. *)
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit

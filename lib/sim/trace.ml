@@ -33,6 +33,12 @@ let record t ?(corr = -1) ~time ~src ~dst ~kind ~bytes () =
   t.count <- t.count + 1;
   e
 
+let mark t ?(corr = -1) ~time ~src ~kind () =
+  let e = record t ~corr ~time ~src ~dst:src ~kind ~bytes:0 () in
+  e.outcome <- Delivered
+
+let is_fault e = String.length e.kind >= 6 && String.equal (String.sub e.kind 0 6) "fault."
+
 let by_kind t =
   let tbl = Hashtbl.create 16 in
   List.iter

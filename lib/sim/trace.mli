@@ -45,6 +45,19 @@ val length : t -> int
 val record :
   t -> ?corr:int -> time:float -> src:int -> dst:int -> kind:string -> bytes:int -> unit -> event
 
+(** [mark t ~time ~src ~kind ()] records an out-of-band marker event — an
+    injected fault ([fault.crash], [fault.revive], …) or a protocol
+    annotation ([fault.partial]) — as a zero-byte self-event whose outcome
+    is already resolved, so in-flight accounting ignores it. [corr] links
+    the marker to a request id when it concerns one. *)
+val mark : t -> ?corr:int -> time:float -> src:int -> kind:string -> unit -> unit
+
+(** [is_fault e] holds for marker events whose kind starts with
+    ["fault."] — injected faults and partial-result annotations. They are
+    recorded outside {!Net.send}, so message-conservation checks must
+    skip them. *)
+val is_fault : event -> bool
+
 (** {2 Analysis} *)
 
 (** [by_kind t] lists [(kind, count, bytes)] sorted by count, descending. *)

@@ -10,6 +10,9 @@ type result = {
   hops : int;
   peers_hit : int;
   complete : bool;
+  completeness : float;
+      (* coverage estimate in [0,1] (regions reached / regions
+         addressed); 1.0 iff [complete] -- see {!Unistore_pgrid.Overlay} *)
   latency : float;
 }
 
@@ -49,7 +52,8 @@ let await t f =
   ignore (Sim.run_until t.sim (fun () -> !cell <> None));
   match !cell with
   | Some r -> r
-  | None -> { items = []; hops = 0; peers_hit = 0; complete = false; latency = 0.0 }
+  | None ->
+    { items = []; hops = 0; peers_hit = 0; complete = false; completeness = 0.0; latency = 0.0 }
 
 let insert_sync t ~origin ~key ~item_id ~payload =
   let cell = ref None in
@@ -76,6 +80,7 @@ let of_overlay_result (r : Overlay.result) =
     hops = r.Overlay.hops;
     peers_hit = r.Overlay.peers_hit;
     complete = r.Overlay.complete;
+    completeness = r.Overlay.completeness;
     latency = r.Overlay.latency;
   }
 
@@ -152,6 +157,7 @@ let of_chord_result (r : Chord.result) =
     hops = r.Chord.hops;
     peers_hit = r.Chord.peers_hit;
     complete = r.Chord.complete;
+    completeness = (if r.Chord.complete then 1.0 else 0.0);
     latency = r.Chord.latency;
   }
 

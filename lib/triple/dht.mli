@@ -13,6 +13,11 @@ type result = {
   hops : int;
   peers_hit : int;
   complete : bool;
+  completeness : float;
+      (** coverage estimate in [0,1] — regions reached / regions
+          addressed; [1.0] iff [complete]. P-Grid reports exact token /
+          key coverage (see {!Unistore_pgrid.Overlay.result}); the Chord
+          baseline reports all-or-nothing. *)
   latency : float;
 }
 

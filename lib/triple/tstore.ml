@@ -4,11 +4,18 @@ module Strdist = Unistore_util.Strdist
 
 type t = { dht : Dht.t; qgrams : bool }
 
-type meta = { hops : int; peers_hit : int; complete : bool; latency : float; messages : int }
+type meta = {
+  hops : int;
+  peers_hit : int;
+  complete : bool;
+  completeness : float;
+  latency : float;
+  messages : int;
+}
 
 let pp_meta fmt m =
-  Format.fprintf fmt "hops=%d peers=%d complete=%b latency=%.1fms msgs=%d" m.hops m.peers_hit
-    m.complete m.latency m.messages
+  Format.fprintf fmt "hops=%d peers=%d complete=%b coverage=%.2f latency=%.1fms msgs=%d" m.hops
+    m.peers_hit m.complete m.completeness m.latency m.messages
 
 let create ?(qgrams = true) dht = { dht; qgrams }
 let dht t = t.dht
@@ -218,7 +225,7 @@ let similar t ~origin ~attr ~pattern ~d ~k =
     let grams = Strdist.distinct_qgrams ~q:Keys.q pattern in
     let outstanding = ref (List.length grams) in
     let acc = ref [] in
-    let hops = ref 0 and peers = ref 0 and complete = ref true in
+    let hops = ref 0 and peers = ref 0 and complete = ref true and cov = ref 1.0 in
     let started = Sim.now t.dht.Dht.sim in
     List.iter
       (fun g ->
@@ -227,6 +234,7 @@ let similar t ~origin ~attr ~pattern ~d ~k =
             hops := max !hops r.Dht.hops;
             peers := !peers + r.Dht.peers_hit;
             if not r.Dht.complete then complete := false;
+            cov := Float.min !cov r.Dht.completeness;
             decr outstanding;
             if !outstanding = 0 then begin
               let triples = decode_items !acc |> List.filter matches in
@@ -237,6 +245,7 @@ let similar t ~origin ~attr ~pattern ~d ~k =
                     hops = !hops;
                     peers_hit = !peers;
                     complete = !complete;
+                    completeness = !cov;
                     latency = Sim.now t.dht.Dht.sim -. started;
                   } )
             end))
@@ -279,7 +288,7 @@ let containing t ~origin ~attr ~pattern ~k =
     in
     let outstanding = ref (List.length grams) in
     let acc = ref [] in
-    let hops = ref 0 and peers = ref 0 and complete = ref true in
+    let hops = ref 0 and peers = ref 0 and complete = ref true and cov = ref 1.0 in
     let started = Sim.now t.dht.Dht.sim in
     List.iter
       (fun g ->
@@ -288,6 +297,7 @@ let containing t ~origin ~attr ~pattern ~k =
             hops := max !hops r.Dht.hops;
             peers := !peers + r.Dht.peers_hit;
             if not r.Dht.complete then complete := false;
+            cov := Float.min !cov r.Dht.completeness;
             decr outstanding;
             if !outstanding = 0 then begin
               let triples = decode_items !acc |> List.filter matches in
@@ -298,6 +308,7 @@ let containing t ~origin ~attr ~pattern ~k =
                     hops = !hops;
                     peers_hit = !peers;
                     complete = !complete;
+                    completeness = !cov;
                     latency = Sim.now t.dht.Dht.sim -. started;
                   } )
             end))
@@ -369,10 +380,12 @@ let metered t f =
         hops = r.Dht.hops;
         peers_hit = r.Dht.peers_hit;
         complete = r.Dht.complete;
+        completeness = r.Dht.completeness;
         latency = r.Dht.latency;
         messages;
       } )
-  | None -> ([], { hops = 0; peers_hit = 0; complete = false; latency = 0.0; messages })
+  | None ->
+    ([], { hops = 0; peers_hit = 0; complete = false; completeness = 0.0; latency = 0.0; messages })
 
 let by_oid_sync t ~origin oid = metered t (fun k -> by_oid t ~origin oid ~k)
 

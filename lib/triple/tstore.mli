@@ -14,6 +14,9 @@ type meta = {
   hops : int;  (** deepest message chain *)
   peers_hit : int;  (** peers that did local work *)
   complete : bool;
+  completeness : float;
+      (** coverage estimate in [0,1]; for multi-request operations, the
+          worst (minimum) coverage across the constituent requests *)
   latency : float;  (** ms of simulated time *)
   messages : int;  (** network messages (sync wrappers only; 0 in CPS) *)
 }

@@ -226,6 +226,45 @@ let test_lint_in_flight () =
   check_has "unresolved event" "in-flight" (lint tr);
   Alcotest.(check bool) "only informational" false (D.has_errors (lint tr))
 
+(* Fault markers are recorded outside Net.send, so they must not count
+   against message-conservation — a traced deployment under fault
+   injection would otherwise always "lose" the marker events. *)
+let test_lint_conservation_skips_fault_marks () =
+  let tr = Trace.create () in
+  ev tr ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  Trace.mark tr ~time:1.5 ~src:4 ~kind:"fault.crash" ();
+  ev tr ~corr:1 ~time:2.0 ~kind:"found" ~src:1 ~dst:0 ();
+  Trace.mark tr ~time:2.5 ~src:4 ~kind:"fault.revive" ();
+  let good = Metrics.create () in
+  Metrics.incr good ~by:2 "net.sent";
+  Metrics.incr good "net.sent.lookup";
+  Metrics.incr good "net.sent.found";
+  check_clean "fault marks are not sends" (lint ~metrics:good tr)
+
+(* Fixture pair for the crash-handling check: a request eaten by a
+   crashed peer must be followed by a retry, a failover, or an explicit
+   partial-result marker. *)
+let test_lint_unhandled_crash () =
+  (* Defect: the crash eats the request and nothing follows. *)
+  let tr = Trace.create () in
+  Trace.mark tr ~time:0.5 ~src:1 ~kind:"fault.crash" ();
+  ev tr ~outcome:Trace.To_dead ~corr:7 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  check_has "crash swallowed a request" "unhandled-crash" (lint tr);
+  Alcotest.(check bool) "reported as an error" true (D.has_errors (lint tr));
+  (* Clean: the same crash, but a retry reaches a living replica. *)
+  let tr2 = Trace.create () in
+  Trace.mark tr2 ~time:0.5 ~src:1 ~kind:"fault.crash" ();
+  ev tr2 ~outcome:Trace.To_dead ~corr:7 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr2 ~corr:7 ~time:2.0 ~kind:"lookup" ~src:0 ~dst:2 ();
+  ev tr2 ~corr:7 ~time:3.0 ~kind:"found" ~src:2 ~dst:0 ();
+  check_clean "retry absolves the crash" (lint tr2);
+  (* Also clean: graceful degradation via an explicit partial marker. *)
+  let tr3 = Trace.create () in
+  Trace.mark tr3 ~time:0.5 ~src:1 ~kind:"fault.crash" ();
+  ev tr3 ~outcome:Trace.To_dead ~corr:9 ~time:1.0 ~kind:"range" ~src:0 ~dst:1 ();
+  Trace.mark tr3 ~corr:9 ~time:5.0 ~src:0 ~kind:"fault.partial" ();
+  check_clean "partial marker absolves the crash" (lint tr3)
+
 (* ------------------------------------------------------------------ *)
 (* Overlay auditor *)
 
@@ -337,6 +376,9 @@ let () =
           Alcotest.test_case "clock regression" `Quick test_lint_clock_regression;
           Alcotest.test_case "conservation vs metrics" `Quick test_lint_conservation;
           Alcotest.test_case "in-flight is informational" `Quick test_lint_in_flight;
+          Alcotest.test_case "conservation skips fault marks" `Quick
+            test_lint_conservation_skips_fault_marks;
+          Alcotest.test_case "unhandled crash" `Quick test_lint_unhandled_crash;
         ] );
       ( "audit",
         [

@@ -255,6 +255,7 @@ let test_profile_json_shape () =
       latency_ms = 12.5;
       bytes_shipped = 0;
       complete = true;
+      completeness = 1.0;
       ops =
         [
           {

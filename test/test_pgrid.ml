@@ -775,6 +775,54 @@ let prop_range_hit_size =
         + (4 * List.length targets))
 
 (* ------------------------------------------------------------------ *)
+(* Failover property *)
+
+(* Any kill set that leaves at least one member of every leaf's replica
+   group alive keeps every key resolvable from an alive origin — replica
+   failover routes around the corpses. Reviving the victims and running
+   a repair round must then leave nothing for the overlay auditor to
+   complain about. *)
+let prop_failover_any_kill_set =
+  qtest ~count:12 "random kill sets: every key resolvable via failover"
+    QCheck2.Gen.(0 -- 10_000)
+    (fun kill_seed ->
+      let config = { Config.default with replication = 3; timeout_ms = 200.0; retries = 2 } in
+      let keys = List.sort_uniq compare (random_words (Rng.create 51) 50) in
+      let ov = build_overlay ~n:24 ~config ~keys () in
+      insert_all ov keys;
+      Sim.run_all (Overlay.sim ov);
+      (* Group peers by leaf path; kill a random subset that spares one
+         member per group (and peer 0, the query origin). *)
+      let krng = Rng.create kill_seed in
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun (n : Node.t) ->
+          let cur = Option.value (Hashtbl.find_opt groups n.Node.path) ~default:[] in
+          Hashtbl.replace groups n.Node.path (n.Node.id :: cur))
+        (Overlay.nodes ov);
+      let victims =
+        Hashtbl.fold
+          (fun _ ids acc ->
+            let ids = List.sort compare ids in
+            let keep = List.nth ids (Rng.int krng (List.length ids)) in
+            List.filter (fun id -> id <> keep && id <> 0 && Rng.int krng 2 = 0) ids @ acc)
+          groups []
+      in
+      List.iter (Overlay.kill ov) victims;
+      let ok =
+        List.for_all
+          (fun k ->
+            let r = Overlay.lookup_sync ov ~origin:0 ~key:k in
+            r.Overlay.complete && r.Overlay.items <> [])
+          keys
+      in
+      List.iter (Overlay.revive ov) victims;
+      ignore (Unistore_pgrid.Repair.round ov);
+      Sim.run_all (Overlay.sim ov);
+      ok
+      && not (Unistore_analysis.Diagnostic.has_errors (Unistore_analysis.Audit.pgrid ov)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "unistore_pgrid"
@@ -831,6 +879,7 @@ let () =
           prop_multi_found_size;
           prop_range_hit_size;
         ] );
+      ("failover", [ prop_failover_any_kill_set ]);
       ( "bootstrap",
         [
           Alcotest.test_case "builds a usable trie" `Quick test_bootstrap_builds_trie;

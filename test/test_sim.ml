@@ -203,6 +203,61 @@ let test_net_counters () =
   check Alcotest.int "reset" 0 (Net.stats net).Net.sent;
   check Alcotest.int "total survives reset" 2 (Net.total_sent net)
 
+(* Fault hooks used by the fault-injection driver. *)
+
+let test_net_set_drop () =
+  let sim, net = mknet 2 in
+  let got = ref 0 in
+  Net.register net 0 (fun ~src:_ _ -> ());
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.set_drop net 1.0;
+  Net.send net ~src:0 ~dst:1 "lost";
+  Sim.run_all sim;
+  check Alcotest.int "lossy phase drops" 0 !got;
+  Net.set_drop net 0.0;
+  Net.send net ~src:0 ~dst:1 "through";
+  Sim.run_all sim;
+  check Alcotest.int "restored drop rate delivers" 1 !got;
+  Alcotest.check_raises "probability validated" (Invalid_argument "Net.set_drop: probability out of [0,1]")
+    (fun () -> Net.set_drop net 1.5)
+
+let test_net_set_slow () =
+  let sim, net = mknet 3 in
+  List.iter (fun i -> Net.register net i (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Net.set_slow net 1 ~factor:8.0;
+  let t0 = Sim.now sim in
+  Net.send net ~src:0 ~dst:1 "slowed";
+  Sim.run_all sim;
+  check (Alcotest.float 1e-9) "touching the slow peer multiplies latency" 8.0 (Sim.now sim -. t0);
+  let t1 = Sim.now sim in
+  Net.send net ~src:0 ~dst:2 "normal";
+  Sim.run_all sim;
+  check (Alcotest.float 1e-9) "other pairs unaffected" 1.0 (Sim.now sim -. t1);
+  Net.clear_slow net 1;
+  let t2 = Sim.now sim in
+  Net.send net ~src:0 ~dst:1 "recovered";
+  Sim.run_all sim;
+  check (Alcotest.float 1e-9) "latency restored" 1.0 (Sim.now sim -. t2)
+
+let test_net_partition () =
+  let sim, net = mknet 4 in
+  let inbox = ref [] in
+  List.iter (fun i -> Net.register net i (fun ~src:_ msg -> inbox := msg :: !inbox)) [ 0; 1; 2; 3 ];
+  (* 0,1 stay in the default group; 2,3 split away. *)
+  Net.set_partition net 2 ~group:1;
+  Net.set_partition net 3 ~group:1;
+  Net.send net ~src:0 ~dst:2 "cross";
+  Net.send net ~src:0 ~dst:1 "same-default";
+  Net.send net ~src:2 ~dst:3 "same-split";
+  Sim.run_all sim;
+  check
+    Alcotest.(slist string compare)
+    "only intra-group traffic flows" [ "same-default"; "same-split" ] !inbox;
+  Net.clear_partitions net;
+  Net.send net ~src:0 ~dst:2 "healed";
+  Sim.run_all sim;
+  Alcotest.(check bool) "healed partition delivers" true (List.mem "healed" !inbox)
+
 let test_net_in_flight_to_killed () =
   (* A message already in flight when the destination dies is lost. *)
   let sim, net = mknet 2 in
@@ -367,6 +422,9 @@ let () =
           Alcotest.test_case "drop" `Quick test_net_drop;
           Alcotest.test_case "counters" `Quick test_net_counters;
           Alcotest.test_case "in-flight to killed" `Quick test_net_in_flight_to_killed;
+          Alcotest.test_case "loss-burst hook" `Quick test_net_set_drop;
+          Alcotest.test_case "slow-peer hook" `Quick test_net_set_slow;
+          Alcotest.test_case "partition hook" `Quick test_net_partition;
           Alcotest.test_case "sent/delivered bytes under loss" `Quick
             test_net_bytes_split_under_loss;
           Alcotest.test_case "peer-list caches invalidated" `Quick
