@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test test-faults lint bench bench-baseline bench-bulk bench-churn bench-smoke clean
+.PHONY: all check test test-faults lint bench bench-baseline bench-bulk bench-churn bench-scale bench-smoke clean
 
 all: check
 
@@ -61,15 +61,27 @@ bench-bulk:
 bench-churn:
 	dune exec bench/main.exe -- churn
 
-# CI bench gate: the small cached-vs-uncached, batched-vs-unbatched and
-# churn runs. Fails if the caching subsystem or the bulk-operation
-# pipeline stops engaging or stops paying for itself (e.g. the batched
-# bulk load drops below a 40% message reduction), or if the retry arm
-# no longer beats the no-retry baseline under churn. The committed
-# full-size numbers live in BENCH_cache.json, BENCH_bulk.json and
-# BENCH_churn.json.
+# Regenerate the committed kernel-scale numbers (BENCH_scale.json):
+# overlay build time, resident bytes/peer and scheduler events/sec at
+# 100/1k/10k/100k peers. Run after any change to the simulation kernel
+# (lib/sim, Bitkey, the overlay hot paths) and commit the diff. Times
+# in this file are REAL seconds on the build host, so expect machine-
+# to-machine variance; the trends, not the absolutes, are the contract.
+# See EXPERIMENTS.md, section "Scale".
+bench-scale:
+	dune exec bench/main.exe -- scale
+
+# CI bench gate: the small cached-vs-uncached, batched-vs-unbatched,
+# churn and kernel-scale runs. Fails if the caching subsystem or the
+# bulk-operation pipeline stops engaging or stops paying for itself
+# (e.g. the batched bulk load drops below a 40% message reduction), if
+# the retry arm no longer beats the no-retry baseline under churn, or
+# if kernel throughput falls below the scale-smoke floor / wall-clock
+# budget (an O(n) scan creeping back onto a hot path). The committed
+# full-size numbers live in BENCH_cache.json, BENCH_bulk.json,
+# BENCH_churn.json and BENCH_scale.json.
 bench-smoke:
-	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke
+	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke
 
 clean:
 	dune clean

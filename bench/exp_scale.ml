@@ -1,0 +1,198 @@
+(* SCALE: simulator-kernel throughput sweep -> BENCH_scale.json.
+
+   The paper's evaluation argues every operator scales logarithmically
+   with network size; checking that claim needs deployments orders of
+   magnitude past the few hundred peers the old kernel could hold. This
+   experiment measures the kernel itself — no query processor, no
+   workload generator — by building a balanced P-Grid overlay at
+   10x-increasing sizes up to 100k+ peers and draining an insert+lookup
+   event storm through the scheduler, recording wall-clock, events/sec
+   and resident bytes/peer per size.
+
+   Unlike the protocol experiments, the times here are REAL seconds
+   (the whole point is host-machine throughput); simulated time only
+   shapes the event order. Regenerate with `make bench-scale`; the
+   CI gate is the `scale-smoke` variant. *)
+
+module Rng = Unistore_util.Rng
+module Bitkey = Unistore_util.Bitkey
+module Sim = Unistore_sim.Sim
+module Latency = Unistore_sim.Latency
+module Json = Unistore_obs.Json
+module Config = Unistore_pgrid.Config
+module Build = Unistore_pgrid.Build
+module Overlay = Unistore_pgrid.Overlay
+
+let out_file = "BENCH_scale.json"
+
+(* Uniform raw-byte keys probe the whole key space (split boundaries are
+   32-byte midpoints, so 8 random bytes are plenty of resolution). *)
+let key_of rng = String.init 8 (fun _ -> Char.chr (Rng.int rng 256))
+
+type point = {
+  n : int;
+  build_s : float;
+  bytes_per_peer : float;
+  depth : int;
+  ops : int;
+  completed : int;
+  events : int;
+  wall_s : float;
+  events_per_s : float;
+  mean_hops : float;
+}
+
+let live_bytes () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words * (Sys.word_size / 8)
+
+let measure_at ~n =
+  let mem0 = live_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let sim = Sim.create () in
+  let rng = Rng.create (9000 + n) in
+  let latency = Latency.create Latency.Lan ~n ~rng in
+  let ov =
+    Build.oracle sim ~latency ~rng ~config:Config.default ~n ~sample_keys:[] ~balanced:true ()
+  in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let bytes_per_peer = float_of_int (live_bytes () - mem0) /. float_of_int n in
+  let depth = Overlay.depth ov in
+  (* Event storm: issue every insert up front and drain, then the same
+     for lookups — measuring raw scheduler + delivery throughput with
+     the full routing stack in the closures. *)
+  let ops = min 20_000 (max 1_000 n) in
+  let wrng = Rng.create (77 + n) in
+  let keys = Array.init ops (fun _ -> key_of wrng) in
+  let completed = ref 0 in
+  let hops = ref 0 in
+  let ev0 = Sim.processed sim in
+  let w0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i key ->
+      let origin = Rng.int wrng n in
+      Overlay.insert ov ~origin ~key ~item_id:(string_of_int i) ~payload:"x"
+        ~k:(fun r ->
+          incr completed;
+          hops := !hops + r.Overlay.hops)
+        ())
+    keys;
+  Sim.run_all ~max_events:200_000_000 sim;
+  Array.iter
+    (fun key ->
+      let origin = Rng.int wrng n in
+      Overlay.lookup ov ~origin ~key ~k:(fun r ->
+          incr completed;
+          hops := !hops + r.Overlay.hops))
+    keys;
+  Sim.run_all ~max_events:200_000_000 sim;
+  let wall_s = Unix.gettimeofday () -. w0 in
+  let events = Sim.processed sim - ev0 in
+  {
+    n;
+    build_s;
+    bytes_per_peer;
+    depth;
+    ops = 2 * ops;
+    completed = !completed;
+    events;
+    wall_s;
+    events_per_s = (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+    mean_hops = float_of_int !hops /. float_of_int (max 1 !completed);
+  }
+
+let point_json p =
+  Json.Obj
+    [
+      ("peers", Json.Int p.n);
+      ("build_wall_s", Json.Float p.build_s);
+      ("bytes_per_peer", Json.Float p.bytes_per_peer);
+      ("trie_depth", Json.Int p.depth);
+      ("operations", Json.Int p.ops);
+      ("completed", Json.Int p.completed);
+      ("events", Json.Int p.events);
+      ("workload_wall_s", Json.Float p.wall_s);
+      ("events_per_s", Json.Float p.events_per_s);
+      ("mean_hops", Json.Float p.mean_hops);
+    ]
+
+let print_points points =
+  Common.print_table
+    [ "peers"; "build s"; "KB/peer"; "depth"; "ops"; "events"; "wall s"; "events/s"; "hops" ]
+    (List.map
+       (fun p ->
+         [
+           Common.i p.n;
+           Common.f2 p.build_s;
+           Common.f1 (p.bytes_per_peer /. 1024.0);
+           Common.i p.depth;
+           Common.i p.ops;
+           Common.i p.events;
+           Common.f2 p.wall_s;
+           Printf.sprintf "%.0f" p.events_per_s;
+           Common.f2 p.mean_hops;
+         ])
+       points)
+
+let run () =
+  Common.section "SCALE: kernel throughput sweep"
+    "operator cost scales logarithmically with network size (section 6) — checkable \
+     only if the simulator itself scales to 100k+ peers";
+  let points = List.map (fun n -> measure_at ~n) [ 100; 1_000; 10_000; 100_000 ] in
+  print_points points;
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ( "description",
+          Json.Str
+            "Simulator-kernel scale sweep: balanced P-Grid overlays at 10x-increasing \
+             sizes, an insert+lookup event storm per size. build_wall_s and \
+             workload_wall_s are REAL seconds on the build host; events_per_s is \
+             scheduler events drained per real second; bytes_per_peer is resident \
+             heap delta after construction. Regenerate with `make bench-scale`. See \
+             EXPERIMENTS.md, section 'Scale'." );
+        ( "config",
+          Json.Obj
+            [
+              ("latency_model", Json.Str "lan");
+              ("balanced", Json.Bool true);
+              ("replication", Json.Int Config.default.Config.replication);
+              ("refs_per_level", Json.Int Config.default.Config.refs_per_level);
+            ] );
+        ("sweep", Json.Arr (List.map point_json points));
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file
+
+(* CI gate: a 1k and a 10k build must stay fast and the kernel must keep
+   draining events at rate. The thresholds are ~10x slacker than the
+   committed BENCH_scale.json numbers, so only a kernel regression (an
+   O(n) scan creeping back onto a hot path), not machine noise, trips
+   them. *)
+let run_smoke () =
+  Common.section "SCALE (smoke)" "kernel throughput does not regress";
+  let budget_s = 30.0 in
+  let floor_events_per_s = 50_000.0 in
+  let t0 = Unix.gettimeofday () in
+  let points = List.map (fun n -> measure_at ~n) [ 1_000; 10_000 ] in
+  let total = Unix.gettimeofday () -. t0 in
+  print_points points;
+  List.iter
+    (fun p ->
+      if p.completed < p.ops then
+        failwith
+          (Printf.sprintf "bench-smoke: %d/%d operations completed at %d peers" p.completed
+             p.ops p.n);
+      if p.events_per_s < floor_events_per_s then
+        failwith
+          (Printf.sprintf "bench-smoke: %.0f events/s at %d peers (floor %.0f)"
+             p.events_per_s p.n floor_events_per_s))
+    points;
+  if total > budget_s then
+    failwith (Printf.sprintf "bench-smoke: scale smoke took %.1fs (budget %.0fs)" total budget_s);
+  Printf.printf "\nbench-smoke: OK (%.1fs, budget %.0fs)\n" total budget_s

@@ -29,6 +29,8 @@ let experiments =
     ("bulk-smoke", "E-bulk smoke variant (CI gate, no file output)", Exp_bulk.run_smoke);
     ("churn", "E-churn: query robustness under churn, retry vs no-retry -> BENCH_churn.json", Exp_fault.run);
     ("churn-smoke", "E-churn smoke variant (CI gate, no file output)", Exp_fault.run_smoke);
+    ("scale", "E-scale: kernel throughput sweep to 100k+ peers -> BENCH_scale.json", Exp_scale.run);
+    ("scale-smoke", "E-scale smoke variant (CI gate, no file output)", Exp_scale.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -1,59 +1,90 @@
 module SMap = Map.Make (String)
+module UMap = Map.Make (Int)
 
 type entry = { hi : string option; peer : int; mutable used : int }
 
-type t = { mutable capacity : int; mutable clock : int; mutable map : entry SMap.t }
+(* [lru] mirrors [map], keyed by the entry's last-use stamp (stamps are
+   unique, the clock never repeats), so the least-recently-used victim
+   is the minimum binding — the previous fold over the whole map made
+   every eviction O(capacity). [size] is tracked explicitly because
+   [SMap.cardinal] is O(n). *)
+type t = {
+  mutable capacity : int;
+  mutable clock : int;
+  mutable map : entry SMap.t;
+  mutable lru : string UMap.t;
+  mutable size : int;
+}
 
-let create ~capacity = { capacity = max 0 capacity; clock = 0; map = SMap.empty }
+let create ~capacity =
+  { capacity = max 0 capacity; clock = 0; map = SMap.empty; lru = UMap.empty; size = 0 }
 
 let capacity t = t.capacity
-let length t = SMap.cardinal t.map
-let clear t = t.map <- SMap.empty
+let length t = t.size
+
+let clear t =
+  t.map <- SMap.empty;
+  t.lru <- UMap.empty;
+  t.size <- 0
 
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
 let evict_one t =
-  let victim =
-    SMap.fold
-      (fun lo e acc ->
-        match acc with Some (_, u) when u <= e.used -> acc | _ -> Some (lo, e.used))
-      t.map None
-  in
-  match victim with Some (lo, _) -> t.map <- SMap.remove lo t.map | None -> ()
+  match UMap.min_binding_opt t.lru with
+  | None -> ()
+  | Some (stamp, lo) ->
+    t.lru <- UMap.remove stamp t.lru;
+    t.map <- SMap.remove lo t.map;
+    t.size <- t.size - 1
 
 let learn t ~lo ~hi ~peer =
   if t.capacity > 0 then begin
-    if not (SMap.mem lo t.map) then
-      while SMap.cardinal t.map >= t.capacity do
+    (match SMap.find_opt lo t.map with
+    | Some old -> t.lru <- UMap.remove old.used t.lru
+    | None ->
+      while t.size >= t.capacity do
         evict_one t
       done;
-    t.map <- SMap.add lo { hi; peer; used = tick t } t.map
+      t.size <- t.size + 1);
+    let stamp = tick t in
+    t.map <- SMap.add lo { hi; peer; used = stamp } t.map;
+    t.lru <- UMap.add stamp lo t.lru
   end
 
 let find t ~key =
   match SMap.find_last_opt (fun lo -> String.compare lo key <= 0) t.map with
-  | Some (_, e) when (match e.hi with None -> true | Some h -> String.compare key h < 0) ->
-    e.used <- tick t;
+  | Some (lo, e) when (match e.hi with None -> true | Some h -> String.compare key h < 0) ->
+    let stamp = tick t in
+    t.lru <- UMap.add stamp lo (UMap.remove e.used t.lru);
+    e.used <- stamp;
     Some e.peer
   | _ -> None
 
+(* Rebuild the use-order index after a bulk filter; invalidations run on
+   fault paths, not per message, so O(n log n) is fine. *)
+let rebuild_lru t =
+  t.lru <- SMap.fold (fun lo e acc -> UMap.add e.used lo acc) t.map UMap.empty;
+  t.size <- SMap.cardinal t.map
+
 let invalidate_peer t peer =
-  let before = SMap.cardinal t.map in
+  let before = t.size in
   t.map <- SMap.filter (fun _ e -> e.peer <> peer) t.map;
-  before - SMap.cardinal t.map
+  rebuild_lru t;
+  before - t.size
 
 let invalidate_where t ~f =
-  let before = SMap.cardinal t.map in
+  let before = t.size in
   t.map <- SMap.filter (fun _ e -> not (f e.peer)) t.map;
-  before - SMap.cardinal t.map
+  rebuild_lru t;
+  before - t.size
 
 let set_capacity t c =
   let c = max 0 c in
   t.capacity <- c;
   if c = 0 then clear t
   else
-    while SMap.cardinal t.map > c do
+    while t.size > c do
       evict_one t
     done

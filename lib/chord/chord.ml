@@ -89,19 +89,18 @@ type t = {
   sim : Sim.t;
   net : msg Net.t;
   config : config;
-  nodes : (int, node) Hashtbl.t;
+  nodes : node array;  (* arena indexed by peer id (ids are 0..n-1) *)
   ring_order : node array;  (* sorted by ring id *)
   pending : (int, pending) Hashtbl.t;
   mutable next_rid : int;
 }
 
 let sim t = t.sim
-let node_count t = Hashtbl.length t.nodes
+let node_count t = Array.length t.nodes
 
 let node t id =
-  match Hashtbl.find_opt t.nodes id with
-  | Some n -> n
-  | None -> invalid_arg (Printf.sprintf "Chord.node: unknown peer %d" id)
+  if id >= 0 && id < Array.length t.nodes then t.nodes.(id)
+  else invalid_arg (Printf.sprintf "Chord.node: unknown peer %d" id)
 
 let ring_id t id = (node t id).ring
 let kill t id = Net.kill t.net id
@@ -117,13 +116,16 @@ let total_sent t = Net.total_sent t.net
 (* Read-only routing-state accessors for the overlay invariant auditor
    (lib/analysis): expose what a converged ring must satisfy without
    opening up the node representation. *)
-let peers t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+let peers t = List.init (Array.length t.nodes) (fun i -> i)
 let successors t id = (node t id).successors
 let predecessor_of t id = (node t id).predecessor
 let fingers t id = Array.copy (node t id).fingers
 
 let stored_on t =
-  Hashtbl.fold (fun id n acc -> if Net.is_alive t.net id && Hashtbl.length n.store > 0 then acc + 1 else acc) t.nodes 0
+  Array.fold_left
+    (fun acc (n : node) ->
+      if Net.is_alive t.net n.id && Hashtbl.length n.store > 0 then acc + 1 else acc)
+    0 t.nodes
 
 let store_put (n : node) (item : Store.item) =
   let existing = Option.value ~default:[] (Hashtbl.find_opt n.store item.key) in
@@ -373,16 +375,14 @@ let create sim ~latency ~rng ?(drop = 0.0) ~config ~n () =
       sim;
       net;
       config;
-      nodes = Hashtbl.create n;
+      nodes = nodes_arr;
       ring_order = by_ring;
       pending = Hashtbl.create 64;
       next_rid = 0;
     }
   in
   Array.iter
-    (fun nd ->
-      Hashtbl.replace t.nodes nd.id nd;
-      Net.register net nd.id (fun ~src msg -> dispatch t nd ~src msg))
+    (fun nd -> Net.register net nd.id (fun ~src msg -> dispatch t nd ~src msg))
     nodes_arr;
   t
 

@@ -33,14 +33,27 @@ let stats_round ov ~sample =
       List.iter
         (fun s -> ignore (Statcache.merge nd.stat_cache s))
         (sample ~now:(Sim.now sim) nd);
-      let others = List.filter (fun (o : Node.t) -> o.id <> nd.id) alive in
       let fanout = (Overlay.config ov).Config.gossip_fanout in
       let summaries = Statcache.summaries nd.stat_cache in
-      if summaries <> [] then
-        List.iter
-          (fun (target : Node.t) ->
-            Net.send net ~src:nd.id ~dst:target.id (Message.StatGossip { summaries }))
-          (Rng.sample rng fanout others))
+      let n_alive = Net.alive_count net in
+      if summaries <> [] && n_alive > 1 then begin
+        (* Draw [fanout] distinct targets (excluding self) by rejection
+           sampling over the O(1) alive set — the old materialize-and-
+           reservoir-sample pattern cost O(alive) per peer, making each
+           gossip round quadratic. Fanout is a small constant, so the
+           expected number of redraws is O(fanout). *)
+        let fanout = min fanout (n_alive - 1) in
+        let chosen = ref [] in
+        let count = ref 0 in
+        while !count < fanout do
+          match Net.random_alive net rng with
+          | Some target when target <> nd.id && not (List.mem target !chosen) ->
+            chosen := target :: !chosen;
+            incr count;
+            Net.send net ~src:nd.id ~dst:target (Message.StatGossip { summaries })
+          | _ -> ()
+        done
+      end)
     alive
 
 let replica_versions ov ~key ~item_id =

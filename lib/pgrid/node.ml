@@ -12,6 +12,9 @@ type t = {
   mutable write_epoch : int;
   shortcuts : Shortcuts.t;
   stat_cache : Statcache.t;
+  (* [region] derived from path/splits, cached because [covers] runs on
+     every routing decision; invalidated by [set_path]/[extend]. *)
+  mutable region_cache : (string * string option) option;
 }
 
 let create id =
@@ -25,6 +28,7 @@ let create id =
     write_epoch = 0;
     shortcuts = Shortcuts.create ~capacity:128;
     stat_cache = Statcache.create ();
+    region_cache = None;
   }
 
 let bump_epoch t = t.write_epoch <- t.write_epoch + 1
@@ -36,7 +40,8 @@ let set_path t path splits =
   Array.blit t.refs 0 refs 0 (min (Array.length t.refs) len);
   t.path <- path;
   t.splits <- splits;
-  t.refs <- refs
+  t.refs <- refs;
+  t.region_cache <- None
 
 let extend t ~bit ~boundary =
   set_path t (Bitkey.append_bit t.path bit) (Array.append t.splits [| boundary |])
@@ -63,7 +68,7 @@ let add_replica t peer =
 
 let remove_replica t peer = t.replicas <- List.filter (fun p -> p <> peer) t.replicas
 
-let region t =
+let compute_region t =
   let lo = ref "" and hi = ref None in
   Array.iteri
     (fun l boundary ->
@@ -76,6 +81,14 @@ let region t =
         | _ -> hi := Some boundary)
     t.splits;
   (!lo, !hi)
+
+let region t =
+  match t.region_cache with
+  | Some r -> r
+  | None ->
+    let r = compute_region t in
+    t.region_cache <- Some r;
+    r
 
 let covers t key =
   let lo, hi = region t in

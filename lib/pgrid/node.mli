@@ -28,6 +28,10 @@ type t = {
           {!Config.t.shortcut_capacity} at registration) *)
   stat_cache : Unistore_cache.Statcache.t;
       (** gossiped per-attribute statistics summaries *)
+  mutable region_cache : (string * string option) option;
+      (** memoized {!region} — [covers] runs on every routing decision;
+          invalidated by {!set_path}/{!extend}. Code that mutates
+          [path]/[splits] directly (tests) must reset it to [None]. *)
 }
 
 val create : int -> t

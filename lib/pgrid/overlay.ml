@@ -86,7 +86,15 @@ type t = {
   net : Message.t Net.t;
   config : Config.t;
   rng : Rng.t;
-  nodes : (int, Node.t) Hashtbl.t;
+  (* Node arena: dense array indexed by peer id (ids are minted 0..n-1
+     by Build/join). Replaces an id-keyed hashtable so the dispatcher
+     and routing helpers resolve peers with one array probe. *)
+  mutable node_arena : Node.t option array;
+  mutable n_nodes : int;
+  mutable max_node_id : int;
+  (* Ascending node list, rebuilt lazily: gossip rounds walk it once per
+     round; the arena only grows, so adds just invalidate. *)
+  mutable nodes_cache : Node.t list option;
   pending : (int, pending) Hashtbl.t;
   aggs : (int, agg) Hashtbl.t;  (* child token -> its parent's buffer *)
   mutable next_rid : int;
@@ -102,7 +110,10 @@ let create sim ~latency ~rng ?(drop = 0.0) ~config () =
     net;
     config;
     rng;
-    nodes = Hashtbl.create 256;
+    node_arena = [||];
+    n_nodes = 0;
+    max_node_id = -1;
+    nodes_cache = None;
     pending = Hashtbl.create 64;
     aggs = Hashtbl.create 64;
     next_rid = 0;
@@ -129,18 +140,35 @@ let hop_buckets = Histogram.linear ~lo:0.0 ~step:1.0 ~n:33
 let retry_buckets = Histogram.linear ~lo:0.0 ~step:1.0 ~n:9
 let fanout_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048. ]
 
+let find_node t id =
+  if id >= 0 && id <= t.max_node_id then t.node_arena.(id) else None
+
 let node t id =
-  match Hashtbl.find_opt t.nodes id with
+  match find_node t id with
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Overlay.node: unknown peer %d" id)
 
 let nodes t =
-  Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
-  |> List.sort (fun a b -> compare a.Node.id b.Node.id)
+  match t.nodes_cache with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    for id = t.max_node_id downto 0 do
+      match t.node_arena.(id) with Some n -> l := n :: !l | None -> ()
+    done;
+    t.nodes_cache <- Some !l;
+    !l
 
-let node_count t = Hashtbl.length t.nodes
+let node_count t = t.n_nodes
 
-let depth t = Hashtbl.fold (fun _ n acc -> max acc (Bitkey.length n.Node.path)) t.nodes 0
+let depth t =
+  let d = ref 0 in
+  for id = 0 to t.max_node_id do
+    match t.node_arena.(id) with
+    | Some n -> d := max !d (Bitkey.length n.Node.path)
+    | None -> ()
+  done;
+  !d
 
 let responsible t key = List.filter (fun n -> Node.covers n key) (nodes t)
 
@@ -317,7 +345,7 @@ let arm_single_timeout t rid =
                drop that peer's entries so the retry routes greedily. *)
             (match p.via with
             | Some peer ->
-              (match Hashtbl.find_opt t.nodes p.origin with
+              (match find_node t p.origin with
               | Some me ->
                 let n = Shortcuts.invalidate_peer me.Node.shortcuts peer in
                 if n > 0 then cache_incr t ~by:n "cache.shortcut.invalidate"
@@ -456,7 +484,7 @@ let flush_agg t (a : agg) ~reason =
 let failover_candidates t refs =
   List.concat_map
     (fun r ->
-      match Hashtbl.find_opt t.nodes r with
+      match find_node t r with
       | Some nd -> List.filter (Net.is_alive t.net) nd.Node.replicas
       | None -> [])
     refs
@@ -663,7 +691,7 @@ let split_batch (me : Node.t) ~key_of xs =
 let deliver_batch_ack t rid ~from ~found ~region ~hops =
   match Hashtbl.find_opt t.pending rid with
   | Some (Pbatch p) ->
-    (match Hashtbl.find_opt t.nodes p.origin with
+    (match find_node t p.origin with
     | Some me -> learn_shortcut t me ~peer:from ~region
     | None -> ());
     p.regions <- p.regions + 1;
@@ -1067,10 +1095,21 @@ let dispatch t (me : Node.t) ~src msg =
   | (SyncDigest _ | SyncRequest _ | SyncItems _) as m -> handle_sync t ~me ~src m
 
 let add_node t id =
-  if Hashtbl.mem t.nodes id then invalid_arg "Overlay.add_node: duplicate id";
+  if id < 0 then invalid_arg "Overlay.add_node: negative id";
+  if find_node t id <> None then invalid_arg "Overlay.add_node: duplicate id";
+  let cap = Array.length t.node_arena in
+  if id >= cap then begin
+    let ncap = max (id + 1) (max 64 (cap * 2)) in
+    let arena = Array.make ncap None in
+    Array.blit t.node_arena 0 arena 0 cap;
+    t.node_arena <- arena
+  end;
   let n = Node.create id in
   Shortcuts.set_capacity n.Node.shortcuts t.config.shortcut_capacity;
-  Hashtbl.replace t.nodes id n;
+  t.node_arena.(id) <- Some n;
+  t.n_nodes <- t.n_nodes + 1;
+  if id > t.max_node_id then t.max_node_id <- id;
+  t.nodes_cache <- None;
   Net.register t.net id (fun ~src msg -> dispatch t n ~src msg);
   n
 

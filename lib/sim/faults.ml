@@ -42,6 +42,10 @@ type 'msg t = {
   net : 'msg Net.t;
   spec : spec;
   rng : Rng.t;
+  (* Protected-peer membership as a hash set: [eligible] runs once per
+     churn wave over every alive peer, and a [List.mem] there made each
+     wave O(alive × protected). *)
+  protected_set : (int, unit) Hashtbl.t;
   mutable rev_log : event list;
   mutable crashes : int;
   mutable revives : int;
@@ -54,7 +58,11 @@ let note t ~kind ~peer ~detail =
   match Net.metrics t.net with Some m -> Metrics.incr m kind | None -> ()
 
 let eligible t =
-  List.filter (fun p -> not (List.mem p t.spec.protected)) (Net.alive_peers t.net)
+  (* [Net.alive_peers] is sorted ascending; keeping that order (rather
+     than sampling the O(1) alive array directly) preserves the exact
+     RNG-draw sequence of earlier kernels, so fault replays stay
+     byte-identical. *)
+  List.filter (fun p -> not (Hashtbl.mem t.protected_set p)) (Net.alive_peers t.net)
 
 (* Victim sets are sorted after sampling so that the kill order (and with
    it every downstream trace event) is a function of the RNG state alone,
@@ -138,7 +146,12 @@ let schedule_partition t (p : partition) =
             (List.concat p.groups)))
 
 let inject net spec =
-  let t = { net; spec; rng = Rng.create spec.seed; rev_log = []; crashes = 0; revives = 0 } in
+  let protected_set = Hashtbl.create (max 8 (List.length spec.protected)) in
+  List.iter (fun p -> Hashtbl.replace protected_set p ()) spec.protected;
+  let t =
+    { net; spec; rng = Rng.create spec.seed; protected_set; rev_log = []; crashes = 0;
+      revives = 0 }
+  in
   Option.iter (schedule_churn t) spec.churn;
   List.iter (schedule_burst t) spec.bursts;
   Option.iter (schedule_slow t) spec.slow;

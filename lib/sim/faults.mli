@@ -9,10 +9,12 @@
 
     Determinism contract: all randomness flows from [spec.seed] through a
     private {!Unistore_util.Rng} stream, victim sets are canonicalized
-    before use, and faults fire at scheduled simulation times — so the
-    same spec against the same deployment yields a byte-identical
-    {!render_log} and, with a tracer attached, an identical message
-    trace. Every injected action is recorded via {!Trace.mark} with a
+    before use (candidates are drawn from {!Net.alive_peers}, which is
+    sorted ascending by id regardless of the arena's internal swap-remove
+    layout, so the sampled kill sets cannot leak physical memory order),
+    and faults fire at scheduled simulation times — so the same spec
+    against the same deployment yields a byte-identical {!render_log}
+    and, with a tracer attached, an identical message trace. Every injected action is recorded via {!Trace.mark} with a
     [fault.*] kind so trace linting can correlate failures with protocol
     anomalies. *)
 

@@ -17,6 +17,14 @@ let pp_stats fmt s =
   Format.fprintf fmt "sent=%d delivered=%d dropped=%d to_dead=%d bytes_sent=%d bytes_delivered=%d"
     s.sent s.delivered s.dropped s.to_dead s.bytes_sent s.bytes_delivered
 
+(* Peer state is an arena: dense arrays indexed by peer id. The
+   simulator mints ids 0..n-1, so id-keyed hashtables only added hashing
+   and pointer chasing to every delivery. [handlers]/[slowf]/[pgroup]/
+   [alive_pos] grow together; [alive_ids.(0..alive_len-1)] plus the
+   inverse index [alive_pos] form a swap-remove set giving O(1) kill,
+   revive, liveness test and uniform sampling over alive peers.
+   Invariant: [alive_pos.(id)] is the position of [id] in [alive_ids],
+   or -1 when [id] is dead or unregistered. *)
 type 'msg t = {
   sim : Sim.t;
   latency : Latency.t;
@@ -25,20 +33,30 @@ type 'msg t = {
   size : 'msg -> int;
   kind : 'msg -> string;
   corr : 'msg -> int;
-  handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
-  dead : (int, unit) Hashtbl.t;
-  (* Fault-injection state (see Faults): per-peer latency multipliers for
-     "slow peer" scenarios and partition-group ids — peers in different
-     groups cannot exchange messages while the partition lasts. *)
-  slow : (int, float) Hashtbl.t;
-  partition : (int, int) Hashtbl.t;
-  mutable stats : stats;
+  mutable handlers : (src:int -> 'msg -> unit) option array;
+  mutable slowf : float array;  (* latency multiplier; 1.0 = normal *)
+  mutable pgroup : int array;  (* partition group; 0 = default *)
+  mutable max_id : int;  (* highest registered id, -1 if none *)
+  mutable n_registered : int;
+  mutable alive_ids : int array;
+  mutable alive_pos : int array;
+  mutable alive_len : int;
+  mutable n_slow : int;  (* peers with slowf <> 1.0; 0 short-circuits sends *)
+  mutable n_partitioned : int;  (* peers with pgroup <> 0; 0 short-circuits *)
+  (* Aggregate counters are mutable ints rather than a reallocated
+     record: several are bumped on every send and every delivery. *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable to_dead : int;
+  mutable bytes_sent : int;
+  mutable bytes_delivered : int;
   mutable total_sent : int;
   mutable tracer : Trace.t option;
   mutable metrics : Metrics.t option;
   (* Sorted peer lists are rebuilt lazily and cached: gossip rounds call
-     [peers]/[alive_peers] once per peer per round, and a fold+sort over
-     the handler table each time dominates their cost. *)
+     [peers]/[alive_peers] once per peer per round, and rebuilding per
+     call would dominate their cost. *)
   mutable peers_cache : int list option;
   mutable alive_cache : int list option;
 }
@@ -53,17 +71,46 @@ let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ 
     size;
     kind;
     corr;
-    handlers = Hashtbl.create 256;
-    dead = Hashtbl.create 16;
-    slow = Hashtbl.create 8;
-    partition = Hashtbl.create 8;
-    stats = zero_stats;
+    handlers = [||];
+    slowf = [||];
+    pgroup = [||];
+    max_id = -1;
+    n_registered = 0;
+    alive_ids = [||];
+    alive_pos = [||];
+    alive_len = 0;
+    n_slow = 0;
+    n_partitioned = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    to_dead = 0;
+    bytes_sent = 0;
+    bytes_delivered = 0;
     total_sent = 0;
     tracer = None;
     metrics = None;
     peers_cache = None;
     alive_cache = None;
   }
+
+let ensure_capacity t id =
+  let cap = Array.length t.handlers in
+  if id >= cap then begin
+    let ncap = max (id + 1) (max 64 (cap * 2)) in
+    let nhandlers = Array.make ncap None in
+    let nslowf = Array.make ncap 1.0 in
+    let npgroup = Array.make ncap 0 in
+    let npos = Array.make ncap (-1) in
+    Array.blit t.handlers 0 nhandlers 0 cap;
+    Array.blit t.slowf 0 nslowf 0 cap;
+    Array.blit t.pgroup 0 npgroup 0 cap;
+    Array.blit t.alive_pos 0 npos 0 cap;
+    t.handlers <- nhandlers;
+    t.slowf <- nslowf;
+    t.pgroup <- npgroup;
+    t.alive_pos <- npos
+  end
 
 let set_trace t tr = t.tracer <- tr
 let trace t = t.tracer
@@ -76,58 +123,139 @@ let set_drop t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Net.set_drop: probability out of [0,1]";
   t.drop <- p
 
+let in_arena t peer = peer >= 0 && peer <= t.max_id
+
 let set_slow t peer ~factor =
   if factor < 1.0 then invalid_arg "Net.set_slow: factor < 1";
-  Hashtbl.replace t.slow peer factor
+  if peer >= 0 then begin
+    ensure_capacity t peer;
+    if t.slowf.(peer) = 1.0 && factor <> 1.0 then t.n_slow <- t.n_slow + 1;
+    t.slowf.(peer) <- factor
+  end
 
-let clear_slow t peer = Hashtbl.remove t.slow peer
-let slow_factor t peer = Option.value ~default:1.0 (Hashtbl.find_opt t.slow peer)
-let set_partition t peer ~group = Hashtbl.replace t.partition peer group
-let clear_partitions t = Hashtbl.reset t.partition
-let partition_group t peer = Option.value ~default:0 (Hashtbl.find_opt t.partition peer)
-let partitioned t ~src ~dst = src <> dst && partition_group t src <> partition_group t dst
+let clear_slow t peer =
+  if peer >= 0 && peer < Array.length t.slowf && t.slowf.(peer) <> 1.0 then begin
+    t.n_slow <- t.n_slow - 1;
+    t.slowf.(peer) <- 1.0
+  end
+
+let slow_factor t peer =
+  if peer >= 0 && peer < Array.length t.slowf then t.slowf.(peer) else 1.0
+
+let set_partition t peer ~group =
+  if peer >= 0 then begin
+    ensure_capacity t peer;
+    let old = t.pgroup.(peer) in
+    if old = 0 && group <> 0 then t.n_partitioned <- t.n_partitioned + 1
+    else if old <> 0 && group = 0 then t.n_partitioned <- t.n_partitioned - 1;
+    t.pgroup.(peer) <- group
+  end
+
+let clear_partitions t =
+  if t.n_partitioned > 0 then Array.fill t.pgroup 0 (Array.length t.pgroup) 0;
+  t.n_partitioned <- 0
+
+let partition_group t peer =
+  if peer >= 0 && peer < Array.length t.pgroup then t.pgroup.(peer) else 0
+
+let partitioned t ~src ~dst =
+  src <> dst && partition_group t src <> partition_group t dst
 
 let invalidate_peer_caches t =
   t.peers_cache <- None;
   t.alive_cache <- None
 
+(* Alive-set maintenance: O(1) add/remove by swapping with the tail. *)
+let alive_add t peer =
+  if t.alive_pos.(peer) < 0 then begin
+    if t.alive_len >= Array.length t.alive_ids then begin
+      let ncap = max 64 (2 * max t.alive_len 1) in
+      let nids = Array.make ncap 0 in
+      Array.blit t.alive_ids 0 nids 0 t.alive_len;
+      t.alive_ids <- nids
+    end;
+    t.alive_ids.(t.alive_len) <- peer;
+    t.alive_pos.(peer) <- t.alive_len;
+    t.alive_len <- t.alive_len + 1
+  end
+
+let alive_remove t peer =
+  let pos = t.alive_pos.(peer) in
+  if pos >= 0 then begin
+    let last = t.alive_len - 1 in
+    let moved = t.alive_ids.(last) in
+    t.alive_ids.(pos) <- moved;
+    t.alive_pos.(moved) <- pos;
+    t.alive_pos.(peer) <- -1;
+    t.alive_len <- last
+  end
+
+let registered t peer =
+  in_arena t peer && (match t.handlers.(peer) with Some _ -> true | None -> false)
+
 let register t peer handler =
-  Hashtbl.replace t.handlers peer handler;
-  Hashtbl.remove t.dead peer;
+  if peer < 0 then invalid_arg "Net.register: negative peer id";
+  ensure_capacity t peer;
+  (match t.handlers.(peer) with None -> t.n_registered <- t.n_registered + 1 | Some _ -> ());
+  t.handlers.(peer) <- Some handler;
+  if peer > t.max_id then t.max_id <- peer;
+  alive_add t peer;
   invalidate_peer_caches t
 
-let is_alive t peer = Hashtbl.mem t.handlers peer && not (Hashtbl.mem t.dead peer)
+let is_alive t peer = peer >= 0 && peer < Array.length t.alive_pos && t.alive_pos.(peer) >= 0
 
 let kill t peer =
-  if Hashtbl.mem t.handlers peer then begin
-    Hashtbl.replace t.dead peer ();
+  if registered t peer then begin
+    alive_remove t peer;
     t.alive_cache <- None
   end
 
 let revive t peer =
-  Hashtbl.remove t.dead peer;
-  t.alive_cache <- None
+  if registered t peer then begin
+    alive_add t peer;
+    t.alive_cache <- None
+  end
+
+let registered_count t = t.n_registered
+let alive_count t = t.alive_len
+
+let random_alive t rng =
+  if t.alive_len = 0 then None else Some t.alive_ids.(Rng.int rng t.alive_len)
+
+let iter_alive t f =
+  (* Ascending id order — not [alive_ids] order, which swap-removal
+     scrambles — so callers that consume RNG draws per peer stay
+     deterministic across kernel versions. *)
+  for id = 0 to t.max_id do
+    if t.alive_pos.(id) >= 0 then f id
+  done
 
 let peers t =
   match t.peers_cache with
   | Some l -> l
   | None ->
-    let l = Hashtbl.fold (fun id _ acc -> id :: acc) t.handlers [] |> List.sort compare in
-    t.peers_cache <- Some l;
-    l
+    let l = ref [] in
+    for id = t.max_id downto 0 do
+      match t.handlers.(id) with Some _ -> l := id :: !l | None -> ()
+    done;
+    t.peers_cache <- Some !l;
+    !l
 
 let alive_peers t =
   match t.alive_cache with
   | Some l -> l
   | None ->
-    let l = List.filter (is_alive t) (peers t) in
-    t.alive_cache <- Some l;
-    l
+    let l = ref [] in
+    for id = t.max_id downto 0 do
+      if t.alive_pos.(id) >= 0 then l := id :: !l
+    done;
+    t.alive_cache <- Some !l;
+    !l
 
 let send t ~src ~dst msg =
   let nbytes = t.size msg in
-  t.stats <-
-    { t.stats with sent = t.stats.sent + 1; bytes_sent = t.stats.bytes_sent + nbytes };
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + nbytes;
   t.total_sent <- t.total_sent + 1;
   (match t.metrics with
   | Some m ->
@@ -158,45 +286,58 @@ let send t ~src ~dst msg =
     | None -> ());
     match event with Some e -> e.Trace.outcome <- outcome | None -> ()
   in
-  if partitioned t ~src ~dst then begin
-    t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+  if t.n_partitioned > 0 && partitioned t ~src ~dst then begin
+    t.dropped <- t.dropped + 1;
     resolve Trace.Dropped
   end
   else if t.drop > 0.0 && Rng.bool t.rng ~p:t.drop then begin
-    t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+    t.dropped <- t.dropped + 1;
     resolve Trace.Dropped
   end
   else begin
     let delay =
       if src = dst then 0.01
-      else
-        Latency.sample t.latency ~src ~dst
-        *. Float.max (slow_factor t src) (slow_factor t dst)
+      else begin
+        let l = Latency.sample t.latency ~src ~dst in
+        if t.n_slow = 0 then l else l *. Float.max (slow_factor t src) (slow_factor t dst)
+      end
     in
     Sim.schedule t.sim ~delay (fun () ->
         if is_alive t dst then begin
-          match Hashtbl.find_opt t.handlers dst with
+          match t.handlers.(dst) with
           | Some handler ->
-            t.stats <-
-              {
-                t.stats with
-                delivered = t.stats.delivered + 1;
-                bytes_delivered = t.stats.bytes_delivered + nbytes;
-              };
+            t.delivered <- t.delivered + 1;
+            t.bytes_delivered <- t.bytes_delivered + nbytes;
             resolve Trace.Delivered;
             handler ~src msg
           | None ->
-            t.stats <- { t.stats with to_dead = t.stats.to_dead + 1 };
+            t.to_dead <- t.to_dead + 1;
             resolve Trace.To_dead
         end
         else begin
-          t.stats <- { t.stats with to_dead = t.stats.to_dead + 1 };
+          t.to_dead <- t.to_dead + 1;
           resolve Trace.To_dead
         end)
   end
 
-let stats t = t.stats
-let reset_stats t = t.stats <- zero_stats
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    to_dead = t.to_dead;
+    bytes_sent = t.bytes_sent;
+    bytes_delivered = t.bytes_delivered;
+  }
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.to_dead <- 0;
+  t.bytes_sent <- 0;
+  t.bytes_delivered <- 0
+
 let total_sent t = t.total_sent
 let sim t = t.sim
 let latency t = t.latency

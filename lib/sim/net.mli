@@ -7,7 +7,22 @@
     measure message/bandwidth cost — either through the always-on
     aggregate {!stats}, or per message kind via an attached
     {!Unistore_obs.Metrics} registry ({!set_metrics}), or per message
-    via an attached {!Trace} ({!set_trace}). *)
+    via an attached {!Trace} ({!set_trace}).
+
+    {b Representation.} Peer state lives in an arena of dense arrays
+    indexed by peer id (ids are expected to be minted densely from 0).
+    Liveness is a swap-remove set ([alive_ids] plus an inverse position
+    index), so {!is_alive}, {!kill}, {!revive}, {!alive_count} and
+    {!random_alive} are all O(1); nothing on the per-message path scans
+    the peer population. Fault state (slow factors, partition groups)
+    is held in the same arena and guarded by population counters, so a
+    fault-free network pays no per-send cost for the fault machinery.
+
+    {b Determinism.} The network owns a private RNG stream (split from
+    the creation [rng]) used only for drop decisions, so loss does not
+    perturb protocol-level RNG streams. Given the same seed and the
+    same sequence of calls, every delivery schedule — and hence the
+    whole event trace — is reproducible bit-for-bit. *)
 
 type 'msg t
 
@@ -100,13 +115,15 @@ val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
     self-send is delivered after a negligible local delay. *)
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
+(** O(1): an array-index probe into the alive set. *)
 val is_alive : 'msg t -> int -> bool
 
 (** [kill t peer] makes [peer] unreachable; in-flight messages to it are
-    lost at delivery time. *)
+    lost at delivery time. O(1) (swap-remove from the alive set). *)
 val kill : 'msg t -> int -> unit
 
-(** [revive t peer] brings a killed peer back (same handler and state). *)
+(** [revive t peer] brings a killed peer back (same handler and state).
+    O(1). *)
 val revive : 'msg t -> int -> unit
 
 (** Registered peer ids, sorted. The list is cached and invalidated on
@@ -115,6 +132,24 @@ val revive : 'msg t -> int -> unit
 val peers : 'msg t -> int list
 
 val alive_peers : 'msg t -> int list
+
+(** Number of registered peers (alive or dead). O(1). *)
+val registered_count : 'msg t -> int
+
+(** Number of currently alive peers. O(1). *)
+val alive_count : 'msg t -> int
+
+(** [random_alive t rng] draws a uniformly random alive peer using
+    [rng], or [None] if none are alive. O(1) — this replaces the
+    materialize-filter-sample pattern that made gossip fanout selection
+    O(n) per peer. Draws exactly one value from [rng] when the alive
+    set is non-empty. *)
+val random_alive : 'msg t -> Unistore_util.Rng.t -> int option
+
+(** [iter_alive t f] applies [f] to every alive peer in ascending id
+    order (a stable order, independent of the kill/revive history, so
+    per-peer RNG consumption stays deterministic). O(max peer id). *)
+val iter_alive : 'msg t -> (int -> unit) -> unit
 val stats : 'msg t -> stats
 val reset_stats : 'msg t -> unit
 

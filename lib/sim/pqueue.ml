@@ -1,68 +1,121 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Implicit 4-ary min-heap over three parallel arrays: priorities in an
+   unboxed float array, insertion sequence numbers in an int array, and
+   payloads in a plain array. Compared to an array of entry records this
+   costs zero allocation per push (the old layout allocated a 4-word
+   record per event), keeps sift loops walking flat unboxed memory, and
+   the 4-way branching halves the tree depth — the event scheduler is
+   the single hottest structure in the simulator, every message delivery
+   passes through it twice.
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int; mutable next_seq : int }
+   Ordering is the total order (priority, seq): seq breaks ties FIFO, so
+   the pop sequence is unique and the event loop deterministic. *)
 
-let create () = { arr = [||]; len = 0; next_seq = 0 }
+type 'a t = {
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { prios = [||]; seqs = [||]; vals = [||]; len = 0; next_seq = 0 }
 
 let is_empty t = t.len = 0
 let size t = t.len
 
-let entry_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+(* (prio, seq) at [i] sorts strictly before (p, s)? *)
+let lt t i p s =
+  let pi = Array.unsafe_get t.prios i in
+  pi < p || (pi = p && Array.unsafe_get t.seqs i < s)
 
-let grow t e =
-  let cap = Array.length t.arr in
+let grow t v =
+  let cap = Array.length t.prios in
   if t.len = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let narr = Array.make ncap e in
-    Array.blit t.arr 0 narr 0 t.len;
-    t.arr <- narr
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nprios = Array.make ncap 0.0 in
+    let nseqs = Array.make ncap 0 in
+    (* [v] (the value being pushed) seeds the fresh slots; it is live
+       anyway, so the aliases retain nothing extra. *)
+    let nvals = Array.make ncap v in
+    Array.blit t.prios 0 nprios 0 t.len;
+    Array.blit t.seqs 0 nseqs 0 t.len;
+    Array.blit t.vals 0 nvals 0 t.len;
+    t.prios <- nprios;
+    t.seqs <- nseqs;
+    t.vals <- nvals
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if entry_lt t.arr.(i) t.arr.(parent) then begin
-      let tmp = t.arr.(i) in
-      t.arr.(i) <- t.arr.(parent);
-      t.arr.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && entry_lt t.arr.(l) t.arr.(!smallest) then smallest := l;
-  if r < t.len && entry_lt t.arr.(r) t.arr.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.arr.(i) in
-    t.arr.(i) <- t.arr.(!smallest);
-    t.arr.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let set t i p s v =
+  Array.unsafe_set t.prios i p;
+  Array.unsafe_set t.seqs i s;
+  Array.unsafe_set t.vals i v
 
 let push t ~priority x =
-  let e = { prio = priority; seq = t.next_seq; value = x } in
-  t.next_seq <- t.next_seq + 1;
-  grow t e;
-  t.arr.(t.len) <- e;
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  grow t x;
+  (* Sift the hole up from the end; the element is only written once its
+     final slot is known. *)
+  let i = ref t.len in
   t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    if lt t parent priority s then continue := false
+    else begin
+      set t !i
+        (Array.unsafe_get t.prios parent)
+        (Array.unsafe_get t.seqs parent)
+        (Array.unsafe_get t.vals parent);
+      i := parent
+    end
+  done;
+  set t !i priority s x
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.arr.(0) <- t.arr.(t.len);
-      sift_down t 0
+    let top_p = t.prios.(0) and top_v = t.vals.(0) in
+    let n = t.len - 1 in
+    t.len <- n;
+    if n > 0 then begin
+      (* Sift the displaced last element down from the root. *)
+      let p = t.prios.(n) and s = t.seqs.(n) and v = t.vals.(n) in
+      (* Re-point the freed slot at [v] (still live in the heap) so the
+         popped payload is not retained through a stale alias. *)
+      t.vals.(n) <- v;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let c0 = (4 * !i) + 1 in
+        if c0 >= n then continue := false
+        else begin
+          (* Smallest of up to four children. *)
+          let best = ref c0 in
+          let last = min (c0 + 3) (n - 1) in
+          for c = c0 + 1 to last do
+            if lt t c (Array.unsafe_get t.prios !best) (Array.unsafe_get t.seqs !best) then
+              best := c
+          done;
+          if lt t !best p s then begin
+            set t !i
+              (Array.unsafe_get t.prios !best)
+              (Array.unsafe_get t.seqs !best)
+              (Array.unsafe_get t.vals !best);
+            i := !best
+          end
+          else continue := false
+        end
+      done;
+      set t !i p s v
     end;
-    Some (top.prio, top.value)
+    Some (top_p, top_v)
   end
 
-let peek_priority t = if t.len = 0 then None else Some t.arr.(0).prio
+let peek_priority t = if t.len = 0 then None else Some t.prios.(0)
 
 let clear t =
-  t.arr <- [||];
+  t.prios <- [||];
+  t.seqs <- [||];
+  t.vals <- [||];
   t.len <- 0

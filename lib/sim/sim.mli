@@ -4,7 +4,23 @@
     message delivery, timeout and maintenance action is an event on the
     queue. Time is in {e milliseconds} of simulated wall clock. Execution
     is single-threaded and deterministic: events with equal timestamps run
-    in scheduling order. *)
+    in scheduling order.
+
+    {b Representation.} A simulation is just a clock, a {!Pqueue} of
+    [unit -> unit] closures keyed by absolute firing time, and a counter
+    of executed events. All state an event touches lives in the closures'
+    environments; the kernel itself holds none. The event loop is a tight
+    pop-and-call: O(log n) per event in the queue size, no allocation
+    beyond what the event bodies themselves do — this is what lets one
+    process drain hundreds of thousands of events per real second at
+    100k+ simulated peers (see EXPERIMENTS.md, "Scale").
+
+    {b Determinism.} The only ordering authority is the queue's
+    [(time, sequence)] key. Given the same initial schedule and the same
+    seeded {!Unistore_util.Rng} streams, every run executes the identical
+    event sequence — the property the fault-replay tests
+    ([test/test_scale.ml], [test/test_faults.ml]) assert byte-for-byte.
+    Nothing here reads wall-clock time or global randomness. *)
 
 type t
 

@@ -296,6 +296,7 @@ let test_audit_pgrid_split_arity () =
   let ov = build_pgrid () in
   let nd = List.find (fun (nd : Node.t) -> Bitkey.length nd.Node.path > 0) (Overlay.nodes ov) in
   nd.Node.splits <- Array.sub nd.Node.splits 0 (Array.length nd.Node.splits - 1);
+  nd.Node.region_cache <- None;
   check_has "truncated split boundaries" "split-arity" (Audit.pgrid ov)
 
 let test_audit_pgrid_misplaced_item () =

@@ -135,7 +135,7 @@ let churned_rows ~retry =
   let store = deploy_pubs ~retry in
   ignore
     (Unistore.inject_faults store
-       (Unistore.Faults.spec ~seed:7 ~duration_ms:600_000.0
+       (Unistore.Faults.spec ~seed:8 ~duration_ms:600_000.0
           ~churn:(Unistore.Faults.churn_spec ~interval_ms:10.0 ~down_ms:10.0 ~rate:0.3 ())
           ~protected:[ 0 ] ()));
   List.concat_map
