@@ -1,0 +1,9 @@
+open Unistore_util
+let () =
+  let k = Bitkey.of_string (String.make 64 '1') in
+  Printf.printf "cpl(k,k) len64 = %d (want 64)\n" (Bitkey.common_prefix_len k k);
+  Printf.printf "is_prefix k k = %b (want true)\n" (Bitkey.is_prefix ~prefix:k k);
+  let k0 = Bitkey.of_string (String.make 64 '0') in
+  Printf.printf "cpl(k0,k0) = %d (want 64)\n" (Bitkey.common_prefix_len k0 k0);
+  let a = Bitkey.of_string (String.make 63 '0') in
+  Printf.printf "cpl(a63,a63) = %d (want 63)\n" (Bitkey.common_prefix_len a a)
