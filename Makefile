@@ -1,13 +1,14 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test test-faults lint bench bench-baseline bench-bulk bench-churn bench-scale bench-smoke clean
+.PHONY: all check test test-faults lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-smoke clean
 
 all: check
 
-# Tier-1 gate: full build plus the alcotest/qcheck suites under test/.
+# Tier-1 gate: full build, the alcotest/qcheck suites under test/, and
+# the source-level determinism linter.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && dune build @srclint
 
 test: check
 
@@ -34,6 +35,17 @@ lint:
 	  "SELECT ?v WHERE { (?a,'age',?v) FILTER ?v > 10 AND ?v < 5 }" >/dev/null 2>&1; \
 	then echo "FAIL: --check accepted an unsatisfiable query"; exit 1; \
 	else echo "--check rejects unsatisfiable queries: OK"; fi
+
+# Source-level determinism & protocol-exhaustiveness linter over the
+# repo's own OCaml tree (lib/ and bin/): unordered hashtable iteration
+# escaping unsorted, ambient randomness/time outside lib/util/rng.ml,
+# polymorphic compare at float/Bitkey positions, and protocol-table
+# drift (message constructors vs size/kind/dispatch arms and pending-op
+# registrations). Suppress a deliberate finding with
+# `(* srclint: allow <rule> *)` on the offending line. See DESIGN.md,
+# section "The determinism contract".
+lint-src:
+	dune build @srclint
 
 # Full experiment harness (all E1..E14 + microbenchmarks).
 bench:

@@ -1,0 +1,44 @@
+(* srclint — the source-level determinism & protocol-exhaustiveness
+   linter (see Unistore_analysis.Srclint). Exit status 1 when any
+   non-suppressed error-severity finding remains, so it gates CI. *)
+
+module Srclint = Unistore_analysis.Srclint
+
+let usage = "srclint [--rule RULE]... [PATH]...\nLint OCaml sources (default paths: lib bin)."
+
+let () =
+  let paths = ref [] in
+  let rules = ref [] in
+  let add_rule name =
+    match Srclint.rule_of_name name with
+    | Some r -> rules := r :: !rules
+    | None ->
+      prerr_endline
+        ("srclint: unknown rule '" ^ name ^ "'; known: "
+        ^ String.concat ", " (List.map Srclint.rule_name Srclint.all_rules));
+      exit 2
+  in
+  let spec =
+    [
+      ( "--rule",
+        Arg.String add_rule,
+        "RULE Enable only this rule (repeatable; default: all rules)" );
+      ( "--list-rules",
+        Arg.Unit
+          (fun () ->
+            List.iter (fun r -> print_endline (Srclint.rule_name r)) Srclint.all_rules;
+            exit 0),
+        " List the rule names and exit" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  if missing <> [] then begin
+    prerr_endline ("srclint: no such path: " ^ String.concat ", " missing);
+    exit 2
+  end;
+  let rules = match !rules with [] -> Srclint.all_rules | rs -> List.rev rs in
+  let reports = Srclint.lint_paths ~rules paths in
+  print_string (Srclint.render_reports reports);
+  exit (if Srclint.has_errors reports then 1 else 0)

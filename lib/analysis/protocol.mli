@@ -1,0 +1,43 @@
+(** The static protocol table: one entry per message constructor of each
+    overlay substrate, with its on-wire/trace kind string and its role in
+    the request/reply discipline.
+
+    This table is the ground truth two analyzers share:
+
+    - {!Srclint}'s [protocol-exhaustiveness] rule cross-checks it against
+      the sources — every constructor of [Unistore_pgrid.Message.t]
+      (resp. [Unistore_chord.Chord.msg]) must appear here with the kind
+      string the [kind] function actually returns, must be matched
+      explicitly (not via a wildcard) by [size], [kind] and the overlay's
+      [dispatch], and every {!Request} entry's pending-table [ops] labels
+      must occur in the handler source, next to a retry/timeout arming.
+    - {!Tracelint}'s [unknown-kind] check walks a recorded trace and
+      flags any event kind this table does not know about (fault-injection
+      markers, [fault.*], excepted) — so a message added to the code
+      without a table entry is caught at runtime too, keeping the static
+      table honest in the other direction. *)
+
+type role =
+  | Request of { ops : string list }
+      (** a message that can hit a dead peer and must therefore be
+          registered in the origin's pending table under one of these
+          [op] labels, with a timeout armed (labels are a P-Grid-ism;
+          [ops = []] skips the label check, as for Chord whose pending
+          entries are unlabeled) *)
+  | Reply  (** resolves a pending request at the origin *)
+  | Background
+      (** fire-and-forget traffic: replication, anti-entropy, gossip,
+          shipped closures — losing one is repaired epidemically, not
+          by a per-request timeout *)
+
+type entry = { constructor : string; kind : string; role : role }
+
+val pgrid : entry list
+val chord : entry list
+
+val kinds : entry list -> string list
+(** The kind strings of [entries], sorted. *)
+
+val known_kinds : string list
+(** All kind strings of both substrates, sorted; the vocabulary
+    {!Tracelint} accepts in traces (plus [fault.*] markers). *)

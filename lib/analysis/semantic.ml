@@ -3,6 +3,7 @@ module Algebra = Unistore_vql.Algebra
 module Parser = Unistore_vql.Parser
 module Loc = Unistore_vql.Loc
 module Value = Unistore_triple.Value
+module Det = Unistore_util.Det
 module D = Diagnostic
 
 (* ------------------------------------------------------------------ *)
@@ -215,28 +216,27 @@ let check_types catalog q =
                "attribute '%s' does not occur in the data" a)
     in
     let clash_ds =
-      Hashtbl.fold
-        (fun v evs acc ->
-          let inter =
-            List.fold_left
-              (fun acc e -> List.filter (fun t -> List.mem t e.possible) acc)
-              all_types evs
-          in
-          if inter = [] then begin
-            let evs = List.rev evs in
-            let span = List.fold_left (fun s e -> Loc.union s e.espan) Loc.dummy evs in
-            let detail =
-              String.concat "; "
-                (List.map
-                   (fun e -> Format.asprintf "%s implies %a" e.source pp_types e.possible)
-                   evs)
-            in
-            D.makef ~span ~severity:D.Error ~code:"type-clash"
-              "variable ?%s has contradictory types: %s" v detail
-            :: acc
-          end
-          else acc)
-        ev []
+      Det.sorted_bindings ~cmp:String.compare ev
+      |> List.filter_map (fun (v, evs) ->
+             let inter =
+               List.fold_left
+                 (fun acc e -> List.filter (fun t -> List.mem t e.possible) acc)
+                 all_types evs
+             in
+             if inter = [] then begin
+               let evs = List.rev evs in
+               let span = List.fold_left (fun s e -> Loc.union s e.espan) Loc.dummy evs in
+               let detail =
+                 String.concat "; "
+                   (List.map
+                      (fun e -> Format.asprintf "%s implies %a" e.source pp_types e.possible)
+                      evs)
+               in
+               Some
+                 (D.makef ~span ~severity:D.Error ~code:"type-clash"
+                    "variable ?%s has contradictory types: %s" v detail)
+             end
+             else None)
     in
     unknown_ds @ clash_ds
   end

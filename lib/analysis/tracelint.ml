@@ -1,9 +1,15 @@
 module Trace = Unistore_sim.Trace
 module Metrics = Unistore_obs.Metrics
+module Det = Unistore_util.Det
 module D = Diagnostic
 
 type reply_rule = { reply : string; requests : string list; multi : bool }
-type rules = { request_kinds : string list; replies : reply_rule list }
+
+type rules = {
+  request_kinds : string list;
+  replies : reply_rule list;
+  known_kinds : string list;
+}
 
 let pgrid_rules =
   {
@@ -14,6 +20,7 @@ let pgrid_rules =
         { reply = "found"; requests = [ "lookup" ]; multi = false };
         { reply = "range-hit"; requests = [ "range"; "probe" ]; multi = true };
       ];
+    known_kinds = Protocol.kinds Protocol.pgrid;
   }
 
 let chord_rules =
@@ -25,6 +32,7 @@ let chord_rules =
         { reply = "got"; requests = [ "get" ]; multi = false };
         { reply = "bcast-hit"; requests = [ "bcast" ]; multi = true };
       ];
+    known_kinds = Protocol.kinds Protocol.chord;
   }
 
 (* Per-correlation-id census: corr -> kind -> event count. *)
@@ -49,7 +57,9 @@ let census events =
 
 let check_replies rules tbl =
   let ds = ref [] in
-  Hashtbl.iter
+  (* Diagnostics carry no spans, so report order IS corr order: iterate
+     the census sorted, not in hash-bucket order. *)
+  Det.sorted_iter ~cmp:Int.compare
     (fun corr kinds ->
       List.iter
         (fun r ->
@@ -138,7 +148,8 @@ let check_conservation metrics (tr : Trace.t) =
         Hashtbl.replace tbl e.Trace.kind (c + 1, b + e.Trace.bytes))
       sends;
     Hashtbl.fold (fun k (c, b) acc -> (k, c, b) :: acc) tbl []
-    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+    |> List.sort (fun (ka, a, _) (kb, b, _) ->
+           match Int.compare b a with 0 -> String.compare ka kb | c -> c)
   in
   List.iter
     (fun (kind, count, _bytes) ->
@@ -221,6 +232,25 @@ let check_fault_response rules events =
     List.rev !ds
   end
 
+(* Any trace kind outside the static {!Protocol} table (modulo [fault.*]
+   markers) means a message was added to the code without a table entry —
+   the runtime side of keeping the table honest. *)
+let check_known_kinds rules events =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if (not (Trace.is_fault e)) && not (List.mem e.Trace.kind rules.known_kinds) then begin
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen e.Trace.kind) in
+        Hashtbl.replace seen e.Trace.kind n
+      end)
+    events;
+  Det.sorted_bindings ~cmp:String.compare seen
+  |> List.map (fun (kind, n) ->
+         D.makef ~severity:D.Error ~code:"unknown-kind"
+           ~hint:"add the message to the Protocol table (lib/analysis/protocol.ml) so srclint \
+                  and tracelint both know it"
+           "%d event(s) of kind '%s' not in the static protocol table" n kind)
+
 let check_in_flight (tr : Trace.t) =
   let _, _, _, in_flight = Trace.outcome_counts tr in
   if in_flight = 0 then []
@@ -239,6 +269,7 @@ let lint ?(allowed_revisits = 0) ?metrics ~rules tr =
     @ check_loops ~allowed_revisits rules events
     @ conservation
     @ check_fault_response rules events
+    @ check_known_kinds rules events
     @ check_in_flight tr)
 
 (* ------------------------------------------------------------------ *)

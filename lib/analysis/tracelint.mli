@@ -23,6 +23,9 @@
       ([To_dead] outcome with a matching [fault.crash] marker) must be
       followed by a same-correlation retry, reply, or [fault.partial]
       marker ("unhandled-crash", error);
+    - protocol vocabulary: every non-[fault.*] event kind must appear in
+      the static {!Protocol} table ("unknown-kind", error) — the runtime
+      counterpart of {!Srclint}'s source-side cross-check;
     - unresolved events at the end of a settled run ("in-flight",
       info).
 
@@ -41,6 +44,9 @@ type reply_rule = {
 type rules = {
   request_kinds : string list;  (** kinds subject to the routing-loop check *)
   replies : reply_rule list;
+  known_kinds : string list;
+      (** the full trace vocabulary, from {!Protocol.kinds}; any other
+          non-[fault.*] kind is an ["unknown-kind"] error *)
 }
 
 val pgrid_rules : rules

@@ -1,3 +1,5 @@
+module Det = Unistore_util.Det
+
 type 'a entry = { value : 'a; mutable used : int }
 
 type 'a t = {
@@ -26,11 +28,17 @@ let find t key =
 let peek t key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl key)
 
 let evict_one t =
+  (* Minimum under the total order (used, key): the use-counter is
+     normally unique, but entries injected at the same tick (e.g. after
+     a clock reset) tie, and the key breaks the tie so the victim never
+     depends on hash-bucket order. *)
+  let better k e = function
+    | Some (k', u') when u' < e.used || (u' = e.used && String.compare k' k <= 0) ->
+      Some (k', u')
+    | _ -> Some (k, e.used)
+  in
   let victim =
-    Hashtbl.fold
-      (fun k e acc ->
-        match acc with Some (_, u) when u <= e.used -> acc | _ -> Some (k, e.used))
-      t.tbl None
+    Hashtbl.fold (fun k e acc -> better k e acc) t.tbl None (* srclint: allow unordered-iteration *)
   in
   match victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
 
@@ -59,8 +67,9 @@ let set_capacity t c =
 let filter_inplace t f =
   let doomed =
     Hashtbl.fold (fun k e acc -> if f k e.value then acc else k :: acc) t.tbl []
+    |> List.sort String.compare
   in
   List.iter (Hashtbl.remove t.tbl) doomed;
   List.length doomed
 
-let iter t f = Hashtbl.iter (fun k e -> f k e.value) t.tbl
+let iter t f = Det.sorted_iter ~cmp:String.compare (fun k e -> f k e.value) t.tbl

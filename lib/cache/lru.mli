@@ -4,7 +4,8 @@
     hashtable of at most [capacity] entries where every read refreshes
     the entry's recency and inserting past capacity evicts the stalest
     entry. Recency is a monotone use-counter, not wall time, so the
-    structure needs no clock and eviction order is deterministic.
+    structure needs no clock and eviction order is deterministic; equal
+    use-counters are broken by key, never by hash-bucket order.
 
     Capacity 0 disables the structure entirely ([put] is a no-op), which
     is how experiments run their "caching off" arm without touching call
@@ -37,5 +38,7 @@ val remove : 'a t -> string -> unit
     returns the number removed. *)
 val filter_inplace : 'a t -> (string -> 'a -> bool) -> int
 
+(** [iter t f] visits entries in key order (deterministic, not recency
+    order). *)
 val iter : 'a t -> (string -> 'a -> unit) -> unit
 val clear : 'a t -> unit

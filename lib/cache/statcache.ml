@@ -1,3 +1,5 @@
+module Det = Unistore_util.Det
+
 type summary = {
   attr : string;
   region_lo : string;
@@ -41,11 +43,18 @@ let merge t s =
     Hashtbl.replace t.tbl key s;
     true
 
-let summaries t = Hashtbl.fold (fun _ s acc -> s :: acc) t.tbl []
+(* Summaries travel inside [StatGossip] messages: a deterministic (attr,
+   region) order keeps gossip payloads byte-stable across runs. *)
+let key_compare (a1, r1) (a2, r2) =
+  match String.compare a1 a2 with 0 -> String.compare r1 r2 | c -> c
+
+let summaries t = List.map snd (Det.sorted_bindings ~cmp:key_compare t.tbl)
 
 let aggregate t ~now ~half_life_ms =
   let accs : (string, agg ref) Hashtbl.t = Hashtbl.create 16 in
-  Hashtbl.iter
+  (* Weights are floats, so the merge below is order-sensitive float
+     addition: iterate in key order, not hash-bucket order. *)
+  Det.sorted_iter ~cmp:key_compare
     (fun _ s ->
       let weight =
         if half_life_ms <= 0.0 then 1.0
@@ -81,6 +90,9 @@ let aggregate t ~now ~half_life_ms =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let attr_version t a =
-  Hashtbl.fold (fun (attr, _) s acc -> if String.equal attr a then acc + s.version else acc) t.tbl 0
+  (* Commutative integer sum: iteration order cannot matter. *)
+  Hashtbl.fold (fun (attr, _) s acc -> if String.equal attr a then acc + s.version else acc) t.tbl 0 (* srclint: allow unordered-iteration *)
 
-let total_version t = Hashtbl.fold (fun _ s acc -> acc + s.version) t.tbl 0
+let total_version t =
+  (* Commutative integer sum: iteration order cannot matter. *)
+  Hashtbl.fold (fun _ s acc -> acc + s.version) t.tbl 0 (* srclint: allow unordered-iteration *)

@@ -61,7 +61,8 @@ val clear : t -> unit
     region) is already present. Returns [true] if the cache changed. *)
 val merge : t -> summary -> bool
 
-(** All held summaries, in unspecified order. *)
+(** All held summaries, sorted by (attribute, region) — a deterministic
+    order, because these travel verbatim inside [StatGossip] payloads. *)
 val summaries : t -> summary list
 
 (** [aggregate t ~now ~half_life_ms] folds the held summaries into

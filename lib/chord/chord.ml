@@ -315,7 +315,15 @@ and handle_bcast t (me : node) ~rid ~limit ~origin ~hops ~pred =
       1 + fan rest
   in
   let forwards = fan fingers in
-  let items = Hashtbl.fold (fun _ is acc -> List.rev_append (List.filter pred is) acc) me.store [] in
+  (* The hit list travels inside a [BcastHit] message: sort it out of
+     hash-bucket order so the reply payload is deterministic. *)
+  let items =
+    Hashtbl.fold (fun _ is acc -> List.rev_append (List.filter pred is) acc) me.store []
+    |> List.sort (fun (a : Store.item) (b : Store.item) ->
+           match String.compare a.key b.key with
+           | 0 -> String.compare a.item_id b.item_id
+           | c -> c)
+  in
   if me.id = origin then deliver_hit t rid ~items ~forwards ~hops
   else Net.send t.net ~src:me.id ~dst:origin (BcastHit { rid; items; forwards; hops })
 

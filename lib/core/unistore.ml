@@ -449,6 +449,8 @@ module Diagnostic = Unistore_analysis.Diagnostic
 module Semantic = Unistore_analysis.Semantic
 module Tracelint = Unistore_analysis.Tracelint
 module Audit = Unistore_analysis.Audit
+module Srclint = Unistore_analysis.Srclint
+module Protocol = Unistore_analysis.Protocol
 
 let check t src =
   Semantic.analyze_string ~catalog:(Engine.catalog_of_stats t.stats) src
@@ -493,3 +495,8 @@ let lint_trace t ?allowed_revisits ?(against_metrics = false) tr =
   in
   let metrics = if against_metrics then Some t.metrics else None in
   Tracelint.lint ?allowed_revisits ?metrics ~rules tr
+
+(* Source-level determinism/protocol linting of this repo's own tree
+   (the [srclint] binary is the CI entry point; this is the library
+   one, for tools that already hold a facade). *)
+let lint_src ?rules paths = Srclint.lint_paths ?rules paths

@@ -294,6 +294,8 @@ module Diagnostic = Unistore_analysis.Diagnostic
 module Semantic = Unistore_analysis.Semantic
 module Tracelint = Unistore_analysis.Tracelint
 module Audit = Unistore_analysis.Audit
+module Srclint = Unistore_analysis.Srclint
+module Protocol = Unistore_analysis.Protocol
 
 (** [check t src] parses [src] and runs the semantic analyzer against
     the catalog derived from {!stats} (call {!refresh_stats} first for
@@ -313,6 +315,12 @@ val audit : t -> Diagnostic.t list
 val lint_trace :
   t -> ?allowed_revisits:int -> ?against_metrics:bool -> Unistore_sim.Trace.t ->
   Diagnostic.t list
+
+(** [lint_src paths] runs the source-level determinism and
+    protocol-exhaustiveness linter ({!Srclint}) over the given files or
+    directories — the library entry behind [make lint-src] and the
+    [unistore-srclint] binary. *)
+val lint_src : ?rules:Srclint.rule list -> string list -> Srclint.report list
 
 (** {2 Read-staleness linting}
 

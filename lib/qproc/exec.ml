@@ -6,6 +6,7 @@ module Tstore = Unistore_triple.Tstore
 module Dht = Unistore_triple.Dht
 module Keys = Unistore_triple.Keys
 module Sim = Unistore_sim.Sim
+module Det = Unistore_util.Det
 
 type step_trace = {
   step : Physical.step;
@@ -166,15 +167,16 @@ let exec_bindjoin ?cache ts ~origin ~expansions (p : Ast.pattern) left =
     left;
   (* Answer what the per-key cache can; look up only the rest. *)
   let resolved : (string, Triple.t list) Hashtbl.t = Hashtbl.create (Hashtbl.length keymap) in
+  (* The residual keys become lookup messages: visit them in key order
+     so the wire traffic does not depend on hash-bucket order. *)
   let keys =
-    Hashtbl.fold
-      (fun key attr acc ->
-        match Option.bind cache (fun c -> Qcache.find_bind c ~attr ~key) with
-        | Some triples ->
-          Hashtbl.replace resolved key triples;
-          acc
-        | None -> (key, attr) :: acc)
-      keymap []
+    Det.sorted_bindings ~cmp:String.compare keymap
+    |> List.filter_map (fun (key, attr) ->
+           match Option.bind cache (fun c -> Qcache.find_bind c ~attr ~key) with
+           | Some triples ->
+             Hashtbl.replace resolved key triples;
+             None
+           | None -> Some (key, attr))
   in
   let ok = ref true in
   let cov = ref 1.0 in

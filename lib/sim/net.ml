@@ -129,12 +129,14 @@ let set_slow t peer ~factor =
   if factor < 1.0 then invalid_arg "Net.set_slow: factor < 1";
   if peer >= 0 then begin
     ensure_capacity t peer;
-    if t.slowf.(peer) = 1.0 && factor <> 1.0 then t.n_slow <- t.n_slow + 1;
+    if Float.equal t.slowf.(peer) 1.0 && not (Float.equal factor 1.0) then
+      t.n_slow <- t.n_slow + 1;
     t.slowf.(peer) <- factor
   end
 
 let clear_slow t peer =
-  if peer >= 0 && peer < Array.length t.slowf && t.slowf.(peer) <> 1.0 then begin
+  if peer >= 0 && peer < Array.length t.slowf && not (Float.equal t.slowf.(peer) 1.0)
+  then begin
     t.n_slow <- t.n_slow - 1;
     t.slowf.(peer) <- 1.0
   end

@@ -61,3 +61,4 @@ let of_node ~now (nd : Node.t) =
       }
       :: l)
     per_attr []
+  |> List.sort (fun (a : Statcache.summary) b -> String.compare a.attr b.attr)

@@ -89,7 +89,7 @@ let exponential t ~mean =
 let gaussian t =
   let rec nonzero () =
     let u = float t in
-    if u = 0.0 then nonzero () else u
+    if Float.equal u 0.0 then nonzero () else u
   in
   let u1 = nonzero () and u2 = float t in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

@@ -83,12 +83,12 @@ let linear_fit xys =
     let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 xys in
     let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 xys in
     let denom = (n *. sxx) -. (sx *. sx) in
-    let slope = if denom = 0.0 then 0.0 else ((n *. sxy) -. (sx *. sy)) /. denom in
+    let slope = if Float.equal denom 0.0 then 0.0 else ((n *. sxy) -. (sx *. sy)) /. denom in
     let intercept = (sy -. (slope *. sx)) /. n in
     let ymean = sy /. n in
     let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ymean) ** 2.0)) 0.0 xys in
     let ss_res =
       List.fold_left (fun a (x, y) -> a +. ((y -. (slope *. x) -. intercept) ** 2.0)) 0.0 xys
     in
-    let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+    let r2 = if Float.equal ss_tot 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
     (slope, intercept, r2)

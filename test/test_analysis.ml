@@ -220,6 +220,20 @@ let test_lint_conservation () =
   Metrics.incr bad "net.sent.ack";
   check_has "counts disagree" "conservation" (lint ~metrics:bad tr)
 
+(* A trace kind the static protocol table does not know about means a
+   message was added to the code without a table entry. *)
+let test_lint_unknown_kind () =
+  let tr = Trace.create () in
+  ev tr ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr ~corr:1 ~time:2.0 ~kind:"turbo-lookup" ~src:1 ~dst:0 ();
+  check_has "kind missing from Protocol table" "unknown-kind" (lint tr);
+  (* Fault markers are injection bookkeeping, not protocol messages. *)
+  let tr2 = Trace.create () in
+  ev tr2 ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
+  ev tr2 ~corr:1 ~time:1.5 ~kind:"found" ~src:1 ~dst:0 ();
+  ev tr2 ~corr:(-1) ~time:2.0 ~kind:"fault.crash" ~src:1 ~dst:1 ();
+  Alcotest.(check bool) "fault markers exempt" false (has "unknown-kind" (lint tr2))
+
 let test_lint_in_flight () =
   let tr = Trace.create () in
   ev tr ~outcome:Trace.In_flight ~corr:1 ~time:1.0 ~kind:"lookup" ~src:0 ~dst:1 ();
@@ -377,6 +391,7 @@ let () =
           Alcotest.test_case "clock regression" `Quick test_lint_clock_regression;
           Alcotest.test_case "conservation vs metrics" `Quick test_lint_conservation;
           Alcotest.test_case "in-flight is informational" `Quick test_lint_in_flight;
+          Alcotest.test_case "unknown kind vs protocol table" `Quick test_lint_unknown_kind;
           Alcotest.test_case "conservation skips fault marks" `Quick
             test_lint_conservation_skips_fault_marks;
           Alcotest.test_case "unhandled crash" `Quick test_lint_unhandled_crash;

@@ -72,6 +72,31 @@ let test_lru_filter_and_shrink () =
   Lru.set_capacity t 0;
   check Alcotest.int "capacity 0 empties" 0 (Lru.length t)
 
+(* Eviction and traversal must be deterministic functions of the
+   operation history, never of hash-bucket order: [iter] visits in key
+   order, and the eviction victim is the (used, key) minimum — the key
+   breaks recency ties. *)
+let test_lru_deterministic_order () =
+  let keys = [ "delta"; "alpha"; "echo"; "charlie"; "bravo" ] in
+  let t = Lru.create ~capacity:8 in
+  List.iter (fun k -> Lru.put t k 0) keys;
+  let visited = ref [] in
+  Lru.iter t (fun k _ -> visited := k :: !visited);
+  check
+    Alcotest.(list string)
+    "iter in key order"
+    (List.sort String.compare keys)
+    (List.rev !visited);
+  (* Same entries inserted in a different order, then evicted down to
+     one: the survivor set depends only on recency, and with recency
+     forced equal by re-insertion the traversal stays key-ordered. *)
+  let u = Lru.create ~capacity:8 in
+  List.iter (fun k -> Lru.put u k 0) (List.rev keys);
+  let visited_u = ref [] in
+  Lru.iter u (fun k _ -> visited_u := k :: !visited_u);
+  check Alcotest.(list string) "iter order is insertion-independent" (List.rev !visited)
+    (List.rev !visited_u)
+
 (* ------------------------------------------------------------------ *)
 (* Shortcuts *)
 
@@ -604,6 +629,7 @@ let () =
           Alcotest.test_case "peek does not refresh" `Quick test_lru_peek_no_refresh;
           Alcotest.test_case "capacity 0 disables" `Quick test_lru_capacity_zero_disabled;
           Alcotest.test_case "filter and shrink" `Quick test_lru_filter_and_shrink;
+          Alcotest.test_case "deterministic traversal" `Quick test_lru_deterministic_order;
         ] );
       ( "shortcuts",
         [
