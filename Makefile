@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test test-faults lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-smoke clean
+.PHONY: all check test test-faults lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-traffic bench-smoke clean
 
 all: check
 
@@ -83,17 +83,30 @@ bench-churn:
 bench-scale:
 	dune exec bench/main.exe -- scale
 
+# Regenerate the committed heavy-traffic numbers (BENCH_traffic.json):
+# the adaptive-balancing arm vs the static no_balancing baseline under
+# an open-loop Zipf hot-spot flash crowd with per-peer service queues.
+# Run after any change to the traffic engine (lib/traffic), the
+# queueing model (lib/sim), the EWMA deadline / hot-replication /
+# serving-set logic (lib/pgrid) or the balance defaults, and commit
+# the diff. See EXPERIMENTS.md, section "Traffic".
+bench-traffic:
+	dune exec bench/main.exe -- traffic
+
 # CI bench gate: the small cached-vs-uncached, batched-vs-unbatched,
-# churn and kernel-scale runs. Fails if the caching subsystem or the
+# churn, kernel-scale and heavy-traffic runs. Fails if the caching subsystem or the
 # bulk-operation pipeline stops engaging or stops paying for itself
 # (e.g. the batched bulk load drops below a 40% message reduction), if
 # the retry arm no longer beats the no-retry baseline under churn, or
 # if kernel throughput falls below the scale-smoke floor / wall-clock
-# budget (an O(n) scan creeping back onto a hot path). The committed
-# full-size numbers live in BENCH_cache.json, BENCH_bulk.json,
-# BENCH_churn.json and BENCH_scale.json.
+# budget (an O(n) scan creeping back onto a hot path), or if adaptive
+# load balancing stops strictly beating the static baseline on served
+# throughput and p99 under a flash crowd (traffic-smoke also asserts
+# both arms return byte-identical answers). The committed full-size
+# numbers live in BENCH_cache.json, BENCH_bulk.json, BENCH_churn.json,
+# BENCH_scale.json and BENCH_traffic.json.
 bench-smoke:
-	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke
+	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke traffic-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,186 @@
+(* E-traffic: serving a hot-spot flash crowd, adaptive load balancing
+   vs the static baseline.
+
+   Two arms over identical deployments (same build seed, same data) and
+   a byte-identical open-loop request stream (the traffic engine seeds
+   its own arrival/key/origin RNG streams independently of the system):
+
+   - adaptive: per-peer EWMA retry deadlines, hot-region boost
+     replication driven by the gossiped load signal, and serving-set
+     rotation at the origins;
+   - no_balancing: fixed deadlines, no boosts, single-target shortcuts.
+
+   Every peer runs the service-queue model (fixed per-message service
+   time), so a Zipf-clustered flash crowd piles a backlog onto the hot
+   region's owner. The baseline still answers everything — open loop
+   plus drain — but late: its served throughput drops and its p99
+   inflates with queueing delay. The adaptive arm spreads the hot
+   region over boost replicas and keeps serving inside the window.
+
+   Both arms must return byte-identical per-request results (the
+   digest covers every measured request's key, completeness and item
+   ids/versions): balancing may only change performance, never answers.
+
+   Writes BENCH_traffic.json; `make bench-smoke` runs the small variant
+   (traffic-smoke) without touching the file. *)
+
+module Json = Unistore_obs.Json
+module Publications = Unistore_workload.Publications
+
+let out_file = "BENCH_traffic.json"
+
+let run_arm ~peers ~authors ~cfg ~balance =
+  let store, ds = Common.build_pubs ~peers ~authors () in
+  let keys = List.sort_uniq String.compare (Publications.sample_keys ds) in
+  Unistore.reset_metrics store;
+  Unistore.run_traffic store ~keys { cfg with Unistore.balance }
+
+let arm_json label (r : Unistore.traffic_report) =
+  Json.Obj
+    [
+      ("label", Json.Str label);
+      ("offered", Json.Int r.engine.Unistore.Traffic.offered);
+      ("measured", Json.Int r.engine.measured);
+      ("ok", Json.Int r.engine.ok);
+      ("served_in_window", Json.Int r.engine.served_in_window);
+      ("giveups", Json.Int r.engine.giveups);
+      ("throughput_qps", Json.Float r.engine.throughput_qps);
+      ("latency_mean_ms", Json.Float r.engine.lat_mean_ms);
+      ("latency_p50_ms", Json.Float r.engine.lat_p50_ms);
+      ("latency_p90_ms", Json.Float r.engine.lat_p90_ms);
+      ("latency_p99_ms", Json.Float r.engine.lat_p99_ms);
+      ("latency_max_ms", Json.Float r.engine.lat_max_ms);
+      ("queue_msgs", Json.Int r.queue_msgs);
+      ("queue_delayed", Json.Int r.queue_delayed);
+      ("queue_p50_ms", Json.Float r.queue_p50_ms);
+      ("queue_p99_ms", Json.Float r.queue_p99_ms);
+      ("queue_max_ms", Json.Float r.queue_max_ms);
+      ("retries", Json.Int r.retries);
+      ("boosts_spawned", Json.Int r.boosts_spawned);
+      ("boosts_retired", Json.Int r.boosts_retired);
+      ("hot_serves", Json.Int r.hot_serves);
+      ("results_digest", Json.Str r.results_digest);
+    ]
+
+let measure ~peers ~authors ~cfg =
+  let adaptive = run_arm ~peers ~authors ~cfg ~balance:Unistore.default_balance_config in
+  let baseline = run_arm ~peers ~authors ~cfg ~balance:Unistore.no_balancing in
+  Common.print_table
+    [ "arm"; "qps"; "p50"; "p99"; "queue p99"; "ok"; "in-window"; "giveups"; "boosts";
+      "hot serves" ]
+    (List.map
+       (fun (label, (r : Unistore.traffic_report)) ->
+         [
+           label;
+           Common.f1 r.engine.Unistore.Traffic.throughput_qps;
+           Common.f1 r.engine.lat_p50_ms;
+           Common.f1 r.engine.lat_p99_ms;
+           Common.f1 r.queue_p99_ms;
+           Common.i r.engine.ok;
+           Common.i r.engine.served_in_window;
+           Common.i r.engine.giveups;
+           Common.i r.boosts_spawned;
+           Common.i r.hot_serves;
+         ])
+       [ ("adaptive", adaptive); ("no_balancing", baseline) ]);
+  Printf.printf
+    "\nadaptive %.1f qps / p99 %.0f ms vs static %.1f qps / p99 %.0f ms; digests %s\n"
+    adaptive.engine.Unistore.Traffic.throughput_qps adaptive.engine.lat_p99_ms
+    baseline.engine.throughput_qps baseline.engine.lat_p99_ms
+    (if String.equal adaptive.results_digest baseline.results_digest then "identical"
+     else "DIFFER");
+  (adaptive, baseline)
+
+let assert_claims ~label (adaptive : Unistore.traffic_report)
+    (baseline : Unistore.traffic_report) =
+  if not (String.equal adaptive.results_digest baseline.results_digest) then
+    failwith (label ^ ": arms returned different per-request results");
+  if adaptive.engine.Unistore.Traffic.giveups > 0 || baseline.engine.Unistore.Traffic.giveups > 0
+  then failwith (label ^ ": a request gave up; the comparison is not answer-preserving");
+  if adaptive.engine.throughput_qps <= baseline.engine.throughput_qps then
+    failwith
+      (Printf.sprintf "%s: adaptive throughput %.1f qps not above static %.1f qps" label
+         adaptive.engine.throughput_qps baseline.engine.throughput_qps);
+  if adaptive.engine.lat_p99_ms >= baseline.engine.lat_p99_ms then
+    failwith
+      (Printf.sprintf "%s: adaptive p99 %.1f ms not below static %.1f ms" label
+         adaptive.engine.lat_p99_ms baseline.engine.lat_p99_ms);
+  if adaptive.boosts_spawned = 0 then failwith (label ^ ": the balancer never spawned a boost");
+  if adaptive.hot_serves = 0 then failwith (label ^ ": no lookup was served by a boost replica")
+
+let run () =
+  Common.section "E-traffic: heavy traffic, adaptive balancing vs static"
+    "under a Zipf hot-spot flash crowd with per-peer service queues, EWMA deadlines + \
+     hot-region boost replication + serving-set rotation yield strictly higher served \
+     throughput and lower p99 than the static baseline, with identical answers";
+  let peers, authors = (128, 40) in
+  let cfg = { Unistore.default_traffic_config with Unistore.traffic_duration_ms = 40_000.0 } in
+  let adaptive, baseline = measure ~peers ~authors ~cfg in
+  assert_claims ~label:"traffic bench" adaptive baseline;
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ( "description",
+          Json.Str
+            "UniStore heavy-traffic engine: open-loop Poisson arrivals with a Zipf \
+             hot-spot flash crowd against identical 128-peer deployments running the \
+             per-peer service-queue model. Arms differ only in the balancing config: \
+             adaptive (per-peer EWMA retry deadlines, gossip-driven hot-region boost \
+             replication, serving-set rotation) vs no_balancing (fixed deadlines, no \
+             boosts). The request stream is byte-identical across arms (engine-owned \
+             seed) and both arms must produce identical per-request results. \
+             Throughput counts completions landing inside the measurement window. \
+             Regenerate with `dune exec bench/main.exe -- traffic` (or `make \
+             bench-traffic`). See EXPERIMENTS.md, section 'Traffic'." );
+        ( "config",
+          Json.Obj
+            [
+              ("peers", Json.Int peers);
+              ("seed", Json.Int 42);
+              ("traffic_seed", Json.Int cfg.Unistore.traffic_seed);
+              ("latency_model", Json.Str "lan");
+              ("workload", Json.Str (Printf.sprintf "publications(authors=%d)" authors));
+              ("scenario", Json.Str "flash_crowd");
+              ("arrival", Json.Str "poisson");
+              ("arrival_rate_qps", Json.Float cfg.Unistore.arrival_rate);
+              ("flash_peak", Json.Float cfg.Unistore.peak);
+              ("duration_ms", Json.Float cfg.Unistore.traffic_duration_ms);
+              ("warmup_ms", Json.Float cfg.Unistore.traffic_warmup_ms);
+              ("zipf_s", Json.Float cfg.Unistore.traffic_zipf_s);
+              ("service_ms", Json.Float cfg.Unistore.service_ms);
+              ("balance_interval_ms", Json.Float cfg.Unistore.balance_interval_ms);
+            ] );
+        ("arms", Json.Arr [ arm_json "adaptive" adaptive; arm_json "no_balancing" baseline ]);
+        ( "summary",
+          Json.Obj
+            [
+              ("adaptive_throughput_qps", Json.Float adaptive.engine.Unistore.Traffic.throughput_qps);
+              ("static_throughput_qps", Json.Float baseline.engine.throughput_qps);
+              ("adaptive_p99_ms", Json.Float adaptive.engine.lat_p99_ms);
+              ("static_p99_ms", Json.Float baseline.engine.lat_p99_ms);
+              ("identical_results", Json.Bool true);
+            ] );
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file
+
+(* The CI smoke variant: smaller deployment and window, writes no file. *)
+let run_smoke () =
+  Common.section "E-traffic (smoke)"
+    "adaptive balancing beats the static baseline on served throughput and p99 under a \
+     flash crowd, with identical answers";
+  let cfg =
+    {
+      Unistore.default_traffic_config with
+      Unistore.traffic_duration_ms = 16_000.0;
+      traffic_warmup_ms = 2_000.0;
+    }
+  in
+  let adaptive, baseline = measure ~peers:64 ~authors:20 ~cfg in
+  assert_claims ~label:"traffic-smoke" adaptive baseline;
+  Printf.printf "\ntraffic-smoke: OK\n"

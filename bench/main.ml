@@ -31,6 +31,8 @@ let experiments =
     ("churn-smoke", "E-churn smoke variant (CI gate, no file output)", Exp_fault.run_smoke);
     ("scale", "E-scale: kernel throughput sweep to 100k+ peers -> BENCH_scale.json", Exp_scale.run);
     ("scale-smoke", "E-scale smoke variant (CI gate, no file output)", Exp_scale.run_smoke);
+    ("traffic", "E-traffic: heavy traffic, adaptive balancing vs static -> BENCH_traffic.json", Exp_traffic.run);
+    ("traffic-smoke", "E-traffic smoke variant (CI gate, no file output)", Exp_traffic.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -77,7 +77,7 @@ let fault_seed_t =
            ~doc:"Seed of the fault-injection scenario. The same seed against the same \
                  deployment replays the identical failure schedule.")
 
-let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?(no_retry = false) () =
+let setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?(no_retry = false) () =
   let rng = Unistore_util.Rng.create (seed + 1) in
   let tuples, triples, sample =
     match dataset with
@@ -121,7 +121,11 @@ let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?
     peers
     (match overlay with Unistore.Pgrid -> "P-Grid" | Unistore.Chord_trie -> "Chord+trie")
     n;
-  store
+  (store, sample)
+
+let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?(no_retry = false) () =
+  fst
+    (setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ~no_retry ())
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -389,6 +393,126 @@ let lint_src_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* traffic — open-loop load generation against a live deployment        *)
+
+let run_traffic peers seed latency authors dataset scenario arrival_rate peak duration warmup
+    zipf_s service_ms traffic_seed no_balancing =
+  let store, keys =
+    setup_keys ~peers ~seed ~overlay:Unistore.Pgrid ~latency ~authors ~dataset ~no_cache:false
+      ~no_batch:false ()
+  in
+  let keys = List.sort_uniq String.compare keys in
+  let cfg =
+    {
+      Unistore.default_traffic_config with
+      Unistore.scenario;
+      arrival_rate;
+      peak;
+      traffic_duration_ms = duration;
+      traffic_warmup_ms = warmup;
+      traffic_zipf_s = zipf_s;
+      service_ms;
+      traffic_seed;
+      balance = (if no_balancing then Unistore.no_balancing else Unistore.default_balance_config);
+    }
+  in
+  Format.printf "[traffic: %s, %.0f q/s base%s, zipf %.2f, service %.1fms/msg, %s]@."
+    (match scenario with
+    | Unistore.Steady_load -> "steady"
+    | Unistore.Flash_crowd -> "flash crowd"
+    | Unistore.Diurnal_load -> "diurnal")
+    arrival_rate
+    (match scenario with
+    | Unistore.Flash_crowd -> Printf.sprintf " (peak x%.1f)" peak
+    | _ -> "")
+    zipf_s service_ms
+    (if no_balancing then "static baseline (no balancing)" else "adaptive balancing");
+  Unistore.reset_metrics store;
+  let r = Unistore.run_traffic store ~keys cfg in
+  let e = r.Unistore.engine in
+  Format.printf "@.traffic profile (measurement window):@.";
+  Format.printf "  offered %d, measured %d, ok %d, served in-window %d, gave up %d@."
+    e.Unistore.Traffic.offered e.Unistore.Traffic.measured e.Unistore.Traffic.ok
+    e.Unistore.Traffic.served_in_window e.Unistore.Traffic.giveups;
+  Format.printf "  served throughput: %.1f q/s@." e.Unistore.Traffic.throughput_qps;
+  Format.printf "  query latency ms: mean %.1f / p50 %.1f / p90 %.1f / p99 %.1f / max %.1f@."
+    e.Unistore.Traffic.lat_mean_ms e.Unistore.Traffic.lat_p50_ms e.Unistore.Traffic.lat_p90_ms
+    e.Unistore.Traffic.lat_p99_ms e.Unistore.Traffic.lat_max_ms;
+  Format.printf "  queueing delay ms: p50 %.1f / p99 %.1f / max %.1f (%d of %d messages waited)@."
+    r.Unistore.queue_p50_ms r.Unistore.queue_p99_ms r.Unistore.queue_max_ms
+    r.Unistore.queue_delayed r.Unistore.queue_msgs;
+  Format.printf "  retries %d; boosts spawned %d, retired %d; boost-served lookups %d@."
+    r.Unistore.retries r.Unistore.boosts_spawned r.Unistore.boosts_retired r.Unistore.hot_serves;
+  Format.printf "  results digest: %s@." r.Unistore.results_digest
+
+let traffic_cmd =
+  let scenario_t =
+    let enumc =
+      Arg.enum
+        [
+          ("steady", Unistore.Steady_load);
+          ("flash", Unistore.Flash_crowd);
+          ("diurnal", Unistore.Diurnal_load);
+        ]
+    in
+    Arg.(value & opt enumc Unistore.Flash_crowd
+         & info [ "traffic" ] ~docv:"SCENARIO"
+             ~doc:"Load schedule: $(b,steady), $(b,flash) (crowd ramps to a peak and holds it \
+                   until the stream ends) or $(b,diurnal) (sinusoidal day/night cycle).")
+  in
+  let rate_t =
+    Arg.(value & opt float 120.0
+         & info [ "arrival-rate" ] ~docv:"QPS"
+             ~doc:"Base offered load in queries per second. The open-loop generator never slows \
+                   down when the system backs up; that is the point.")
+  in
+  let peak_t =
+    Arg.(value & opt float 10.0
+         & info [ "peak" ] ~docv:"X" ~doc:"Flash-crowd peak multiplier (flash scenario only).")
+  in
+  let duration_t =
+    Arg.(value & opt float 16_000.0
+         & info [ "duration" ] ~docv:"MS" ~doc:"Arrival stream length, simulated ms.")
+  in
+  let warmup_t =
+    Arg.(value & opt float 2_000.0
+         & info [ "warmup" ] ~docv:"MS" ~doc:"Requests issued before this instant are not measured.")
+  in
+  let zipf_t =
+    Arg.(value & opt float 1.1
+         & info [ "zipf" ] ~docv:"S" ~doc:"Key-popularity skew: Zipf exponent over the sorted key population.")
+  in
+  let service_t =
+    Arg.(value & opt float 3.0
+         & info [ "service-ms" ] ~docv:"MS"
+             ~doc:"Per-message service time of every peer's FIFO queue; 0 disables the queueing model.")
+  in
+  let traffic_seed_t =
+    Arg.(value & opt int 0x7AF1C
+         & info [ "traffic-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the workload stream, independent of the deployment seed: the same \
+                   value replays a byte-identical request sequence.")
+  in
+  let no_balancing_t =
+    Arg.(value & flag
+         & info [ "no-balancing" ]
+             ~doc:"Disable adaptive load balancing (per-peer EWMA retry deadlines, hot-region \
+                   boost replication, serving-set rotation); the experimental static baseline.")
+  in
+  let term =
+    Term.(
+      const run_traffic $ peers_t $ seed_t $ latency_t $ authors_t $ dataset_t $ scenario_t
+      $ rate_t $ peak_t $ duration_t $ warmup_t $ zipf_t $ service_t $ traffic_seed_t
+      $ no_balancing_t)
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:"Drive an open-loop traffic stream (steady, flash crowd or diurnal) against a live \
+             P-Grid deployment and print served throughput, latency and queueing-delay \
+             percentiles")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 
 let repl peers seed overlay latency authors dataset =
@@ -482,4 +606,4 @@ let inspect_cmd =
 let () =
   let doc = "UniStore: querying a DHT-based universal storage (simulated deployment)" in
   let info = Cmd.info "unistore-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; repl_cmd; inspect_cmd; lint_cmd; lint_src_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; traffic_cmd; repl_cmd; inspect_cmd; lint_cmd; lint_src_cmd ]))

@@ -35,6 +35,7 @@ let pgrid =
     { constructor = "SyncRequest"; kind = "sync-request"; role = Background };
     { constructor = "SyncItems"; kind = "sync-items"; role = Background };
     { constructor = "StatGossip"; kind = "stat-gossip"; role = Background };
+    { constructor = "HotSync"; kind = "hot-sync"; role = Background };
     { constructor = "Exchange"; kind = "exchange"; role = Background };
   ]
 

@@ -130,10 +130,10 @@ let check_clocks events =
 
 let check_conservation metrics (tr : Trace.t) =
   let ds = ref [] in
-  (* Fault markers ([fault.*]) are recorded by the injection driver and
-     the partial-result path, not by [Net.send] — message conservation
-     must count real sends only. *)
-  let sends = List.filter (fun e -> not (Trace.is_fault e)) (Trace.events tr) in
+  (* Marker events ([fault.*], [queue.*]) are recorded by the injection
+     driver, the partial-result path and the service queue, not by
+     [Net.send] — message conservation must count real sends only. *)
+  let sends = List.filter (fun e -> not (Trace.is_marker e)) (Trace.events tr) in
   let total = Metrics.counter metrics "net.sent" in
   if total <> List.length sends then
     ds :=
@@ -232,14 +232,15 @@ let check_fault_response rules events =
     List.rev !ds
   end
 
-(* Any trace kind outside the static {!Protocol} table (modulo [fault.*]
-   markers) means a message was added to the code without a table entry —
-   the runtime side of keeping the table honest. *)
+(* Any trace kind outside the static {!Protocol} table (modulo marker
+   namespaces: [fault.*], [queue.*]) means a message was added to the
+   code without a table entry — the runtime side of keeping the table
+   honest. *)
 let check_known_kinds rules events =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (e : Trace.event) ->
-      if (not (Trace.is_fault e)) && not (List.mem e.Trace.kind rules.known_kinds) then begin
+      if (not (Trace.is_marker e)) && not (List.mem e.Trace.kind rules.known_kinds) then begin
         let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen e.Trace.kind) in
         Hashtbl.replace seen e.Trace.kind n
       end)

@@ -26,14 +26,29 @@ val set_capacity : t -> int -> unit
 val capacity : t -> int
 val length : t -> int
 
+(** [set_spread t true] lets an entry accumulate several peers for the
+    same region (an owner's replicas and hot-path boost replicas, as
+    advertised in replies) and makes {!find} rotate through them
+    round-robin, spreading an origin's traffic instead of pinning the
+    first responder. Off (the default) preserves the classic
+    one-peer-per-region behavior exactly. *)
+val set_spread : t -> bool -> unit
+
+val spread : t -> bool
+
 (** [learn t ~lo ~hi ~peer] remembers that [peer] is responsible for
     [[lo, hi)], replacing any previous entry for the same region and
     evicting the least recently used entry beyond capacity. *)
 val learn : t -> lo:string -> hi:string option -> peer:int -> unit
 
 (** [find t ~key] is the learned peer whose region contains [key], if
-    any; a hit refreshes the entry's recency. *)
+    any; a hit refreshes the entry's recency. In spread mode a
+    multi-peer entry answers round-robin. *)
 val find : t -> key:string -> int option
+
+(** [find_all t ~key] is every peer learned for the region containing
+    [key], most recently learned first (no recency refresh). *)
+val find_all : t -> key:string -> int list
 
 (** [invalidate_peer t peer] drops every entry pointing at [peer]
     (called when [peer] times out or is seen dead); returns the number

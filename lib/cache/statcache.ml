@@ -11,10 +11,11 @@ type summary = {
   string_valued : bool;
   version : int;
   sampled_at : float;
+  load : int;
 }
 
 let summary_bytes s =
-  String.length s.attr + String.length s.region_lo + String.length s.lo + String.length s.hi + 29
+  String.length s.attr + String.length s.region_lo + String.length s.lo + String.length s.hi + 33
 
 type agg = {
   a_count : float;
@@ -39,7 +40,18 @@ let merge t s =
   let key = (s.attr, s.region_lo) in
   match Hashtbl.find_opt t.tbl key with
   | Some old when not (fresher s old) -> false
-  | _ ->
+  | old ->
+    (* Replicas of one region produce interchangeable summaries, but
+       their load reports are not interchangeable: a cold replica must
+       not erase the hot one's signal just by sampling later. Adopting
+       a fresher summary keeps a halving memory of the displaced load,
+       so the hot-spot signal survives replica races yet still decays
+       within a few rounds once the region actually cools down. *)
+    let s =
+      match old with
+      | Some old when old.load / 2 > s.load -> { s with load = old.load / 2 }
+      | _ -> s
+    in
     Hashtbl.replace t.tbl key s;
     true
 
@@ -88,6 +100,20 @@ let aggregate t ~now ~half_life_ms =
     t.tbl;
   Hashtbl.fold (fun a acc l -> (a, !acc) :: l) accs []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Per-region served-request load, as gossiped: each summary carries
+   the sampling peer's whole per-round request delta, so the region's
+   load is the max (not the sum) over its attribute summaries. Sorted
+   by region lo for deterministic consumers (the balancer). *)
+let region_loads t =
+  let regions : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Commutative max per region: iteration order cannot matter. *)
+  Hashtbl.iter (* srclint: allow unordered-iteration *)
+    (fun (_, region_lo) s ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt regions region_lo) in
+      Hashtbl.replace regions region_lo (max cur s.load))
+    t.tbl;
+  Det.sorted_bindings ~cmp:String.compare regions
 
 let attr_version t a =
   (* Commutative integer sum: iteration order cannot matter. *)

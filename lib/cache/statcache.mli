@@ -34,6 +34,10 @@ type summary = {
   string_valued : bool;
   version : int;  (** sampling peer's write epoch *)
   sampled_at : float;  (** simulated ms *)
+  load : int;
+      (** request messages the sampling peer handled since its previous
+          sample — the hot-spot detection signal for
+          {!Unistore_pgrid.Balance} *)
 }
 
 (** Estimated gossip wire size of one summary. *)
@@ -70,6 +74,12 @@ val summaries : t -> summary list
     [0.5 ** (age / half_life_ms)] ([half_life_ms <= 0] disables decay).
     Sorted by attribute name. *)
 val aggregate : t -> now:float -> half_life_ms:float -> (string * agg) list
+
+(** [region_loads t] is the per-region served-request load as gossiped:
+    the max over each region's attribute summaries (every summary
+    carries its sampling peer's whole per-round delta). Sorted by
+    region lower bound. *)
+val region_loads : t -> (string * int) list
 
 (** [attr_version t a] is the sum of held summary versions for [a] —
     the result cache's invalidation version for attribute-specific

@@ -442,6 +442,193 @@ let messages_sent t = t.dht.Dht.total_sent ()
 let now t = Sim.now t.sim
 
 (* ------------------------------------------------------------------ *)
+(* Heavy-traffic engine: open-loop load, per-peer queueing, adaptive
+   balancing (lib/traffic + Overlay adaptive deadlines + Balance). *)
+
+module Traffic = Unistore_traffic.Engine
+module Traffic_schedule = Unistore_traffic.Schedule
+module Traffic_arrivals = Unistore_traffic.Arrivals
+module Hotkeys = Unistore_traffic.Hotkeys
+module Balance = Unistore_pgrid.Balance
+
+type balance_config = {
+  adaptive_timeout : bool;  (* per-peer EWMA retry deadlines *)
+  hot_replication : bool;  (* spawn boost replicas for hot regions *)
+  spread_load : bool;  (* origins rotate across the serving set *)
+}
+
+let default_balance_config =
+  { adaptive_timeout = true; hot_replication = true; spread_load = true }
+
+(* The experimental baseline arm: fixed deadlines, no boosts. *)
+let no_balancing = { adaptive_timeout = false; hot_replication = false; spread_load = false }
+
+type traffic_scenario = Steady_load | Flash_crowd | Diurnal_load
+
+type traffic_config = {
+  scenario : traffic_scenario;
+  poisson : bool;  (* exponential vs. fixed inter-arrival gaps *)
+  arrival_rate : float;  (* base offered load, queries/s *)
+  peak : float;  (* flash-crowd peak multiplier (Flash_crowd only) *)
+  traffic_duration_ms : float;
+  traffic_warmup_ms : float;
+  traffic_zipf_s : float;  (* key popularity skew *)
+  service_ms : float;  (* per-peer service time (queueing model) *)
+  traffic_seed : int;  (* workload stream seed, independent of [config.seed] *)
+  balance_interval_ms : float;  (* gossip + balance control cadence *)
+  balance : balance_config;
+}
+
+let default_traffic_config =
+  {
+    scenario = Flash_crowd;
+    poisson = true;
+    arrival_rate = 120.0;
+    peak = 10.0;
+    traffic_duration_ms = 30_000.0;
+    traffic_warmup_ms = 4_000.0;
+    traffic_zipf_s = 1.1;
+    service_ms = 3.0;
+    traffic_seed = 0x7AF1C;
+    balance_interval_ms = 1_000.0;
+    balance = default_balance_config;
+  }
+
+type traffic_report = {
+  engine : Traffic.report;
+  results_digest : string;
+      (* MD5 over every measured (seq, key, sorted item ids/versions):
+         equal digests across arms = balancing changed performance, not
+         answers *)
+  retries : int;
+  queue_msgs : int;  (* messages that passed a service queue *)
+  queue_delayed : int;  (* of those, how many actually waited *)
+  queue_p50_ms : float;  (* queueing-delay percentiles, measurement window *)
+  queue_p99_ms : float;
+  queue_max_ms : float;
+  boosts_spawned : int;
+  boosts_retired : int;
+  hot_serves : int;  (* lookups answered by a boost replica *)
+}
+
+let histo_percentile t name p =
+  match List.assoc_opt name (Metrics.histograms t.metrics) with
+  | Some h when Unistore_obs.Histogram.count h > 0 -> Unistore_obs.Histogram.percentile h p
+  | _ -> 0.0
+
+(* Drive one open-loop traffic run against this deployment (P-Grid
+   only: the queueing model and balancer live on the overlay's network).
+   [keys] is the lookup key population; the caller loads the data first.
+   The workload stream is seeded by [cfg.traffic_seed] alone, so two
+   deployments driven with the same [cfg] — e.g. an adaptive arm and a
+   [no_balancing] arm — face a byte-identical request sequence. *)
+let run_traffic t ~keys cfg =
+  match t.pgrid with
+  | None -> invalid_arg "Unistore.run_traffic: P-Grid overlay required"
+  | Some ov ->
+    if List.is_empty keys then invalid_arg "Unistore.run_traffic: empty key population";
+    let pconfig =
+      {
+        (Overlay.config ov) with
+        Config.adaptive_timeout = cfg.balance.adaptive_timeout;
+        hot_replication = cfg.balance.hot_replication;
+        spread_load = cfg.balance.spread_load;
+        (* Patience is not the treatment variable: both arms get a
+           generous retry budget so a transient backlog spike costs
+           latency, never answers. Adaptive deadlines make retries
+           *timely*; the budget makes them *sufficient*. *)
+        retries = 6;
+      }
+    in
+    Overlay.set_config ov pconfig;
+    let net = Overlay.net ov in
+    if cfg.service_ms > 0.0 then Unistore_sim.Net.set_service_all net ~ms:cfg.service_ms;
+    let hotkeys = Hotkeys.create ~keys:(Array.of_list keys) ~s:cfg.traffic_zipf_s in
+    let origins = Array.of_list (alive_peers t) in
+    let span = cfg.traffic_duration_ms -. cfg.traffic_warmup_ms in
+    let schedule =
+      match cfg.scenario with
+      | Steady_load -> Traffic_schedule.Steady
+      | Flash_crowd ->
+        (* Spike inside the measurement window: ramp up over 10% of it,
+           then hold the peak until the arrival stream ends. The crowd
+           is still raging when the window closes, so an arm that falls
+           behind is caught red-handed: its backlog at stream end is
+           exactly the throughput it failed to serve in-window. *)
+        Traffic_schedule.Flash
+          {
+            peak = cfg.peak;
+            at_ms = cfg.traffic_warmup_ms +. (0.3 *. span);
+            ramp_ms = 0.1 *. span;
+            hold_ms = 0.6 *. span;
+          }
+      | Diurnal_load -> Traffic_schedule.Diurnal { period_ms = span; trough = 0.3 }
+    in
+    let ecfg =
+      {
+        Traffic.arrival =
+          (if cfg.poisson then Traffic_arrivals.Poisson else Traffic_arrivals.Deterministic);
+        rate_per_s = cfg.arrival_rate;
+        schedule;
+        zipf_s = cfg.traffic_zipf_s;
+        duration_ms = cfg.traffic_duration_ms;
+        warmup_ms = cfg.traffic_warmup_ms;
+        seed = cfg.traffic_seed;
+        control_interval_ms = cfg.balance_interval_ms;
+      }
+    in
+    let outcomes : (int, string) Hashtbl.t = Hashtbl.create 1024 in
+    let issue ~seq ~origin ~key ~k =
+      Overlay.lookup ov ~origin ~key ~k:(fun (r : Overlay.result) ->
+          let ids =
+            List.map
+              (fun (i : Unistore_pgrid.Store.item) ->
+                Printf.sprintf "%s#%d" i.Unistore_pgrid.Store.item_id
+                  i.Unistore_pgrid.Store.version)
+              r.items
+            |> List.sort String.compare
+          in
+          Hashtbl.replace outcomes seq
+            (Printf.sprintf "%d:%s:%b:%s" seq key r.complete (String.concat "," ids));
+          k { Traffic.ok = r.complete; items = List.length r.items })
+    in
+    let control ~now:_ =
+      Metrics.incr t.metrics "traffic.control_rounds";
+      (* Not [gossip_stats_round]: the facade wrapper drains the event
+         queue ([Sim.run_all]), which must not happen from inside the
+         running simulation — it would swallow the open-loop arrival
+         stream in one gulp. The raw round just enqueues messages. *)
+      Gossip.stats_round ov ~sample:Unistore_triple.Stat_sample.of_node;
+      if cfg.balance.hot_replication then ignore (Balance.round ov)
+    in
+    let on_warmup () =
+      Metrics.reset_histograms ~prefix:"queue." t.metrics;
+      Metrics.reset_histograms ~prefix:"overlay." t.metrics
+    in
+    let engine = Traffic.run ~sim:t.sim ~origins ~hotkeys ~on_warmup ~control ~issue ecfg in
+    let buf = Buffer.create (64 * engine.Traffic.offered) in
+    for seq = 0 to engine.Traffic.offered - 1 do
+      match Hashtbl.find_opt outcomes seq with
+      | Some line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      | None -> Buffer.add_string buf (Printf.sprintf "%d:lost\n" seq)
+    done;
+    {
+      engine;
+      results_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+      retries = Metrics.counter t.metrics "overlay.resend";
+      queue_msgs = Metrics.counter t.metrics "queue.msgs";
+      queue_delayed = Metrics.counter t.metrics "queue.delayed";
+      queue_p50_ms = histo_percentile t "queue.wait_ms" 50.0;
+      queue_p99_ms = histo_percentile t "queue.wait_ms" 99.0;
+      queue_max_ms = histo_percentile t "queue.wait_ms" 100.0;
+      boosts_spawned = Metrics.counter t.metrics "balance.spawned";
+      boosts_retired = Metrics.counter t.metrics "balance.retired";
+      hot_serves = Metrics.counter t.metrics "balance.hot_serve";
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Static analysis (lib/analysis): semantic query checking, trace
    linting and overlay auditing, surfaced through the facade. *)
 

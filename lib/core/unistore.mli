@@ -278,6 +278,77 @@ val query_profiled :
 (** Let background traffic (replication pushes, gossip) drain. *)
 val settle : t -> unit
 
+(** {2 Heavy-traffic engine}
+
+    Open-loop load generation ({!Unistore_traffic}) against this
+    deployment, with the per-peer service-queue model
+    ({!Unistore_sim.Net.set_service}) and the adaptive response layer:
+    per-peer EWMA retry deadlines ({!Unistore_pgrid.Rtt}), hot-region
+    boost replication ({!Unistore_pgrid.Balance}) and serving-set
+    rotation. The workload stream is seeded independently of the
+    deployment, so an adaptive arm and a {!no_balancing} arm face a
+    byte-identical request sequence. *)
+
+module Traffic = Unistore_traffic.Engine
+module Traffic_schedule = Unistore_traffic.Schedule
+module Traffic_arrivals = Unistore_traffic.Arrivals
+module Hotkeys = Unistore_traffic.Hotkeys
+module Balance = Unistore_pgrid.Balance
+
+type balance_config = {
+  adaptive_timeout : bool;  (** per-peer EWMA retry deadlines *)
+  hot_replication : bool;  (** spawn boost replicas for hot regions *)
+  spread_load : bool;  (** origins rotate across the serving set *)
+}
+
+val default_balance_config : balance_config
+
+(** The experimental baseline arm: fixed deadlines, no boosts, no
+    rotation. *)
+val no_balancing : balance_config
+
+type traffic_scenario = Steady_load | Flash_crowd | Diurnal_load
+
+type traffic_config = {
+  scenario : traffic_scenario;
+  poisson : bool;  (** exponential vs. fixed inter-arrival gaps *)
+  arrival_rate : float;  (** base offered load, queries/s *)
+  peak : float;  (** flash-crowd peak multiplier ([Flash_crowd] only) *)
+  traffic_duration_ms : float;
+  traffic_warmup_ms : float;  (** measurement window starts here *)
+  traffic_zipf_s : float;  (** key popularity skew *)
+  service_ms : float;  (** per-peer service time (enables queueing) *)
+  traffic_seed : int;  (** workload stream seed *)
+  balance_interval_ms : float;  (** gossip + balance cadence *)
+  balance : balance_config;
+}
+
+val default_traffic_config : traffic_config
+
+type traffic_report = {
+  engine : Traffic.report;
+  results_digest : string;
+      (** MD5 over every measured (seq, key, sorted item ids/versions):
+          equal digests across arms mean balancing changed performance,
+          not answers *)
+  retries : int;
+  queue_msgs : int;  (** messages that passed a service queue *)
+  queue_delayed : int;  (** of those, how many actually waited *)
+  queue_p50_ms : float;  (** queueing-delay percentiles (window) *)
+  queue_p99_ms : float;
+  queue_max_ms : float;
+  boosts_spawned : int;
+  boosts_retired : int;
+  hot_serves : int;  (** lookups answered by a boost replica *)
+}
+
+(** [run_traffic t ~keys cfg] drives one open-loop lookup workload over
+    the key population [keys] (P-Grid only; load the data first). Runs
+    the simulator to completion and reports measurement-window
+    throughput, latency and queueing percentiles. Raises
+    [Invalid_argument] on a Chord deployment or an empty key set. *)
+val run_traffic : t -> keys:string list -> traffic_config -> traffic_report
+
 (** Network messages sent since creation. *)
 val messages_sent : t -> int
 

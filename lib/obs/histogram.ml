@@ -54,6 +54,27 @@ let observe t v =
     if v > t.maxv then t.maxv <- v
   end
 
+(* Steady-state measurement windows: [reset] zeroes the accumulated
+   counts at the warm-up/measurement boundary so percentiles over the
+   measurement phase exclude ramp-up; [snapshot] copies the state first
+   when the warm-up numbers themselves are wanted. *)
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.minv <- Float.nan;
+  t.maxv <- Float.nan
+
+let snapshot t =
+  {
+    bounds = t.bounds;
+    counts = Array.copy t.counts;
+    n = t.n;
+    sum = t.sum;
+    minv = t.minv;
+    maxv = t.maxv;
+  }
+
 let count t = t.n
 let sum t = t.sum
 let mean t = if t.n = 0 then Float.nan else t.sum /. float_of_int t.n

@@ -33,6 +33,16 @@ val observe : t -> float -> unit
 val count : t -> int
 val sum : t -> float
 
+(** [reset t] zeroes the accumulated counts/sum/min/max but keeps the
+    bucket ladder — the warm-up/measurement boundary for open-loop
+    load runs, so steady-state percentiles exclude ramp-up. *)
+val reset : t -> unit
+
+(** [snapshot t] is an independent copy of the current state; observe
+    further into [t] without disturbing the copy (e.g. capture the
+    warm-up distribution right before {!reset}). *)
+val snapshot : t -> t
+
 val mean : t -> float
 val min_value : t -> float
 val max_value : t -> float

@@ -36,6 +36,15 @@ let histogram t ?buckets name =
 
 let observe t ?buckets name v = Histogram.observe (histogram t ?buckets name) v
 
+(* Reset accumulated histogram state (optionally only names under
+   [prefix]) without dropping the registrations: callers keep their
+   handles, so this is the warm-up/measurement boundary for open-loop
+   runs — see Histogram.reset. Counters and gauges are left alone. *)
+let reset_histograms ?(prefix = "") t =
+  Hashtbl.iter (* srclint: allow unordered-iteration *)
+    (fun name h -> if String.starts_with ~prefix name then Histogram.reset h)
+    t.histos
+
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -43,6 +43,13 @@ val histogram : t -> ?buckets:float list -> string -> Histogram.t
 
 val observe : t -> ?buckets:float list -> string -> float -> unit
 
+(** [reset_histograms ?prefix t] resets the accumulated state of every
+    histogram whose name starts with [prefix] (default: all) without
+    dropping the series — existing handles stay valid. Marks the
+    warm-up/measurement boundary of an open-loop run; counters and
+    gauges are untouched. *)
+val reset_histograms : ?prefix:string -> t -> unit
+
 (** {2 Export} — all listings sorted by name. *)
 
 val counters : t -> (string * int) list

@@ -16,6 +16,13 @@ type t = {
   multi_probe : bool;
   agg_fanin : int;
   agg_flush_ms : float;
+  adaptive_timeout : bool;
+  min_timeout_ms : float;
+  hot_replication : bool;
+  hot_factor : float;
+  hot_min_load : int;
+  hot_max_boosts : int;
+  spread_load : bool;
 }
 
 let default =
@@ -37,4 +44,11 @@ let default =
     multi_probe = true;
     agg_fanin = 8;
     agg_flush_ms = 2_500.0;
+    adaptive_timeout = true;
+    min_timeout_ms = 25.0;
+    hot_replication = false;
+    hot_factor = 3.0;
+    hot_min_load = 32;
+    hot_max_boosts = 3;
+    spread_load = false;
   }

@@ -51,6 +51,28 @@ type t = {
       (** aggregation buffers flush partial merges after this long, so
           loss/churn below still terminates (must be well under
           [timeout_ms]) *)
+  adaptive_timeout : bool;
+      (** derive retry deadlines from per-peer/per-class EWMA latency
+          tracking ({!Rtt}) instead of the fixed [timeout_ms]; the fixed
+          value remains the cold-start fallback and the upper clamp *)
+  min_timeout_ms : float;
+      (** lower clamp for adaptive retry deadlines — keeps a
+          fast-converging estimate from retrying into its own tail *)
+  hot_replication : bool;
+      (** let {!Balance.round} spawn boost replicas for regions whose
+          gossiped load stands out (see [hot_factor]) and retire them
+          when the region cools *)
+  hot_factor : float;
+      (** a region is hot when its gossiped per-round load reaches
+          [hot_factor] times the mean over reporting regions *)
+  hot_min_load : int;
+      (** absolute per-round load floor below which a region is never
+          considered hot (keeps idle deployments from boosting noise) *)
+  hot_max_boosts : int;  (** boost replicas allowed per hot region *)
+  spread_load : bool;
+      (** let shortcut caches hold several peers per region and rotate
+          between them, so origins spread traffic across an owner's
+          replicas and boosts instead of pinning the first responder *)
 }
 
 val default : t

@@ -12,7 +12,16 @@ type t =
   | Unreplicate of { key : string; item_id : string }
   | Ack of { rid : int; hops : int; region : string * string option }
   | Lookup of { rid : int; key : string; origin : int; hops : int }
-  | Found of { rid : int; items : Store.item list; hops : int; region : string * string option }
+  | Found of {
+      rid : int;
+      items : Store.item list;
+      hops : int;
+      region : string * string option;
+      spread : int list;
+          (** other peers currently serving [region] (replicas and
+              hot-path boosts); origins in spread mode learn them all as
+              shortcut targets. Empty unless hot-path replication is on. *)
+    }
   | Range of {
       rid : int;
       token : int;  (** unique per message; echoed by the receiver's hit *)
@@ -59,6 +68,13 @@ type t =
   | SyncRequest of { wanted : (string * string) list }
   | SyncItems of { items : Store.item list }
   | StatGossip of { summaries : Unistore_cache.Statcache.summary list }
+  | HotSync of {
+      region : string * string option;
+      owner : int;
+      spread : int list;  (** full serving set for [region], owner included *)
+      items : Store.item list;  (** current content of the owner's region *)
+      retire : bool;  (** [true] = stop boosting [region] instead *)
+    }
   | Exchange of { bytes : int; run : int -> unit }
 
 let header = 20
@@ -76,7 +92,8 @@ let size = function
   | Unreplicate { key; item_id } -> header + String.length key + String.length item_id
   | Ack { region; _ } -> header + region_bytes region
   | Lookup { key; _ } -> header + String.length key
-  | Found { items; region; _ } -> header + items_bytes items + region_bytes region
+  | Found { items; region; spread; _ } ->
+    header + items_bytes items + region_bytes region + (4 * List.length spread)
   | Range { lo; hi; _ } -> header + 16 + String.length lo + String.length hi
   | RangeHit { items; targets; _ } -> header + items_bytes items + (4 * List.length targets)
   | InsertBatch { items; _ } -> header + items_bytes items
@@ -101,6 +118,8 @@ let size = function
     + List.fold_left
         (fun acc s -> acc + Unistore_cache.Statcache.summary_bytes s)
         0 summaries
+  | HotSync { region; spread; items; _ } ->
+    header + region_bytes region + (4 * List.length spread) + 5 + items_bytes items
   | Exchange { bytes; _ } -> header + bytes
 
 (* Correlation id for request/reply trace linting: the protocol's [rid]
@@ -122,7 +141,7 @@ let corr = function
   | Probe { rid; _ } ->
     rid
   | Replicate _ | Unreplicate _ | Task _ | SyncDigest _ | SyncRequest _ | SyncItems _
-  | StatGossip _ | Exchange _ ->
+  | StatGossip _ | HotSync _ | Exchange _ ->
     -1
 
 let kind = function
@@ -146,4 +165,5 @@ let kind = function
   | SyncRequest _ -> "sync-request"
   | SyncItems _ -> "sync-items"
   | StatGossip _ -> "stat-gossip"
+  | HotSync _ -> "hot-sync"
   | Exchange _ -> "exchange"

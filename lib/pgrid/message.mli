@@ -29,7 +29,16 @@ type t =
           learn a routing shortcut to it (see
           {!Unistore_cache.Shortcuts}) *)
   | Lookup of { rid : int; key : string; origin : int; hops : int }
-  | Found of { rid : int; items : Store.item list; hops : int; region : string * string option }
+  | Found of {
+      rid : int;
+      items : Store.item list;
+      hops : int;
+      region : string * string option;
+      spread : int list;
+          (** other peers currently serving [region] (replicas and
+              hot-path boosts); origins in spread mode learn them all as
+              shortcut targets. Empty unless hot-path replication is on. *)
+    }
       (** carries the responder's region like [Ack] *)
   | Range of {
       rid : int;
@@ -95,6 +104,16 @@ type t =
   | StatGossip of { summaries : Unistore_cache.Statcache.summary list }
       (** epidemic spread of sampled per-attribute statistics (see
           {!Gossip.stats_round}) *)
+  | HotSync of {
+      region : string * string option;
+      owner : int;
+      spread : int list;  (** full serving set for [region], owner included *)
+      items : Store.item list;  (** current content of the owner's region *)
+      retire : bool;  (** [true] = stop boosting [region] instead *)
+    }
+      (** hot-path replication control: the owner of an overloaded
+          region ships its content to a boost replica (or retires one);
+          see {!Balance.round} *)
   | Exchange of { bytes : int; run : int -> unit }
       (** bootstrap pairwise exchange step (see {!Build.bootstrap}) *)
 

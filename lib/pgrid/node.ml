@@ -12,6 +12,23 @@ type t = {
   mutable write_epoch : int;
   shortcuts : Shortcuts.t;
   stat_cache : Statcache.t;
+  rtt : Rtt.t;
+  (* Hot-path replication state. As a booster: [hot_store] holds a
+     synced copy of someone else's hot region [hot_region] (kept apart
+     from [store] so region-placement invariants over [store] still
+     hold), [hot_owner] is the region's owner and [hot_spread] the full
+     serving set advertised in replies. As an owner: [boosts] lists the
+     peers currently boosting this node's region. *)
+  hot_store : Store.t;
+  mutable hot_region : (string * string option) option;
+  mutable hot_owner : int;
+  mutable hot_spread : int list;
+  mutable boosts : int list;
+  (* Load accounting for the gossiped statistics: [served] counts
+     request messages handled; the sampler reads the delta since its
+     last visit via [served_mark]. *)
+  mutable served : int;
+  mutable served_mark : int;
   (* [region] derived from path/splits, cached because [covers] runs on
      every routing decision; invalidated by [set_path]/[extend]. *)
   mutable region_cache : (string * string option) option;
@@ -28,10 +45,45 @@ let create id =
     write_epoch = 0;
     shortcuts = Shortcuts.create ~capacity:128;
     stat_cache = Statcache.create ();
+    rtt = Rtt.create ();
+    hot_store = Store.create ();
+    hot_region = None;
+    hot_owner = -1;
+    hot_spread = [];
+    boosts = [];
+    served = 0;
+    served_mark = 0;
     region_cache = None;
   }
 
 let bump_epoch t = t.write_epoch <- t.write_epoch + 1
+
+(* One request message handled (routing or serving) — the raw signal
+   behind the gossiped per-region load statistic. *)
+let bump_served t = t.served <- t.served + 1
+
+(* Requests handled since the last call — consumed by the statistics
+   sampler once per gossip round. *)
+let served_delta t =
+  let d = t.served - t.served_mark in
+  t.served_mark <- t.served;
+  d
+
+(* [hot_covers t key]: this peer boosts a hot region containing [key]
+   and may answer lookups for it from [hot_store]. *)
+let hot_covers t key =
+  match t.hot_region with
+  | Some (lo, hi) ->
+    String.compare key lo >= 0
+    && (match hi with None -> true | Some h -> String.compare key h < 0)
+  | None -> false
+
+(* Stop boosting: drop the synced copy and the assignment. *)
+let clear_hot t =
+  Store.clear t.hot_store;
+  t.hot_region <- None;
+  t.hot_owner <- -1;
+  t.hot_spread <- []
 
 let set_path t path splits =
   let len = Bitkey.length path in

@@ -28,6 +28,21 @@ type t = {
           {!Config.t.shortcut_capacity} at registration) *)
   stat_cache : Unistore_cache.Statcache.t;
       (** gossiped per-attribute statistics summaries *)
+  rtt : Rtt.t;
+      (** per-peer/per-class EWMA latency estimates feeding adaptive
+          retry deadlines (see {!Config.t.adaptive_timeout}) *)
+  hot_store : Store.t;
+      (** boost-replica copy of another peer's hot region — kept apart
+          from [store] so region-placement invariants still hold *)
+  mutable hot_region : (string * string option) option;
+      (** the boosted region when this peer serves as a boost replica *)
+  mutable hot_owner : int;  (** owner of the boosted region, [-1] if none *)
+  mutable hot_spread : int list;
+      (** full serving set (owner side) advertised in boost replies *)
+  mutable boosts : int list;
+      (** as an owner: peers currently boosting this node's region *)
+  mutable served : int;  (** request messages handled (monotone) *)
+  mutable served_mark : int;  (** [served] at the last statistics sample *)
   mutable region_cache : (string * string option) option;
       (** memoized {!region} — [covers] runs on every routing decision;
           invalidated by {!set_path}/{!extend}. Code that mutates
@@ -38,6 +53,20 @@ val create : int -> t
 
 (** [bump_epoch t] records one local store change. *)
 val bump_epoch : t -> unit
+
+(** [bump_served t] counts one handled request message — the raw signal
+    behind the gossiped per-region load statistic. *)
+val bump_served : t -> unit
+
+(** Requests handled since the previous call (advances the mark);
+    consumed by {!Unistore_triple.Stat_sample} once per gossip round. *)
+val served_delta : t -> int
+
+(** [hot_covers t key]: this peer boosts a hot region containing [key]. *)
+val hot_covers : t -> string -> bool
+
+(** Drop the boost assignment and the synced hot copy. *)
+val clear_hot : t -> unit
 
 (** [set_path t path splits] updates position and boundaries together
     ([splits] must have one entry per path level). Existing refs at

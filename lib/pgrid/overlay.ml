@@ -84,7 +84,7 @@ type agg = {
 type t = {
   sim : Sim.t;
   net : Message.t Net.t;
-  config : Config.t;
+  mutable config : Config.t;
   rng : Rng.t;
   (* Node arena: dense array indexed by peer id (ids are minted 0..n-1
      by Build/join). Replaces an id-keyed hashtable so the dispatcher
@@ -175,6 +175,15 @@ let responsible t key = List.filter (fun n -> Node.covers n key) (nodes t)
 let kill t id = Net.kill t.net id
 let revive t id = Net.revive t.net id
 let alive t id = Net.is_alive t.net id
+
+(* Swap the live parameter set (the traffic engine applies its
+   balancing arm to an already-built deployment this way). Shortcut
+   spread mode is per-node cache state, so re-propagate it. *)
+let set_config t config =
+  t.config <- config;
+  List.iter
+    (fun n -> Shortcuts.set_spread n.Node.shortcuts config.Config.spread_load)
+    (nodes t)
 
 let fresh_rid t =
   let rid = t.next_rid in
@@ -274,6 +283,10 @@ let finish_multi t rid ~complete =
     let latency = Sim.now t.sim -. p.started in
     let peers_hit = Hashtbl.length p.peers in
     record_multi t p.op ~hops:p.hops ~peers_hit ~latency ~complete;
+    if complete && t.config.adaptive_timeout then (
+      match find_node t p.origin with
+      | Some me -> Rtt.observe me.Node.rtt ~cls:p.op latency
+      | None -> ());
     if not complete then mark_partial t ~rid ~origin:p.origin;
     (* Coverage = answered tokens / announced tokens: each token stands
        for one addressed region of the shower split tree. *)
@@ -320,18 +333,48 @@ let deliver_hit t rid ~from ~token ~items ~targets ~hops =
     if p.missing <= 0 then finish_multi t rid ~complete:true
   | _ -> ()
 
-(* Retry [n] waits [timeout_ms * retry_backoff^n], up to [retry_jitter]
+(* The base deadline for one attempt of [cls] issued by [origin]: the
+   origin's EWMA latency estimate ({!Rtt}) when adaptive timeouts are
+   on and warm — sharpest via the shortcut target [via] when one
+   carried the request — clamped into [min_timeout_ms, timeout_ms].
+   Cold trackers (and adaptive off) fall back to the fixed
+   [timeout_ms], so this degrades to the classic behavior. *)
+let deadline_base t ~origin ~cls ~via =
+  if not t.config.adaptive_timeout then t.config.timeout_ms
+  else
+    match find_node t origin with
+    | Some me ->
+      Rtt.deadline me.Node.rtt ?peer:via ~cls ~fallback:t.config.timeout_ms
+        ~min_ms:t.config.min_timeout_ms ~max_ms:t.config.timeout_ms ()
+    | None -> t.config.timeout_ms
+
+(* Retry [n] waits [base * retry_backoff^n], up to [retry_jitter]
    fractional jitter either way. Exponential backoff rides out multi-wave
    churn (a replica group wholly down now is likely partly back later);
    jitter desynchronizes the retry storm after a crash wave. *)
-let retry_delay t ~attempt =
-  let base = t.config.timeout_ms *. (t.config.retry_backoff ** float_of_int attempt) in
+let retry_delay t ~base ~attempt =
+  let d = base *. (t.config.retry_backoff ** float_of_int attempt) in
   let j = t.config.retry_jitter in
-  if j <= 0.0 then base else base *. (1.0 +. Rng.float_in t.rng (-.j) j)
+  if j <= 0.0 then d else d *. (1.0 +. Rng.float_in t.rng (-.j) j)
+
+(* Feed one successfully completed exchange into the origin's latency
+   tracker. Give-ups are never observed (Karn's rule), so the estimate
+   is not dragged up by its own timeouts. *)
+let observe_rtt t (me : Node.t) rid ~peer =
+  if t.config.adaptive_timeout then
+    match Hashtbl.find_opt t.pending rid with
+    | Some (Psingle p) ->
+      Rtt.observe me.Node.rtt ~peer ~cls:p.op (Sim.now t.sim -. p.started)
+    | Some (Pbatch _) | Some (Pmulti _) | None -> ()
 
 let arm_single_timeout t rid =
   let rec arm ~attempt =
-    Sim.schedule t.sim ~delay:(retry_delay t ~attempt) (fun () ->
+    let base =
+      match Hashtbl.find_opt t.pending rid with
+      | Some (Psingle p) -> deadline_base t ~origin:p.origin ~cls:p.op ~via:p.via
+      | _ -> t.config.timeout_ms
+    in
+    Sim.schedule t.sim ~delay:(retry_delay t ~base ~attempt) (fun () ->
         match Hashtbl.find_opt t.pending rid with
         | Some (Psingle p) ->
           if p.attempts < t.config.retries then begin
@@ -370,7 +413,12 @@ let arm_single_timeout t rid =
    that ate the first wave. *)
 let arm_multi_timeout t rid =
   let rec arm ~attempt =
-    Sim.schedule t.sim ~delay:(retry_delay t ~attempt) (fun () ->
+    let base =
+      match Hashtbl.find_opt t.pending rid with
+      | Some (Pmulti p) -> deadline_base t ~origin:p.origin ~cls:p.op ~via:None
+      | _ -> t.config.timeout_ms
+    in
+    Sim.schedule t.sim ~delay:(retry_delay t ~base ~attempt) (fun () ->
         match Hashtbl.find_opt t.pending rid with
         | Some (Pmulti p) -> (
           match p.resend with
@@ -400,6 +448,10 @@ let finish_batch t rid ~complete =
     Hashtbl.remove t.pending rid;
     let latency = Sim.now t.sim -. p.started in
     record_multi t p.op ~hops:p.hops ~peers_hit:p.regions ~latency ~complete;
+    if complete && t.config.adaptive_timeout then (
+      match find_node t p.origin with
+      | Some me -> Rtt.observe me.Node.rtt ~cls:p.op latency
+      | None -> ());
     if not complete then mark_partial t ~rid ~origin:p.origin;
     (* Coverage = acked keys / batch keys. *)
     let completeness =
@@ -419,7 +471,12 @@ let finish_batch t rid ~complete =
 
 let arm_batch_timeout t rid =
   let rec arm ~attempt =
-    Sim.schedule t.sim ~delay:(retry_delay t ~attempt) (fun () ->
+    let base =
+      match Hashtbl.find_opt t.pending rid with
+      | Some (Pbatch p) -> deadline_base t ~origin:p.origin ~cls:p.op ~via:None
+      | _ -> t.config.timeout_ms
+    in
+    Sim.schedule t.sim ~delay:(retry_delay t ~base ~attempt) (fun () ->
         match Hashtbl.find_opt t.pending rid with
         | Some (Pbatch p) ->
           if p.attempts < t.config.retries then begin
@@ -598,17 +655,36 @@ let next_hop t (me : Node.t) ~rid ~origin ~hops key =
 (* Handlers: each takes the acting node and may be invoked directly     *)
 (* (origin-side) or from the message dispatcher.                        *)
 
+(* The serving set an owner advertises on its replies: its current
+   boost replicas (origins in spread mode learn them all and rotate). *)
+let owner_spread t (me : Node.t) =
+  if t.config.hot_replication && me.Node.boosts <> [] then me.Node.boosts else []
+
 let handle_lookup t (me : Node.t) ~rid ~key ~origin ~hops =
-  match next_hop t me ~rid ~origin ~hops key with
-  | `Local ->
-    let items = Store.find me.store key in
+  if Node.hot_covers me key then begin
+    (* Boost replica: answer straight from the synced hot copy (state
+       as of the last balance round — the same loose consistency as a
+       replica missed by a rumor), advertising the full serving set so
+       origins keep spreading. *)
+    cache_incr t "balance.hot_serve";
+    let items = Store.find me.hot_store key in
+    let region = match me.hot_region with Some r -> r | None -> Node.region me in
     if me.id = origin then finish_single t rid ~items ~hops ~complete:true
     else
       Net.send t.net ~src:me.id ~dst:origin
-        (Message.Found { rid; items; hops; region = Node.region me })
-  | `Forward p when not (too_far t hops) ->
-    Net.send t.net ~src:me.id ~dst:p (Message.Lookup { rid; key; origin; hops = hops + 1 })
-  | `Forward _ | `Stuck -> ()
+        (Message.Found { rid; items; hops; region; spread = me.hot_spread })
+  end
+  else
+    match next_hop t me ~rid ~origin ~hops key with
+    | `Local ->
+      let items = Store.find me.store key in
+      if me.id = origin then finish_single t rid ~items ~hops ~complete:true
+      else
+        Net.send t.net ~src:me.id ~dst:origin
+          (Message.Found { rid; items; hops; region = Node.region me; spread = owner_spread t me })
+    | `Forward p when not (too_far t hops) ->
+      Net.send t.net ~src:me.id ~dst:p (Message.Lookup { rid; key; origin; hops = hops + 1 })
+    | `Forward _ | `Stuck -> ()
 
 let handle_insert t (me : Node.t) ~rid ~item ~origin ~hops =
   match next_hop t me ~rid ~origin ~hops item.Store.key with
@@ -1042,16 +1118,26 @@ let handle_sync t ~(me : Node.t) ~src msg =
 
 let dispatch t (me : Node.t) ~src msg =
   match (msg : Message.t) with
-  | Lookup { rid; key; origin; hops } -> handle_lookup t me ~rid ~key ~origin ~hops
-  | Insert { rid; item; origin; hops } -> handle_insert t me ~rid ~item ~origin ~hops
-  | Update { rid; item; origin; hops; rounds } -> handle_update t me ~rid ~item ~origin ~hops ~rounds
-  | Found { rid; items; hops; region } ->
+  | Lookup { rid; key; origin; hops } ->
+    Node.bump_served me;
+    handle_lookup t me ~rid ~key ~origin ~hops
+  | Insert { rid; item; origin; hops } ->
+    Node.bump_served me;
+    handle_insert t me ~rid ~item ~origin ~hops
+  | Update { rid; item; origin; hops; rounds } ->
+    Node.bump_served me;
+    handle_update t me ~rid ~item ~origin ~hops ~rounds
+  | Found { rid; items; hops; region; spread } ->
+    observe_rtt t me rid ~peer:src;
     learn_shortcut t me ~peer:src ~region;
+    List.iter (fun p -> if p <> src then learn_shortcut t me ~peer:p ~region) spread;
     finish_single t rid ~items ~hops ~complete:true
   | Ack { rid; hops; region } ->
+    observe_rtt t me rid ~peer:src;
     learn_shortcut t me ~peer:src ~region;
     finish_single t rid ~items:[] ~hops ~complete:true
   | Range { rid; token; lo; hi; clip_lo; clip_hi; origin; reply_to; hops; strategy; budget } ->
+    Node.bump_served me;
     handle_range t me ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~reply_to ~hops ~strategy
       ~budget
   | RangeHit { rid; token; items; targets; origin; hops } -> (
@@ -1074,15 +1160,22 @@ let dispatch t (me : Node.t) ~src msg =
         Net.send t.net ~src:me.id ~dst:origin
           (Message.RangeHit { rid; token; items; targets; origin; hops })
       end)
-  | InsertBatch { rid; items; origin; hops } -> handle_insert_batch t me ~rid ~items ~origin ~hops
+  | InsertBatch { rid; items; origin; hops } ->
+    Node.bump_served me;
+    handle_insert_batch t me ~rid ~items ~origin ~hops
   | AckBatch { rid; keys; region; hops } ->
     deliver_batch_ack t rid ~from:src ~found:(List.map (fun k -> (k, [])) keys) ~region ~hops
-  | MultiLookup { rid; keys; origin; hops } -> handle_multi_lookup t me ~rid ~keys ~origin ~hops
+  | MultiLookup { rid; keys; origin; hops } ->
+    Node.bump_served me;
+    handle_multi_lookup t me ~rid ~keys ~origin ~hops
   | MultiFound { rid; found; region; hops } -> deliver_batch_ack t rid ~from:src ~found ~region ~hops
   | Probe { rid; token; clip_lo; clip_hi; origin; hops; pred } ->
+    Node.bump_served me;
     handle_probe t me ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred
   | Replicate { item; rounds_left } -> handle_replicate t me ~item ~rounds_left
-  | Delete { rid; key; item_id; origin; hops } -> handle_delete t me ~rid ~key ~item_id ~origin ~hops
+  | Delete { rid; key; item_id; origin; hops } ->
+    Node.bump_served me;
+    handle_delete t me ~rid ~key ~item_id ~origin ~hops
   | Unreplicate { key; item_id } ->
     Store.remove me.store ~key ~item_id;
     Node.bump_epoch me
@@ -1090,6 +1183,22 @@ let dispatch t (me : Node.t) ~src msg =
     List.iter
       (fun s -> if Statcache.merge me.stat_cache s then cache_incr t "cache.stats.merged")
       summaries
+  | HotSync { region; owner; spread; items; retire } ->
+    if retire then begin
+      Node.clear_hot me;
+      cache_incr t "balance.retire_recv"
+    end
+    else begin
+      (* (Re)install the boost copy wholesale: each balance round ships
+         the owner's current region content, so staleness is bounded by
+         the control-loop interval. *)
+      Store.clear me.hot_store;
+      List.iter (fun it -> ignore (Store.put me.hot_store it)) items;
+      me.hot_region <- Some region;
+      me.hot_owner <- owner;
+      me.hot_spread <- spread;
+      cache_incr t "balance.sync_recv"
+    end
   | Task { run; _ } -> run me.id
   | Exchange { run; _ } -> run me.id
   | (SyncDigest _ | SyncRequest _ | SyncItems _) as m -> handle_sync t ~me ~src m
@@ -1106,6 +1215,7 @@ let add_node t id =
   end;
   let n = Node.create id in
   Shortcuts.set_capacity n.Node.shortcuts t.config.shortcut_capacity;
+  Shortcuts.set_spread n.Node.shortcuts t.config.spread_load;
   t.node_arena.(id) <- Some n;
   t.n_nodes <- t.n_nodes + 1;
   if id > t.max_node_id then t.max_node_id <- id;

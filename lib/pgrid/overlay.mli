@@ -45,6 +45,13 @@ val create :
 val sim : t -> Sim.t
 val net : t -> Message.t Net.t
 val config : t -> Config.t
+
+(** [set_config t c] swaps the live parameter set — used to toggle the
+    adaptive-balancing arm ([adaptive_timeout] / [hot_replication] /
+    [spread_load]) on an already-built deployment. Per-node shortcut
+    spread mode is re-propagated to every node. *)
+val set_config : t -> Config.t -> unit
+
 val rng : t -> Unistore_util.Rng.t
 
 (** [set_metrics t (Some m)] starts recording operation-level series

@@ -1,0 +1,101 @@
+(* Per-peer request-latency estimation feeding adaptive retry
+   deadlines (Jacobson/Karels-style: EWMA mean plus a deviation term),
+   in the spirit of swift-libp2p's PeerLatencyTracker. Each node keeps
+   one tracker and observes the end-to-end latency of every completed
+   operation, keyed three ways: by responding peer (the sharpest
+   signal, available once a shortcut pins a responder), by operation
+   class ("lookup", "insert", "range", ...; fan-out classes have very
+   different latency profiles), and globally. Deadline lookup falls
+   back peer -> class -> global -> configured fixed timeout, so a cold
+   tracker behaves exactly like the fixed-timeout code it replaces.
+
+   Only successful completions are observed (Karn's algorithm: samples
+   from retried exchanges are ambiguous), so the estimate cannot be
+   dragged up by its own give-ups. *)
+
+type entry = { mutable mean : float; mutable dev : float; mutable n : int }
+
+type t = {
+  per_peer : (int, entry) Hashtbl.t;
+  per_class : (string, entry) Hashtbl.t;
+  global : entry;
+  alpha : float;  (* EWMA gain for the mean *)
+  beta : float;  (* EWMA gain for the mean deviation *)
+}
+
+let create () =
+  {
+    per_peer = Hashtbl.create 16;
+    per_class = Hashtbl.create 8;
+    global = { mean = 0.0; dev = 0.0; n = 0 };
+    alpha = 0.125;
+    beta = 0.25;
+  }
+
+let update t (e : entry) sample =
+  if e.n = 0 then begin
+    e.mean <- sample;
+    e.dev <- sample /. 2.0
+  end
+  else begin
+    let err = sample -. e.mean in
+    e.mean <- e.mean +. (t.alpha *. err);
+    e.dev <- e.dev +. (t.beta *. (Float.abs err -. e.dev))
+  end;
+  e.n <- e.n + 1
+
+let peer_entry t peer =
+  match Hashtbl.find_opt t.per_peer peer with
+  | Some e -> e
+  | None ->
+    let e = { mean = 0.0; dev = 0.0; n = 0 } in
+    Hashtbl.replace t.per_peer peer e;
+    e
+
+let class_entry t cls =
+  match Hashtbl.find_opt t.per_class cls with
+  | Some e -> e
+  | None ->
+    let e = { mean = 0.0; dev = 0.0; n = 0 } in
+    Hashtbl.replace t.per_class cls e;
+    e
+
+(* [observe t ?peer ~cls sample] folds one completed-operation latency
+   (simulated ms) into the peer, class and global estimates. *)
+let observe t ?peer ~cls sample =
+  if sample >= 0.0 then begin
+    (match peer with Some p -> update t (peer_entry t p) sample | None -> ());
+    update t (class_entry t cls) sample;
+    update t t.global sample
+  end
+
+let forget_peer t peer = Hashtbl.remove t.per_peer peer
+
+(* An entry predicts once it has a couple of samples; mean + 4 dev is
+   the classic RTO, and the extra 2x headroom keeps rare-but-legitimate
+   stragglers (deep fan-outs, lognormal WAN tails) from triggering
+   spurious retries that would perturb fault-free runs. *)
+let min_samples = 2
+let headroom = 2.0
+
+let predict e = if e.n >= min_samples then Some ((e.mean +. (4.0 *. e.dev)) *. headroom) else None
+
+(* [deadline t ?peer ~cls ~fallback ~min_ms ~max_ms] is the adaptive
+   retry deadline: the sharpest available estimate clamped into
+   [min_ms, max_ms], or [fallback] (the fixed configured timeout) when
+   the tracker is cold. *)
+let deadline t ?peer ~cls ~fallback ~min_ms ~max_ms () =
+  let est =
+    match Option.bind peer (fun p -> Option.bind (Hashtbl.find_opt t.per_peer p) predict) with
+    | Some _ as s -> s
+    | None -> (
+      match Option.bind (Hashtbl.find_opt t.per_class cls) predict with
+      | Some _ as s -> s
+      | None -> predict t.global)
+  in
+  match est with
+  | Some d -> Float.max min_ms (Float.min max_ms d)
+  | None -> fallback
+
+let samples t = t.global.n
+let mean t = if t.global.n = 0 then Float.nan else t.global.mean

@@ -43,6 +43,15 @@ type 'msg t = {
   mutable alive_len : int;
   mutable n_slow : int;  (* peers with slowf <> 1.0; 0 short-circuits sends *)
   mutable n_partitioned : int;  (* peers with pgroup <> 0; 0 short-circuits *)
+  (* Per-peer service-queue model: a peer with svc_ms > 0 processes one
+     inbound message every svc_ms simulated ms; arrivals queue FIFO
+     behind in-service work ([busy_until] is the virtual-clock end of
+     the last accepted job). svc_ms = 0 (the default) is the classic
+     infinite-capacity peer and costs nothing on the delivery path. *)
+  mutable svc_ms : float array;
+  mutable busy_until : float array;
+  mutable qdepth : int array;  (* messages accepted but not yet handled *)
+  mutable n_serviced : int;  (* peers with svc_ms > 0; 0 short-circuits *)
   (* Aggregate counters are mutable ints rather than a reallocated
      record: several are bumped on every send and every delivery. *)
   mutable sent : int;
@@ -81,6 +90,10 @@ let create sim ~latency ~rng ?(drop = 0.0) ?(size = fun _ -> 64) ?(kind = fun _ 
     alive_len = 0;
     n_slow = 0;
     n_partitioned = 0;
+    svc_ms = [||];
+    busy_until = [||];
+    qdepth = [||];
+    n_serviced = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -102,14 +115,23 @@ let ensure_capacity t id =
     let nslowf = Array.make ncap 1.0 in
     let npgroup = Array.make ncap 0 in
     let npos = Array.make ncap (-1) in
+    let nsvc = Array.make ncap 0.0 in
+    let nbusy = Array.make ncap 0.0 in
+    let nqdepth = Array.make ncap 0 in
     Array.blit t.handlers 0 nhandlers 0 cap;
     Array.blit t.slowf 0 nslowf 0 cap;
     Array.blit t.pgroup 0 npgroup 0 cap;
     Array.blit t.alive_pos 0 npos 0 cap;
+    Array.blit t.svc_ms 0 nsvc 0 cap;
+    Array.blit t.busy_until 0 nbusy 0 cap;
+    Array.blit t.qdepth 0 nqdepth 0 cap;
     t.handlers <- nhandlers;
     t.slowf <- nslowf;
     t.pgroup <- npgroup;
-    t.alive_pos <- npos
+    t.alive_pos <- npos;
+    t.svc_ms <- nsvc;
+    t.busy_until <- nbusy;
+    t.qdepth <- nqdepth
   end
 
 let set_trace t tr = t.tracer <- tr
@@ -143,6 +165,37 @@ let clear_slow t peer =
 
 let slow_factor t peer =
   if peer >= 0 && peer < Array.length t.slowf then t.slowf.(peer) else 1.0
+
+let set_service t peer ~ms =
+  if ms < 0.0 then invalid_arg "Net.set_service: negative service time";
+  if peer >= 0 then begin
+    ensure_capacity t peer;
+    let old = t.svc_ms.(peer) in
+    if old <= 0.0 && ms > 0.0 then t.n_serviced <- t.n_serviced + 1
+    else if old > 0.0 && ms <= 0.0 then t.n_serviced <- t.n_serviced - 1;
+    t.svc_ms.(peer) <- ms;
+    if ms <= 0.0 then begin
+      t.busy_until.(peer) <- 0.0;
+      t.qdepth.(peer) <- 0
+    end
+  end
+
+let set_service_all t ~ms =
+  for id = 0 to t.max_id do
+    match t.handlers.(id) with Some _ -> set_service t id ~ms | None -> ()
+  done
+
+let service_ms t peer =
+  if peer >= 0 && peer < Array.length t.svc_ms then t.svc_ms.(peer) else 0.0
+
+let queue_depth t peer =
+  if peer >= 0 && peer < Array.length t.qdepth then t.qdepth.(peer) else 0
+
+(* Simulated ms of queued + in-service work at [peer] right now. *)
+let service_backlog t peer =
+  if peer >= 0 && peer < Array.length t.busy_until then
+    Float.max 0.0 (t.busy_until.(peer) -. Sim.now t.sim)
+  else 0.0
 
 let set_partition t peer ~group =
   if peer >= 0 then begin
@@ -304,21 +357,58 @@ let send t ~src ~dst msg =
         if t.n_slow = 0 then l else l *. Float.max (slow_factor t src) (slow_factor t dst)
       end
     in
-    Sim.schedule t.sim ~delay (fun () ->
-        if is_alive t dst then begin
-          match t.handlers.(dst) with
-          | Some handler ->
-            t.delivered <- t.delivered + 1;
-            t.bytes_delivered <- t.bytes_delivered + nbytes;
-            resolve Trace.Delivered;
-            handler ~src msg
-          | None ->
-            t.to_dead <- t.to_dead + 1;
-            resolve Trace.To_dead
-        end
-        else begin
+    let deliver () =
+      if is_alive t dst then begin
+        match t.handlers.(dst) with
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          t.bytes_delivered <- t.bytes_delivered + nbytes;
+          resolve Trace.Delivered;
+          handler ~src msg
+        | None ->
           t.to_dead <- t.to_dead + 1;
           resolve Trace.To_dead
+      end
+      else begin
+        t.to_dead <- t.to_dead + 1;
+        resolve Trace.To_dead
+      end
+    in
+    Sim.schedule t.sim ~delay (fun () ->
+        (* Arrival. With a service model at [dst], the message takes a
+           FIFO ticket behind whatever is queued or in service; delivery
+           (the handler call) happens when its service slot completes.
+           Aliveness is re-checked at delivery, so a peer dying with a
+           backlog loses the backlog. *)
+        let svc = if t.n_serviced = 0 || not (in_arena t dst) then 0.0 else t.svc_ms.(dst) in
+        if svc <= 0.0 then deliver ()
+        else if not (is_alive t dst) then begin
+          t.to_dead <- t.to_dead + 1;
+          resolve Trace.To_dead
+        end
+        else begin
+          let now = Sim.now t.sim in
+          let start = Float.max now t.busy_until.(dst) in
+          let wait = start -. now in
+          t.busy_until.(dst) <- start +. svc;
+          t.qdepth.(dst) <- t.qdepth.(dst) + 1;
+          (match t.metrics with
+          | Some m ->
+            Metrics.incr m "queue.msgs";
+            if wait > 0.0 then Metrics.incr m "queue.delayed";
+            Metrics.observe m "queue.wait_ms" wait;
+            Metrics.observe m
+              ~buckets:(Unistore_obs.Histogram.linear ~lo:1.0 ~step:1.0 ~n:64)
+              "queue.depth"
+              (float_of_int t.qdepth.(dst))
+          | None -> ());
+          (match t.tracer with
+          | Some tr when wait > 0.0 ->
+            Trace.mark tr ~time:now ~src:dst ~kind:"queue.wait" ()
+          | _ -> ());
+          Sim.schedule t.sim ~delay:(wait +. svc) (fun () ->
+              t.qdepth.(dst) <- t.qdepth.(dst) - 1;
+              deliver ())
         end)
   end
 

@@ -103,6 +103,36 @@ val set_partition : 'msg t -> int -> group:int -> unit
 val clear_partitions : 'msg t -> unit
 val partition_group : 'msg t -> int -> int
 
+(** {2 Per-peer service queue}
+
+    A peer with a service time processes inbound messages one at a
+    time, [ms] simulated ms each; arrivals queue FIFO behind queued and
+    in-service work, so queueing delay and overload are first-class
+    observables. With a metrics registry attached, each accepted
+    message accounts [queue.msgs], [queue.delayed] (wait > 0) and the
+    [queue.wait_ms] / [queue.depth] histograms; with a tracer attached,
+    a delayed acceptance records a ["queue.wait"] marker event. The
+    default service time is 0 — the classic infinite-capacity peer —
+    and that path costs nothing per delivery. *)
+
+(** [set_service t peer ~ms] sets [peer]'s per-message service time in
+    simulated ms; [~ms:0.0] removes the service model (and clears any
+    backlog bookkeeping). Raises [Invalid_argument] if [ms < 0]. *)
+val set_service : 'msg t -> int -> ms:float -> unit
+
+(** [set_service_all t ~ms] applies {!set_service} to every registered
+    peer. *)
+val set_service_all : 'msg t -> ms:float -> unit
+
+val service_ms : 'msg t -> int -> float
+
+(** Messages accepted by [peer]'s queue whose handler has not run yet
+    (queued + in service). 0 without a service model. *)
+val queue_depth : 'msg t -> int -> int
+
+(** Simulated ms until [peer]'s queue drains, as of now. *)
+val service_backlog : 'msg t -> int -> float
+
 (** [partitioned t ~src ~dst] holds when a message from [src] to [dst]
     would be cut by the current partition. *)
 val partitioned : 'msg t -> src:int -> dst:int -> bool

@@ -39,6 +39,11 @@ let mark t ?(corr = -1) ~time ~src ~kind () =
 
 let is_fault e = String.length e.kind >= 6 && String.equal (String.sub e.kind 0 6) "fault."
 
+(* Every out-of-band marker namespace: injected faults plus the service
+   queue's "queue.*" annotations. Linters use this to skip events that
+   are not protocol messages. *)
+let is_marker e = is_fault e || String.starts_with ~prefix:"queue." e.kind
+
 let by_kind t =
   let tbl = Hashtbl.create 16 in
   List.iter

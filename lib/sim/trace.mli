@@ -58,6 +58,11 @@ val mark : t -> ?corr:int -> time:float -> src:int -> kind:string -> unit -> uni
     skip them. *)
 val is_fault : event -> bool
 
+(** [is_marker e] holds for every out-of-band marker namespace:
+    {!is_fault} plus the service queue's ["queue.*"] annotations
+    (see {!Net.set_service}). *)
+val is_marker : event -> bool
+
 (** {2 Analysis} *)
 
 (** [by_kind t] lists [(kind, count, bytes)] sorted by count, descending. *)

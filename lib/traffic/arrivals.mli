@@ -1,0 +1,11 @@
+(** Open-loop arrival processes: inter-arrival gaps independent of
+    completions. *)
+
+type t =
+  | Poisson  (** exponential gaps — memoryless, bursty *)
+  | Deterministic  (** fixed gaps — smooth offered load *)
+
+(** [gap t rng ~rate_per_ms] draws the milliseconds until the next
+    arrival. Poisson consumes exactly one RNG draw, Deterministic none.
+    Raises [Invalid_argument] on non-positive rate. *)
+val gap : t -> Unistore_util.Rng.t -> rate_per_ms:float -> float

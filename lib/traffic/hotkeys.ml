@@ -1,0 +1,27 @@
+module Zipf = Unistore_util.Zipf
+
+(* Zipf-skewed key popularity over a fixed key population. The keys are
+   sorted before ranking, so the popular head ranks are lexicographic
+   neighbors — they land in one (or a few) trie regions, which is what
+   makes the skew a *regional* hot spot rather than diffuse load. *)
+
+type t = { keys : string array; zipf : Zipf.t }
+
+let create ~keys ~s =
+  if Array.length keys = 0 then invalid_arg "Hotkeys.create: empty key set";
+  let keys = Array.copy keys in
+  Array.sort String.compare keys;
+  { keys; zipf = Zipf.create ~n:(Array.length keys) ~s }
+
+let sample t rng = t.keys.(Zipf.sample t.zipf rng - 1)
+let n t = Array.length t.keys
+
+(* The cumulative probability mass of the [k] hottest keys — handy for
+   sizing a flash experiment ("the top 5 keys draw 60% of traffic"). *)
+let head_mass t k =
+  let k = min k (Zipf.n t.zipf) in
+  let acc = ref 0.0 in
+  for rank = 1 to k do
+    acc := !acc +. Zipf.probability t.zipf rank
+  done;
+  !acc

@@ -1,0 +1,17 @@
+(** Zipf-skewed key popularity. Keys are sorted before ranking so the
+    hot head is lexicographically clustered — a {e regional} hot spot
+    in the key-order-preserving P-Grid trie. *)
+
+type t
+
+(** [create ~keys ~s] ranks a copy of [keys] (sorted) under a Zipf
+    distribution with exponent [s]. Raises on an empty key set. *)
+val create : keys:string array -> s:float -> t
+
+(** Draw one key (exactly one RNG draw). *)
+val sample : t -> Unistore_util.Rng.t -> string
+
+val n : t -> int
+
+(** [head_mass t k] is the probability mass of the [k] hottest keys. *)
+val head_mass : t -> int -> float

@@ -1,0 +1,29 @@
+(* Rate schedules: a time-varying multiplier applied to the base
+   arrival rate. [t] is milliseconds since the start of the run. *)
+
+type t =
+  | Steady
+  | Flash of { peak : float; at_ms : float; ramp_ms : float; hold_ms : float }
+  | Diurnal of { period_ms : float; trough : float }
+
+let pi = 4.0 *. atan 1.0
+
+let factor sched ~t =
+  match sched with
+  | Steady -> 1.0
+  | Flash { peak; at_ms; ramp_ms; hold_ms } ->
+    (* Piecewise-linear spike: 1 -> peak over [at, at+ramp], hold at
+       peak for [hold], back down to 1 over another [ramp]. *)
+    if t < at_ms then 1.0
+    else if t < at_ms +. ramp_ms then
+      1.0 +. ((peak -. 1.0) *. ((t -. at_ms) /. ramp_ms))
+    else if t < at_ms +. ramp_ms +. hold_ms then peak
+    else if t < at_ms +. (2.0 *. ramp_ms) +. hold_ms then
+      peak -. ((peak -. 1.0) *. ((t -. at_ms -. ramp_ms -. hold_ms) /. ramp_ms))
+    else 1.0
+  | Diurnal { period_ms; trough } ->
+    (* Sinusoid between [trough] and 1, starting (and peaking) at the
+       quarter-period: factor(0) = midpoint rising. *)
+    let mid = (1.0 +. trough) /. 2.0 in
+    let amp = (1.0 -. trough) /. 2.0 in
+    mid +. (amp *. sin (2.0 *. pi *. t /. period_ms))

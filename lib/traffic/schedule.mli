@@ -1,0 +1,14 @@
+(** Rate schedules for the open-loop traffic generator: a deterministic
+    time-varying multiplier on the base arrival rate. *)
+
+type t =
+  | Steady  (** constant multiplier 1 *)
+  | Flash of { peak : float; at_ms : float; ramp_ms : float; hold_ms : float }
+      (** flash crowd: ramp linearly from 1 to [peak] over [ramp_ms]
+          starting at [at_ms], hold for [hold_ms], ramp back down *)
+  | Diurnal of { period_ms : float; trough : float }
+      (** sinusoidal day/night cycle between [trough] and 1 *)
+
+(** [factor sched ~t] is the rate multiplier at [t] milliseconds into
+    the run. Pure — same inputs, same output. *)
+val factor : t -> t:float -> float

@@ -45,6 +45,10 @@ let of_node ~now (nd : Node.t) =
         then a.string_valued <- true)
       ;
   let region_lo, _ = Node.region nd in
+  (* One sample per round per node: every summary of this node carries
+     the same served-request delta (consumers take the max per region,
+     not the sum). *)
+  let load = Node.served_delta nd in
   Hashtbl.fold
     (fun attr a l ->
       {
@@ -58,6 +62,7 @@ let of_node ~now (nd : Node.t) =
         string_valued = a.string_valued;
         version = nd.Node.write_epoch;
         sampled_at = now;
+        load;
       }
       :: l)
     per_attr []

@@ -214,7 +214,7 @@ let test_qcache_access_keys_do_not_collide () =
 (* Statcache *)
 
 let summary ?(attr = "age") ?(region_lo = "r0") ?(peer = 1) ?(count = 10) ?(distinct = 5)
-    ?(version = 1) ?(sampled_at = 0.0) () =
+    ?(version = 1) ?(sampled_at = 0.0) ?(load = 0) () =
   {
     Statcache.attr;
     region_lo;
@@ -226,6 +226,7 @@ let summary ?(attr = "age") ?(region_lo = "r0") ?(peer = 1) ?(count = 10) ?(dist
     string_valued = false;
     version;
     sampled_at;
+    load;
   }
 
 let test_statcache_merge_newest_wins () =

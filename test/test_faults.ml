@@ -375,9 +375,9 @@ let test_agg_owner_crash_terminates () =
 (* ------------------------------------------------------------------ *)
 (* Backoff timing *)
 
-(* With jitter zeroed, the retry schedule is exact: timeouts at 100ms,
-   then 200ms, then 400ms — a request whose region is entirely dead
-   gives up incomplete at precisely 700ms. *)
+(* With jitter zeroed and adaptive deadlines off, the retry schedule is
+   exact: timeouts at 100ms, then 200ms, then 400ms — a request whose
+   region is entirely dead gives up incomplete at precisely 700ms. *)
 let test_backoff_schedule () =
   let config =
     {
@@ -387,6 +387,7 @@ let test_backoff_schedule () =
       retries = 2;
       retry_backoff = 2.0;
       retry_jitter = 0.0;
+      adaptive_timeout = false;
     }
   in
   let keys = random_words (Rng.create 17) 40 in
@@ -404,6 +405,39 @@ let test_backoff_schedule () =
   Alcotest.(check bool) "gives up incomplete" false r.Overlay.complete;
   check (Alcotest.float 0.001) "zero coverage" 0.0 r.Overlay.completeness;
   check (Alcotest.float 1.0) "gave up at 100+200+400 ms" 700.0 r.Overlay.latency
+
+(* The adaptive (EWMA) deadline policy — the default — gives up on a
+   dead region strictly sooner than the fixed 100ms schedule: the
+   lookups feeding the overlay's RTT estimators ran in a few simulated
+   ms, so the learned deadline undercuts the configured ceiling. *)
+let test_adaptive_deadline_beats_fixed () =
+  let config =
+    {
+      Config.default with
+      replication = 2;
+      timeout_ms = 100.0;
+      retries = 2;
+      retry_backoff = 2.0;
+      retry_jitter = 0.0;
+    }
+  in
+  let keys = random_words (Rng.create 17) 40 in
+  let ov = build_overlay ~n:16 ~config ~keys () in
+  insert_all ov keys;
+  Sim.run_all (Overlay.sim ov);
+  (* Feed the RTT estimators with a few successful lookups first. *)
+  List.iteri (fun i k -> if i < 8 then ignore (Overlay.lookup_sync ov ~origin:0 ~key:k)) keys;
+  let key =
+    List.find
+      (fun k ->
+        Overlay.responsible ov k |> List.for_all (fun (n : Node.t) -> n.Node.id <> 0))
+      keys
+  in
+  Overlay.responsible ov key |> List.iter (fun (n : Node.t) -> Overlay.kill ov n.Node.id);
+  let r = Overlay.lookup_sync ov ~origin:0 ~key in
+  Alcotest.(check bool) "gives up incomplete" false r.Overlay.complete;
+  Alcotest.(check bool) "adaptive giveup strictly beats the fixed schedule" true
+    (r.Overlay.latency < 700.0)
 
 (* ------------------------------------------------------------------ *)
 (* Trace-linter integration *)
@@ -454,6 +488,8 @@ let () =
             test_partition_completeness;
           Alcotest.test_case "aggregator crash terminates" `Quick test_agg_owner_crash_terminates;
           Alcotest.test_case "backoff schedule exact" `Quick test_backoff_schedule;
+          Alcotest.test_case "adaptive deadline beats fixed" `Quick
+            test_adaptive_deadline_beats_fixed;
         ] );
       ( "repair",
         [ Alcotest.test_case "repair restores replication" `Quick test_repair_restores_replication ] );

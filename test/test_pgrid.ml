@@ -683,7 +683,7 @@ let message_witnesses =
     Message.Unreplicate { key = "k"; item_id = "i" };
     Message.Ack { rid = 1; hops = 0; region };
     Message.Lookup { rid = 1; key = "k"; origin = 0; hops = 0 };
-    Message.Found { rid = 1; items = [ it ]; hops = 0; region };
+    Message.Found { rid = 1; items = [ it ]; hops = 0; region; spread = [] };
     Message.Range
       {
         rid = 1; token = 2; lo = "a"; hi = "b"; clip_lo = "a"; clip_hi = Some "b"; origin = 0;
