@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test test-faults lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-traffic bench-smoke clean
+.PHONY: all check test test-faults lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-traffic bench-rank bench-smoke clean
 
 all: check
 
@@ -93,6 +93,17 @@ bench-scale:
 bench-traffic:
 	dune exec bench/main.exe -- traffic
 
+# Regenerate the committed ranking/similarity numbers (BENCH_rank.json):
+# the optimized fast paths (budgeted top-N traversal, leaf-local partial
+# skylines, count-filter gram pruning, batched gram fetches) vs the
+# naive arm, raced on both overlays at three network sizes. Run after
+# any change to the ranking operators (lib/qproc/ranking, the skyline
+# pushdown in exec/engine), the similarity paths (lib/triple/tstore,
+# lib/util/strdist, lib/util/topk) or the rank cost calibration, and
+# commit the diff. See EXPERIMENTS.md, section "Ranking & similarity".
+bench-rank:
+	dune exec bench/main.exe -- rank
+
 # CI bench gate: the small cached-vs-uncached, batched-vs-unbatched,
 # churn, kernel-scale and heavy-traffic runs. Fails if the caching subsystem or the
 # bulk-operation pipeline stops engaging or stops paying for itself
@@ -102,11 +113,14 @@ bench-traffic:
 # budget (an O(n) scan creeping back onto a hot path), or if adaptive
 # load balancing stops strictly beating the static baseline on served
 # throughput and p99 under a flash crowd (traffic-smoke also asserts
-# both arms return byte-identical answers). The committed full-size
+# both arms return byte-identical answers), or if the ranking/similarity
+# fast paths stop engaging (rank-smoke: fewer than two operators with a
+# 30% message-or-byte reduction on P-Grid, no leaf-dropped skyline
+# bytes, or gram pruning saving nothing). The committed full-size
 # numbers live in BENCH_cache.json, BENCH_bulk.json, BENCH_churn.json,
-# BENCH_scale.json and BENCH_traffic.json.
+# BENCH_scale.json, BENCH_traffic.json and BENCH_rank.json.
 bench-smoke:
-	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke traffic-smoke
+	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke traffic-smoke rank-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,480 @@
+(* E-rank: similarity & ranking at scale — optimized vs naive hot
+   paths, raced on both in-tree overlays.
+
+   Two identical deployments — same overlay, seed, dataset and
+   workload — differ only in the ranking configuration: one runs every
+   fast path ({!Unistore.default_rank_config}), the other the naive
+   algorithms ({!Unistore.no_rank_config}). Four measured operators:
+
+   - top-N: `ORDER BY ?v ASC LIMIT n` over a dense numeric attribute.
+     Optimized, the planner picks the budgeted sequential traversal
+     ([ATopN], {!Dht.t.range_topn}) that early-terminates after the
+     first n items plus a replication-deep confirmation; naive, the
+     whole A#v region showers to the origin and is sorted there.
+     P-Grid only — Chord's trie has no ordered traversal, so both arms
+     fetch the full region (that asymmetry is the head-to-head).
+   - skyline: the canonical two-goal query. Optimized (P-Grid), the
+     leaf-local partial skyline runs where the tuples live — all
+     triples of one logical tuple share their OID key, so dominance
+     against co-located candidates is globally sound — and dominated
+     rows never cross the network; naive, every x and y triple travels
+     to the origin first.
+   - similarity selection: edit-distance-1 lookup via the q-gram
+     index. Optimized, only a count-filter-covering rarest-first
+     prefix of the pattern's grams is fetched (recall-complete by the
+     prefix-filter bound), shipped as one MultiLookup batch where the
+     substrate has it; naive, one routed lookup per distinct gram.
+   - substring selection: positional pruning to at most 3 grams
+     (any subset of the pattern's grams is recall-complete here).
+
+   Both arms must return identical rows and full recall against a
+   locally computed oracle — asserted, not sampled. Writes
+   BENCH_rank.json; `make bench-smoke` runs the small variant without
+   touching the file. *)
+
+module Metrics = Unistore_obs.Metrics
+module Json = Unistore_obs.Json
+module Binding = Unistore_qproc.Binding
+module Keys = Unistore_triple.Keys
+module Tstore = Unistore_triple.Tstore
+module Strdist = Unistore_util.Strdist
+module Value = Unistore.Value
+module Triple = Unistore.Triple
+
+let out_file = "BENCH_rank.json"
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic dataset: one logical tuple per OID with a unique numeric
+   score (top-N), two independent skyline dimensions, and a name drawn
+   Zipf-style from a small vocabulary with deterministic single-edit
+   mutations (so edit-distance-1 queries have non-trivial answers).   *)
+
+type row = { oid : string; score : int; x : int; y : int; name : string }
+
+let vocab =
+  [|
+    "saffron"; "marzipan"; "gossamer"; "lanterns"; "obsidian"; "meridian";
+    "cascade"; "thimble"; "juniper"; "paradox"; "velveteen"; "embering";
+    "quartzite"; "willowing"; "harborage"; "nimbus"; "coppered"; "sableword";
+    "tundras"; "mosaics"; "cinders"; "fathoms"; "grottoes"; "zephyrs";
+  |]
+
+(* Zipf weights 1/(k+1) over the vocabulary, picked with a fixed
+   multiplicative hash of the row index — skewed and deterministic. *)
+let zipf_word r =
+  let n = Array.length vocab in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. float_of_int (k + 1))
+  done;
+  let u =
+    float_of_int (((r * 48271) + 11) mod 9973) /. 9973.0 *. !total
+  in
+  let rec pick k acc =
+    if k >= n - 1 then vocab.(n - 1)
+    else
+      let acc = acc +. (1.0 /. float_of_int (k + 1)) in
+      if u < acc then vocab.(k) else pick (k + 1) acc
+  in
+  pick 0 0.0
+
+(* Every third row mutates its word by one substitution, every other
+   third by one deletion — edit distance exactly 1 from the vocabulary
+   word, so d=1 similarity queries must pull them in. *)
+let mutate r s =
+  match r mod 3 with
+  | 1 ->
+    let b = Bytes.of_string s in
+    let p = r / 3 mod String.length s in
+    let c = Bytes.get b p in
+    Bytes.set b p (if c = 'z' then 'a' else Char.chr (Char.code c + 1));
+    Bytes.to_string b
+  | 2 -> String.sub s 0 (String.length s - 1)
+  | _ -> s
+
+let make_rows n =
+  List.init n (fun r ->
+      {
+        oid = Printf.sprintf "o%05d" r;
+        score = r * 7919 mod 10007;
+        x = ((r * 104729) + 13) mod 997;
+        y = ((r * 15485863) + 7) mod 983;
+        name = mutate r (zipf_word r);
+      })
+
+let tuples_of data =
+  List.map
+    (fun rw ->
+      ( rw.oid,
+        [
+          ("score", Value.I rw.score);
+          ("x", Value.I rw.x);
+          ("y", Value.I rw.y);
+          ("name", Value.S rw.name);
+        ] ))
+    data
+
+let triples_of data =
+  List.concat_map
+    (fun rw ->
+      [
+        { Triple.oid = rw.oid; attr = "score"; value = Value.I rw.score };
+        { Triple.oid = rw.oid; attr = "x"; value = Value.I rw.x };
+        { Triple.oid = rw.oid; attr = "y"; value = Value.I rw.y };
+        { Triple.oid = rw.oid; attr = "name"; value = Value.S rw.name };
+      ])
+    data
+
+let sample_keys_of triples =
+  List.concat_map
+    (fun (tr : Triple.t) ->
+      let base =
+        [
+          Keys.oid_key tr.Triple.oid;
+          Keys.attr_value_key tr.Triple.attr tr.Triple.value;
+          Keys.value_key tr.Triple.value;
+        ]
+      in
+      match tr.Triple.value with
+      | Value.S s ->
+        base @ List.map Keys.qgram_key (Strdist.distinct_qgrams ~q:Keys.q s)
+      | _ -> base)
+    triples
+
+(* ------------------------------------------------------------------ *)
+(* Local oracles: exact answers computed outside the network.         *)
+
+let topn_limit = 10
+
+let topn_oracle data =
+  List.sort (fun a b -> compare a.score b.score) data
+  |> List.filteri (fun i _ -> i < topn_limit)
+  |> List.map (fun rw -> rw.oid)
+
+(* x MIN, y MAX; strict dominance. *)
+let skyline_oracle data =
+  List.filter
+    (fun a ->
+      not
+        (List.exists
+           (fun b ->
+             b.x <= a.x && b.y >= a.y && (b.x < a.x || b.y > a.y))
+           data))
+    data
+  |> List.map (fun rw -> rw.oid)
+
+let sim_oracle data pattern =
+  List.filter (fun rw -> Strdist.within_distance pattern rw.name 1) data
+  |> List.map (fun rw -> rw.oid)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let substring_oracle data pattern =
+  List.filter (fun rw -> contains_sub ~sub:pattern rw.name) data
+  |> List.map (fun rw -> rw.oid)
+
+let recall ~got ~want =
+  match List.sort_uniq compare want with
+  | [] -> 1.0
+  | want ->
+    let got = List.sort_uniq compare got in
+    let hit = List.length (List.filter (fun w -> List.mem w got) want) in
+    float_of_int hit /. float_of_int (List.length want)
+
+(* ------------------------------------------------------------------ *)
+
+type op = {
+  messages : int;
+  bytes : int;
+  latency : float;
+  rows : string list;  (** sorted identity fingerprints, arm-comparable *)
+  recall : float;
+}
+
+type arm = {
+  label : string;
+  topn : op;
+  skyline : op;
+  sim : op;
+  substring : op;
+  skyline_bytes_saved : int;  (** dropped at the leaves, optimized arm only *)
+}
+
+let topn_query = "SELECT ?s,?v WHERE { (?s,'score',?v) } ORDER BY ?v ASC LIMIT 10"
+let topn_origins = [ 3; 17; 29 ]
+
+let skyline_query =
+  "SELECT ?s,?x,?y WHERE { (?s,'x',?x) (?s,'y',?y) } ORDER BY SKYLINE OF ?x MIN, ?y MAX"
+
+let skyline_origins = [ 5; 23 ]
+
+(* Patterns long enough that gram pruning has something to prune:
+   'saffron' carries 9 padded grams, the count-filter prefix for d=1
+   needs d*q+1 = 4 occurrences. *)
+let sim_specs = [ ("saffron", 3); ("marzipan", 11); ("gossamer", 29) ]
+
+(* Substrings with >= 4 unpadded grams, pruned to 3. *)
+let substring_specs = [ ("saffro", 7); ("arzipan", 13); ("ossamer", 19) ]
+
+let row_set (r : Unistore.Report.report) =
+  List.sort compare (List.map Binding.fingerprint r.Unistore.Report.rows)
+
+let oids_of_report (r : Unistore.Report.report) var =
+  List.filter_map
+    (fun b ->
+      match Binding.find b var with Some (Value.S s) -> Some s | _ -> None)
+    r.Unistore.Report.rows
+
+let run_arm ~overlay ~peers ~nrows ~optimized () =
+  let data = make_rows nrows in
+  let triples = triples_of data in
+  let store =
+    Unistore.create
+      ~sample_keys:(sample_keys_of triples)
+      {
+        Unistore.default_config with
+        peers;
+        seed = 42;
+        overlay;
+        qgram_index = true;
+        (* caching off in both arms: a result-cache hit would zero out
+           repeated queries on both sides and measure nothing. *)
+        cache = Unistore.no_cache;
+        rank = (if optimized then Unistore.default_rank_config else Unistore.no_rank_config);
+      }
+  in
+  let stored = Unistore.load store (tuples_of data) in
+  if stored = 0 then failwith "rank bench: nothing stored";
+  Unistore.settle store;
+  Unistore.set_stats_of_triples store triples;
+  let m = Unistore.metrics store in
+  let ts = Unistore.tstore store in
+  let query_phase vql origins oracle var =
+    Metrics.clear m;
+    let t0 = Unistore.now store in
+    let reports =
+      List.map
+        (fun origin ->
+          let r = Common.run_query_exn store ~origin vql in
+          if not r.Unistore.Report.complete then failwith "rank bench: incomplete query";
+          r)
+        origins
+    in
+    let latency = Unistore.now store -. t0 in
+    {
+      messages = Metrics.counter m "net.sent";
+      bytes = Metrics.counter m "net.bytes.sent";
+      latency;
+      rows = List.sort compare (List.concat_map row_set reports);
+      recall = recall ~got:(oids_of_report (List.hd reports) var) ~want:oracle;
+    }
+  in
+  let tstore_phase specs run oracle_of =
+    Metrics.clear m;
+    let t0 = Unistore.now store in
+    let per_pattern =
+      List.map
+        (fun (pattern, origin) ->
+          let found, (meta : Tstore.meta) = run ~pattern ~origin in
+          if not meta.Tstore.complete then failwith "rank bench: incomplete selection";
+          let ids =
+            List.sort_uniq compare
+              (List.map
+                 (fun (tr : Triple.t) ->
+                   tr.Triple.oid ^ "/" ^ Value.to_display tr.Triple.value)
+                 found)
+          in
+          let got = List.map (fun (tr : Triple.t) -> tr.Triple.oid) found in
+          (ids, recall ~got ~want:(oracle_of pattern)))
+        specs
+    in
+    let latency = Unistore.now store -. t0 in
+    {
+      messages = Metrics.counter m "net.sent";
+      bytes = Metrics.counter m "net.bytes.sent";
+      latency;
+      rows = List.sort compare (List.concat_map fst per_pattern);
+      recall = List.fold_left (fun acc (_, r) -> Float.min acc r) 1.0 per_pattern;
+    }
+  in
+  let topn = query_phase topn_query topn_origins (topn_oracle data) "s" in
+  let skyline = query_phase skyline_query skyline_origins (skyline_oracle data) "s" in
+  let skyline_bytes_saved = Metrics.counter m "probe.reduce.bytes.saved" in
+  let sim =
+    tstore_phase sim_specs
+      (fun ~pattern ~origin -> Tstore.similar_sync ts ~origin ~attr:"name" ~pattern ~d:1 ())
+      (sim_oracle data)
+  in
+  let substring =
+    tstore_phase substring_specs
+      (fun ~pattern ~origin -> Tstore.containing_sync ts ~origin ~attr:"name" ~pattern ())
+      (substring_oracle data)
+  in
+  { label = (if optimized then "optimized" else "naive"); topn; skyline; sim; substring;
+    skyline_bytes_saved }
+
+(* ------------------------------------------------------------------ *)
+
+let reduction ~naive ~optimized =
+  if naive <= 0 then 0.0 else float_of_int (naive - optimized) /. float_of_int naive
+
+let ops = [ "topn"; "skyline"; "sim"; "substring" ]
+let op_of a = function
+  | "topn" -> a.topn
+  | "skyline" -> a.skyline
+  | "sim" -> a.sim
+  | _ -> a.substring
+
+let measure ~overlay_name ~overlay ~peers ~nrows =
+  let naive = run_arm ~overlay ~peers ~nrows ~optimized:false () in
+  let optimized = run_arm ~overlay ~peers ~nrows ~optimized:true () in
+  List.iter
+    (fun name ->
+      let n = op_of naive name and o = op_of optimized name in
+      if not (List.equal String.equal n.rows o.rows) then
+        failwith
+          (Printf.sprintf "rank bench: %s/%s arms returned different rows" overlay_name name);
+      if n.recall < 1.0 || o.recall < 1.0 then
+        failwith
+          (Printf.sprintf "rank bench: %s/%s recall below 1 (naive %.3f, optimized %.3f)"
+             overlay_name name n.recall o.recall))
+    ops;
+  Common.subsection (Printf.sprintf "%s, %d peers, %d tuples" overlay_name peers nrows);
+  Common.print_table
+    [ "operator"; "naive msgs"; "opt msgs"; "msg red"; "naive bytes"; "opt bytes"; "byte red" ]
+    (List.map
+       (fun name ->
+         let n = op_of naive name and o = op_of optimized name in
+         [
+           name; Common.i n.messages; Common.i o.messages;
+           Common.pct (reduction ~naive:n.messages ~optimized:o.messages);
+           Common.i n.bytes; Common.i o.bytes;
+           Common.pct (reduction ~naive:n.bytes ~optimized:o.bytes);
+         ])
+       ops);
+  Printf.printf "skyline bytes dropped at the leaves: %d; identical rows, full recall\n"
+    optimized.skyline_bytes_saved;
+  (naive, optimized)
+
+let op_json (o : op) =
+  Json.Obj
+    [
+      ("messages", Json.Int o.messages);
+      ("bytes", Json.Int o.bytes);
+      ("latency_ms", Json.Float o.latency);
+      ("rows", Json.Int (List.length o.rows));
+      ("recall", Json.Float o.recall);
+    ]
+
+let arm_json a =
+  Json.Obj
+    (("label", Json.Str a.label)
+     :: List.map (fun name -> (name, op_json (op_of a name))) ops
+    @ [ ("skyline_bytes_saved_in_network", Json.Int a.skyline_bytes_saved) ])
+
+let cell_json ~overlay_name ~peers ~nrows (naive, optimized) =
+  Json.Obj
+    [
+      ("overlay", Json.Str overlay_name);
+      ("peers", Json.Int peers);
+      ("tuples", Json.Int nrows);
+      ("naive", arm_json naive);
+      ("optimized", arm_json optimized);
+      ( "reductions",
+        Json.Obj
+          (List.map
+             (fun name ->
+               let n = op_of naive name and o = op_of optimized name in
+               ( name,
+                 Json.Obj
+                   [
+                     ("messages", Json.Float (reduction ~naive:n.messages ~optimized:o.messages));
+                     ("bytes", Json.Float (reduction ~naive:n.bytes ~optimized:o.bytes));
+                   ] ))
+             ops) );
+    ]
+
+let overlays = [ ("pgrid", Unistore.Pgrid); ("chord", Unistore.Chord_trie) ]
+let sizes = [ (48, 192); (96, 384); (192, 768) ]
+
+let run () =
+  Common.section "E-rank: similarity & ranking fast paths, P-Grid vs Chord head-to-head"
+    "budgeted top-N traversal, leaf-local partial skylines, count-filter gram pruning and \
+     batched gram fetches cut ranking/similarity traffic without losing a single row";
+  let cells =
+    List.concat_map
+      (fun (overlay_name, overlay) ->
+        List.map
+          (fun (peers, nrows) ->
+            let r = measure ~overlay_name ~overlay ~peers ~nrows in
+            cell_json ~overlay_name ~peers ~nrows r)
+          sizes)
+      overlays
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ( "description",
+          Json.Str
+            "UniStore ranking/similarity hot paths: identical deployments and workloads per \
+             cell, every fast path disabled (naive arm) vs enabled (optimized arm), raced \
+             on both overlays and three network sizes. Operators: top-N (budgeted ordered \
+             traversal vs full-region fetch), skyline (leaf-local partial skyline pushdown \
+             vs ship-everything), similarity selection (count-filter gram pruning + batched \
+             MultiLookup vs one lookup per gram), substring selection (3-gram positional \
+             pruning vs all grams). Both arms returned identical rows at recall 1.0 against \
+             local oracles — asserted. Chord has no ordered traversal and no closure \
+             shipping, so its top-N/skyline arms coincide: the P-Grid advantage is the \
+             head-to-head. Regenerate with `dune exec bench/main.exe -- rank` (or `make \
+             bench-rank`). See EXPERIMENTS.md, section 'Ranking & similarity'." );
+        ( "config",
+          Json.Obj
+            [
+              ("seed", Json.Int 42);
+              ("latency_model", Json.Str "lan");
+              ("workload", Json.Str "synthetic zipf-named tuples (score, x, y, name)");
+              ("topn_limit", Json.Int topn_limit);
+              ("edit_distance", Json.Int 1);
+              ("caching", Json.Str "disabled in both arms");
+            ] );
+        ("results", Json.Arr cells);
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file
+
+(* The CI smoke variant: one size per overlay, asserts the fast paths
+   engage and pay for themselves, writes no file. *)
+let run_smoke () =
+  Common.section "E-rank (smoke)" "ranking/similarity fast paths engage and pay for themselves";
+  let peers, nrows = (48, 192) in
+  let pg_naive, pg_opt = measure ~overlay_name:"pgrid" ~overlay:Unistore.Pgrid ~peers ~nrows in
+  let ch_naive, ch_opt =
+    measure ~overlay_name:"chord" ~overlay:Unistore.Chord_trie ~peers ~nrows
+  in
+  let red sel naive opt =
+    let n = op_of naive sel and o = op_of opt sel in
+    Float.max
+      (reduction ~naive:n.messages ~optimized:o.messages)
+      (reduction ~naive:n.bytes ~optimized:o.bytes)
+  in
+  let big =
+    List.length (List.filter (fun name -> red name pg_naive pg_opt >= 0.3) ops)
+  in
+  if big < 2 then
+    failwith
+      (Printf.sprintf "bench-smoke: only %d pgrid operator(s) hit a 30%% reduction" big);
+  if pg_opt.skyline_bytes_saved <= 0 then
+    failwith "bench-smoke: skyline pushdown dropped nothing at the leaves";
+  if red "sim" pg_naive pg_opt <= 0.0 then
+    failwith "bench-smoke: gram pruning saved nothing on pgrid";
+  if red "sim" ch_naive ch_opt <= 0.0 then
+    failwith "bench-smoke: gram pruning saved nothing on chord";
+  Printf.printf "\nbench-smoke: OK\n"

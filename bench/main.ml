@@ -33,6 +33,8 @@ let experiments =
     ("scale-smoke", "E-scale smoke variant (CI gate, no file output)", Exp_scale.run_smoke);
     ("traffic", "E-traffic: heavy traffic, adaptive balancing vs static -> BENCH_traffic.json", Exp_traffic.run);
     ("traffic-smoke", "E-traffic smoke variant (CI gate, no file output)", Exp_traffic.run_smoke);
+    ("rank", "E-rank: ranking/similarity fast paths, P-Grid vs Chord -> BENCH_rank.json", Exp_rank.run);
+    ("rank-smoke", "E-rank smoke variant (CI gate, no file output)", Exp_rank.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -96,7 +96,11 @@ type config = {
   cache : cache_config;
   batch : batch_config;
   retry : retry_config;
+  rank : Tstore.rank_config;
 }
+
+let default_rank_config = Tstore.default_rank
+let no_rank_config = Tstore.no_rank
 
 let default_config =
   {
@@ -112,6 +116,7 @@ let default_config =
     cache = default_cache_config;
     batch = default_batch_config;
     retry = default_retry_config;
+    rank = default_rank_config;
   }
 
 type t = {
@@ -168,7 +173,7 @@ let create ?(sample_keys = []) config =
       in
       (None, Some c, Dht.of_chord_trie c)
   in
-  let tstore = Tstore.create ~qgrams:config.qgram_index dht in
+  let tstore = Tstore.create ~qgrams:config.qgram_index ~rank:config.rank dht in
   let metrics = Metrics.create () in
   (match (pgrid, chord) with
   | Some ov, _ -> Overlay.set_metrics ov (Some metrics)

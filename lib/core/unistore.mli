@@ -88,7 +88,18 @@ type config = {
   cache : cache_config;
   batch : batch_config;
   retry : retry_config;
+  rank : Unistore_triple.Tstore.rank_config;
+      (** ranking/similarity fast paths (gram pruning & batching,
+          budgeted top-N traversal, skyline pushdown) *)
 }
+
+(** {!Unistore_triple.Tstore.default_rank}: every ranking fast path on. *)
+val default_rank_config : Unistore_triple.Tstore.rank_config
+
+(** {!Unistore_triple.Tstore.no_rank}: the naive arm for the E-rank
+    benchmark — all pattern grams fetched one lookup each, full-region
+    top-N, origin-side skyline. *)
+val no_rank_config : Unistore_triple.Tstore.rank_config
 
 val default_config : config
 

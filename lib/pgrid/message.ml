@@ -62,6 +62,11 @@ type t =
       origin : int;
       hops : int;
       pred : Store.item -> bool;
+      reduce : (Store.item list -> Store.item list) option;
+          (** leaf-side partial reduction applied to the locally matched
+              items before they are sent back (e.g. a local skyline, so
+              dominated rows never cross the network); must only drop
+              items, never invent them *)
     }
   | Task of { bytes : int; run : int -> unit }
   | SyncDigest of { digest : (string * string * int) list }

@@ -94,6 +94,11 @@ type t =
       origin : int;
       hops : int;
       pred : Store.item -> bool;
+      reduce : (Store.item list -> Store.item list) option;
+          (** leaf-side partial reduction over the locally matched items
+              (e.g. a local skyline); must only drop items, never invent
+              them — the origin re-runs the full operator over the
+              survivors *)
     }  (** broadcast a local scan predicate to every peer intersecting the clip *)
   | Task of { bytes : int; run : int -> unit }
       (** application-shipped computation (mutant query plans); [run]

@@ -1052,15 +1052,27 @@ let handle_range t (me : Node.t) ~rid ~token ~lo ~hi ~clip_lo ~clip_hi ~origin ~
       emit items targets
     end
 
-let handle_probe t (me : Node.t) ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred =
+let handle_probe t (me : Node.t) ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred ~reduce =
   let local () =
     let acc = ref [] in
     Store.iter me.store (fun i -> if pred i then acc := i :: !acc);
-    !acc
+    (* Leaf-side partial reduction (e.g. a local skyline): items the
+       reducer drops never cross the network. *)
+    match reduce with
+    | None -> !acc
+    | Some f ->
+      let before = !acc in
+      let after = f before in
+      let saved =
+        List.fold_left (fun b i -> b + Store.item_bytes i) 0 before
+        - List.fold_left (fun b i -> b + Store.item_bytes i) 0 after
+      in
+      if saved > 0 then cache_incr t ~by:saved "probe.reduce.bytes.saved";
+      after
   in
   let forward ~dst ~token ~clip_lo ~clip_hi =
     Net.send t.net ~src:me.id ~dst
-      (Message.Probe { rid; token; clip_lo; clip_hi; origin; hops = hops + 1; pred })
+      (Message.Probe { rid; token; clip_lo; clip_hi; origin; hops = hops + 1; pred; reduce })
   in
   process_shower t me ~rid ~token ~origin ~hops ~clip_lo ~clip_hi ~local ~forward
 
@@ -1169,9 +1181,9 @@ let dispatch t (me : Node.t) ~src msg =
     Node.bump_served me;
     handle_multi_lookup t me ~rid ~keys ~origin ~hops
   | MultiFound { rid; found; region; hops } -> deliver_batch_ack t rid ~from:src ~found ~region ~hops
-  | Probe { rid; token; clip_lo; clip_hi; origin; hops; pred } ->
+  | Probe { rid; token; clip_lo; clip_hi; origin; hops; pred; reduce } ->
     Node.bump_served me;
-    handle_probe t me ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred
+    handle_probe t me ~rid ~token ~clip_lo ~clip_hi ~origin ~hops ~pred ~reduce
   | Replicate { item; rounds_left } -> handle_replicate t me ~item ~rounds_left
   | Delete { rid; key; item_id; origin; hops } ->
     Node.bump_served me;
@@ -1399,11 +1411,15 @@ let multi_lookup t ~origin ~keys ~k =
     arm_batch_timeout t rid;
     resend ()
 
-let broadcast t ~origin ~pred ~k =
+(* [lo]/[hi] clip the probe to one key region (e.g. a single index
+   family) instead of flooding the whole trie; [reduce] runs at each
+   leaf over its matched items before the reply travels. *)
+let broadcast t ~origin ?(lo = "") ?hi ?reduce ~pred ~k () =
   let rid = start_multi t ~op:"broadcast" ~origin ~k in
   let me = node t origin in
   let send () =
-    handle_probe t me ~rid ~token:(fresh_rid t) ~clip_lo:"" ~clip_hi:None ~origin ~hops:0 ~pred
+    handle_probe t me ~rid ~token:(fresh_rid t) ~clip_lo:lo ~clip_hi:hi ~origin ~hops:0 ~pred
+      ~reduce
   in
   set_multi_resend t rid send;
   send ()
@@ -1443,7 +1459,7 @@ let range_sync t ~origin ?strategy ?budget ~lo ~hi () =
   await t (fun k -> range t ~origin ?strategy ?budget ~lo ~hi ~k ())
 
 let prefix_sync t ~origin ~prefix:p = await t (fun k -> prefix t ~origin ~prefix:p ~k)
-let broadcast_sync t ~origin ~pred = await t (fun k -> broadcast t ~origin ~pred ~k)
+let broadcast_sync t ~origin ~pred = await t (fun k -> broadcast t ~origin ~pred ~k ())
 
 let bulk_insert_sync t ~origin ~items = await t (fun k -> bulk_insert t ~origin ~items ~k)
 

@@ -160,10 +160,23 @@ val range :
     [prefix] (substring/prefix search on the indexed encodings). *)
 val prefix : t -> origin:int -> prefix:string -> k:(result -> unit) -> unit
 
-(** [broadcast t ~origin ~pred] floods the whole overlay (every alive peer
-    scans its local store with [pred]); the expensive fallback when no
-    index applies. *)
-val broadcast : t -> origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit
+(** [broadcast t ~origin ?lo ?hi ?reduce ~pred ~k ()] floods the overlay
+    region \[[lo],[hi]) (default: every alive peer) and scans each local
+    store with [pred]; the expensive fallback when no index applies.
+    [reduce], when given, runs at every leaf over its matched items
+    before the reply is sent — a leaf-side partial reduction (e.g. a
+    local skyline) whose dropped items never cross the network. It must
+    be a pure filter: only drop items, never invent or mutate them. *)
+val broadcast :
+  t ->
+  origin:int ->
+  ?lo:string ->
+  ?hi:string ->
+  ?reduce:(Store.item list -> Store.item list) ->
+  pred:(Store.item -> bool) ->
+  k:(result -> unit) ->
+  unit ->
+  unit
 
 (** {2 Batched operations}
 

@@ -59,15 +59,20 @@ type env = {
   replication : int;
   expected_latency : float;
   batched_probes : bool;
+  gram_pruning : bool;
+  topn_budget : bool;
 }
 
-let env_of_dht (dht : Unistore_triple.Dht.t) ~replication =
+let env_of_dht ?(gram_pruning = true) ?(topn_budget = true) (dht : Unistore_triple.Dht.t)
+    ~replication =
   {
     peers = dht.Unistore_triple.Dht.peers;
     depth = max 1 (dht.Unistore_triple.Dht.depth ());
     replication = max 1 replication;
     expected_latency = dht.Unistore_triple.Dht.expected_latency;
     batched_probes = dht.Unistore_triple.Dht.multi_lookup <> None;
+    gram_pruning;
+    topn_budget = topn_budget && dht.Unistore_triple.Dht.range_topn <> None;
   }
 
 type estimate = { messages : float; latency : float; cardinality : float }
@@ -108,6 +113,24 @@ let attr_fraction stats a =
   let total = Float.max 1.0 (float_of_int stats.Qstats.total_triples) in
   Qstats.est_attr stats a /. total
 
+(* Cost of fetching [grams] gram-key postings: parallel per-gram routed
+   lookups, or — when the substrate groups probes — one multi-lookup
+   splitting down the trie to ~min(grams, leaves) touched regions. *)
+let gram_fetch_cost env ~grams ~cardinality =
+  let grams_f = Float.max 1.0 (float_of_int grams) in
+  if env.batched_probes then begin
+    let regions = Float.min grams_f (leaves env) in
+    {
+      messages = float_of_int env.depth +. (2.0 *. regions);
+      latency = (float_of_int env.depth +. 2.0) *. env.expected_latency;
+      cardinality;
+    }
+  end
+  else begin
+    let per = lookup_cost env ~cardinality:0.0 in
+    { messages = grams_f *. per.messages; latency = per.latency; cardinality }
+  end
+
 let estimate_access env stats access =
   match access with
   | AOid _ ->
@@ -130,24 +153,23 @@ let estimate_access env stats access =
     let card = Float.max 1.0 (Qstats.est_attr stats a *. 0.1) in
     shower_cost env ~fraction:(attr_fraction stats a *. 0.1) ~cardinality:card
   | AValue _ -> lookup_cost env ~cardinality:(Float.max 0.1 (Qstats.est_value stats))
-  | ASim (a, pattern, _) ->
-    let grams = List.length (Strdist.distinct_qgrams ~q:Keys.q pattern) in
-    let per = lookup_cost env ~cardinality:0.0 in
-    {
-      messages = float_of_int grams *. per.messages;
-      (* Gram lookups run in parallel. *)
-      latency = per.latency;
-      cardinality = Qstats.est_sim stats a;
-    }
-  | ASubstring (a, _) ->
-    (* Three parallel gram lookups plus local verification. *)
-    let per = lookup_cost env ~cardinality:0.0 in
-    {
-      messages = 3.0 *. per.messages;
-      latency = per.latency;
-      cardinality = Qstats.est_sim stats a;
-    }
-  | ATopN (a, n) ->
+  | ASim (a, pattern, d) ->
+    (* With gram pruning only a count-filter-covering prefix of the
+       pattern's grams is fetched (~d*q+1 gram occurrences instead of
+       all |p|+q-1); with batching the fetch is one region-splitting
+       multi-lookup. *)
+    let grams =
+      if env.gram_pruning then List.length (Strdist.prefix_grams ~q:Keys.q ~d pattern)
+      else List.length (Strdist.distinct_qgrams ~q:Keys.q pattern)
+    in
+    gram_fetch_cost env ~grams ~cardinality:(Qstats.est_sim stats a)
+  | ASubstring (a, pattern) ->
+    (* Any subset of the pattern's grams is recall-complete; pruned
+       fetches cap at 3, the naive arm fetches them all. *)
+    let total = List.length (Strdist.substring_qgrams ~q:Keys.q pattern) in
+    let grams = if env.gram_pruning then min 3 total else total in
+    gram_fetch_cost env ~grams ~cardinality:(Qstats.est_sim stats a)
+  | ATopN (a, n) when env.topn_budget ->
     (* Route to the region start, then visit just enough leaves in key
        order (serial). *)
     let region_leaves = Float.max 1.0 (leaves env *. attr_fraction stats a) in
@@ -159,6 +181,11 @@ let estimate_access env stats access =
       latency = (route +. touched +. 1.0) *. env.expected_latency;
       cardinality = Float.min (float_of_int n) (Qstats.est_attr stats a);
     }
+  | ATopN (a, n) ->
+    (* No budgeted traversal: fetch the whole region and truncate at the
+       origin. *)
+    let e = shower_cost env ~fraction:(attr_fraction stats a) ~cardinality:(Qstats.est_attr stats a) in
+    { e with cardinality = Float.min (float_of_int n) e.cardinality }
   | ABroadcast ->
     (* Flooding returns whatever the residual pattern matches; assume an
        attribute's worth of data as a neutral middle ground. *)

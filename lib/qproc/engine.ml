@@ -89,8 +89,15 @@ let fetch_expansions ts ~origin q =
 
 let cached_probe cache = Option.map (fun c a -> Qcache.cached_access c a) cache
 
+(* The cost model is calibrated against the store's actual fast-path
+   configuration (gram pruning, budgeted top-N traversals). *)
+let env_of ts ~replication =
+  let rank = Tstore.rank ts in
+  Cost.env_of_dht ~gram_pruning:rank.Tstore.prune_grams ~topn_budget:rank.Tstore.topn_budget
+    (Tstore.dht ts) ~replication
+
 let plan_query ts stats ~replication ?cache ?(expand_mappings = false) ~origin q =
-  let env = Cost.env_of_dht (Tstore.dht ts) ~replication in
+  let env = env_of ts ~replication in
   let expansions = if expand_mappings then fetch_expansions ts ~origin q else [] in
   let qgrams = Tstore.qgrams_enabled ts in
   let cached = cached_probe cache in
@@ -105,7 +112,7 @@ let plan_query ts stats ~replication ?cache ?(expand_mappings = false) ~origin q
 
 let run ts stats ~replication ?metrics ?cache ?(strategy = Centralized)
     ?(expand_mappings = false) ~origin q =
-  let env = Cost.env_of_dht (Tstore.dht ts) ~replication in
+  let env = env_of ts ~replication in
   let expansions = if expand_mappings then fetch_expansions ts ~origin q else [] in
   let qgrams = Tstore.qgrams_enabled ts in
   let strategy =
@@ -135,7 +142,16 @@ let run ts stats ~replication ?metrics ?cache ?(strategy = Centralized)
   in
   match q.Ast.union_branches with
   | [] ->
-    let plan, result = run_branch q in
+    (* Skyline queries of the canonical shape run as a leaf-reduced scan
+       when the substrate ships closures: dominated tuples are dropped at
+       the peers that hold them instead of travelling to the origin. *)
+    let pushdown =
+      match (strategy, Exec.skyline_pushdown_shape q) with
+      | Centralized, Some (goals, subj, av) when Tstore.skyline_scan_supported ts ->
+        Some (Exec.run_skyline_pushdown ts ~origin q ~goals ~subj ~av)
+      | _ -> None
+    in
+    let plan, result = match pushdown with Some pr -> pr | None -> run_branch q in
     {
       columns = columns_of q;
       rows = result.Exec.rows;

@@ -567,3 +567,174 @@ let run_mutant ?cache ts stats env ~origin (q : Ast.query) ~expansions =
     traces = List.rev !traces;
     bytes_shipped = !bytes_shipped;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Skyline pushdown                                                    *)
+
+(* A query qualifies for in-network skyline evaluation when it is exactly
+   the paper's skyline shape: every pattern binds a distinct constant
+   attribute of one shared subject variable to a distinct object
+   variable, there are no filters or unions, and SKYLINE OF ranges over
+   (a subset of) those object variables. Returns
+   [(goals, subject var, (attr, var) list)]. *)
+let skyline_pushdown_shape (q : Ast.query) =
+  match (q.Ast.union_branches, q.Ast.filters, q.Ast.order) with
+  | [], [], Some (Ast.Skyline goals) when goals <> [] ->
+    let rec collect subj acc = function
+      | [] -> Option.map (fun s -> (s, List.rev acc)) subj
+      | ({ Ast.subj = Ast.TVar s; attr = Ast.TConst (Value.S a); obj = Ast.TVar v; _ } :
+          Ast.pattern)
+        :: rest ->
+        if
+          (match subj with Some s' -> not (String.equal s s') | None -> false)
+          || List.exists (fun (a', v') -> String.equal a a' || String.equal v v') acc
+          || String.equal s v
+        then None
+        else collect (Some s) ((a, v) :: acc) rest
+      | _ :: _ -> None
+    in
+    (match collect None [] q.Ast.patterns with
+    | Some (s, av)
+      when av <> [] && List.for_all (fun (g, _) -> List.mem_assoc g (List.map (fun (a, v) -> (v, a)) av)) goals
+      ->
+      Some (goals, s, av)
+    | _ -> None)
+  | _ -> None
+
+(* Deterministic grouping of a leaf's (or the origin's) triples into
+   logical tuples: sort by OID, then attr, then encoded value. *)
+let group_by_oid triples =
+  let sorted =
+    List.stable_sort
+      (fun (a : Triple.t) b ->
+        let c = String.compare a.Triple.oid b.Triple.oid in
+        if c <> 0 then c
+        else begin
+          let c = String.compare a.Triple.attr b.Triple.attr in
+          if c <> 0 then c
+          else String.compare (Value.encode a.Triple.value) (Value.encode b.Triple.value)
+        end)
+      triples
+  in
+  let rec go groups current = function
+    | [] -> List.rev (match current with [] -> groups | g -> List.rev g :: groups)
+    | (tr : Triple.t) :: rest -> (
+      match current with
+      | (last : Triple.t) :: _ when String.equal last.Triple.oid tr.Triple.oid ->
+        go groups (tr :: current) rest
+      | [] -> go groups [ tr ] rest
+      | g -> go (List.rev g :: groups) [ tr ] rest)
+  in
+  go [] [] sorted
+
+(* The bindings one tuple produces under the pushdown pattern shape:
+   cross product over the per-attribute values, empty unless every
+   pattern attribute is present (join semantics). *)
+let tuple_bindings ~subj ~av (group : Triple.t list) =
+  match group with
+  | [] -> []
+  | tr0 :: _ ->
+    let values a =
+      List.filter_map
+        (fun (tr : Triple.t) ->
+          if String.equal tr.Triple.attr a then Some tr.Triple.value else None)
+        group
+    in
+    let seed =
+      match Binding.bind Binding.empty subj (Value.S tr0.Triple.oid) with
+      | Some b -> [ b ]
+      | None -> []
+    in
+    List.fold_left
+      (fun acc (a, v) ->
+        match values a with
+        | [] -> []
+        | vs ->
+          List.concat_map
+            (fun b -> List.filter_map (fun value -> Binding.bind b v value) vs)
+            acc)
+      seed av
+
+let run_skyline_pushdown ts ~origin (q : Ast.query) ~goals ~subj ~av =
+  let dht = Tstore.dht ts in
+  let attrs = List.map fst av in
+  let pred (tr : Triple.t) = List.exists (String.equal tr.Triple.attr) attrs in
+  (* Leaf-local reduction. Tuples are collocated (all triples of one OID
+     share a single key), so per-tuple decisions are globally sound:
+     - a tuple missing some pattern attribute produces no binding
+       anywhere -> drop all its triples;
+    - a complete single-valued tuple dominated by a co-located complete
+       single-valued tuple can never be in the global skyline (dominance
+       is transitive, so it is dominated by a locally *kept* tuple that
+       reaches the origin) -> drop it;
+     - anything else (multi-valued tuples) passes through untouched; the
+       origin re-runs the exact skyline over all survivors. *)
+  let reduce triples =
+    let groups = group_by_oid triples in
+    let classified =
+      List.map
+        (fun group ->
+          match tuple_bindings ~subj ~av group with
+          | [] -> (group, `Drop)
+          | [ b ] -> (group, `Candidate b)
+          | _ :: _ :: _ -> (group, `Pass))
+        groups
+    in
+    let candidates =
+      List.filter_map (function _, `Candidate b -> Some b | _ -> None) classified
+    in
+    List.concat_map
+      (fun (group, cls) ->
+        match cls with
+        | `Drop -> []
+        | `Pass -> group
+        | `Candidate b ->
+          if List.exists (fun b' -> Ranking.dominates goals b' b) candidates then []
+          else group)
+      classified
+  in
+  let t0 = Sim.now dht.Dht.sim in
+  let m0 = dht.Dht.total_sent () in
+  let triples, meta = Tstore.oid_scan_reduce_sync ts ~origin ~pred ~reduce in
+  let rows = List.concat_map (tuple_bindings ~subj ~av) (group_by_oid triples) in
+  let plan =
+    {
+      Physical.steps =
+        [ {
+            Physical.pattern = List.hd q.Ast.patterns;
+            access = Cost.ABroadcast;
+            bindjoin = false;
+            residual = [];
+            est = { Cost.messages = 0.0; latency = 0.0; cardinality = 0.0 };
+          } ];
+      post_filters = [];
+      order = q.Ast.order;
+      projection = q.Ast.projection;
+      distinct = q.Ast.distinct;
+      limit = q.Ast.limit;
+      expansions = [];
+      total_est = { Cost.messages = 0.0; latency = 0.0; cardinality = 0.0 };
+      branches = [];
+    }
+  in
+  let rows = postprocess plan rows in
+  let trace =
+    {
+      step = List.hd plan.Physical.steps;
+      rows_in = 0;
+      actual_card = List.length rows;
+      messages = meta.Tstore.messages;
+      latency = meta.Tstore.latency;
+      carrier = origin;
+    }
+  in
+  ( plan,
+    {
+      rows;
+      messages = dht.Dht.total_sent () - m0;
+      latency = Sim.now dht.Dht.sim -. t0;
+      complete = meta.Tstore.complete;
+      completeness = meta.Tstore.completeness;
+      traces = [ trace ];
+      bytes_shipped = 0;
+    } )

@@ -71,3 +71,30 @@ val run_mutant :
   Ast.query ->
   expansions:(string * string list) list ->
   run_result
+
+(** [skyline_pushdown_shape q] recognizes the in-network skyline shape:
+    every pattern binds a distinct constant attribute of one shared
+    subject variable to a distinct object variable, no filters or UNION
+    branches, and [SKYLINE OF] over (a subset of) those object
+    variables. Returns [(goals, subject var, (attr, object var) list)]
+    in pattern order. *)
+val skyline_pushdown_shape :
+  Ast.query -> ((string * Ast.goal) list * string * (string * string) list) option
+
+(** [run_skyline_pushdown ts ~origin q ~goals ~subj ~av] evaluates a
+    query matching {!skyline_pushdown_shape} with a leaf-reduced scan of
+    the OID region ({!Unistore_triple.Tstore.oid_scan_reduce}): each
+    peer drops tuples that cannot join (missing attributes) and complete
+    single-valued tuples dominated by a co-located tuple, so most
+    dominated rows never cross the network; the origin re-runs the exact
+    skyline over the survivors. Sound because all triples of one tuple
+    share a single OID key and are therefore collocated. Returns the
+    synthetic plan (for EXPLAIN) alongside the result. *)
+val run_skyline_pushdown :
+  Tstore.t ->
+  origin:int ->
+  Ast.query ->
+  goals:(string * Ast.goal) list ->
+  subj:string ->
+  av:(string * string) list ->
+  Physical.t * run_result

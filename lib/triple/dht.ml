@@ -29,6 +29,15 @@ type t = {
     (origin:int -> lo:string -> hi:string -> n:int -> k:(result -> unit) -> unit) option;
   prefix : origin:int -> prefix:string -> k:(result -> unit) -> unit;
   broadcast : origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit;
+  scan_reduce :
+    (origin:int ->
+    lo:string ->
+    hi:string ->
+    pred:(Store.item -> bool) ->
+    reduce:(Store.item list -> Store.item list) ->
+    k:(result -> unit) ->
+    unit)
+    option;
   bulk_insert : (origin:int -> items:Store.item list -> k:(result -> unit) -> unit) option;
   multi_lookup :
     (origin:int ->
@@ -113,7 +122,13 @@ let of_pgrid ov =
         Overlay.prefix ov ~origin ~prefix ~k:(fun r -> k (of_overlay_result r)));
     broadcast =
       (fun ~origin ~pred ~k ->
-        Overlay.broadcast ov ~origin ~pred ~k:(fun r -> k (of_overlay_result r)));
+        Overlay.broadcast ov ~origin ~pred ~k:(fun r -> k (of_overlay_result r)) ());
+    scan_reduce =
+      Some
+        (fun ~origin ~lo ~hi ~pred ~reduce ~k ->
+          Overlay.broadcast ov ~origin ~lo ~hi ~reduce ~pred
+            ~k:(fun r -> k (of_overlay_result r))
+            ());
     bulk_insert =
       (if (Overlay.config ov).Unistore_pgrid.Config.bulk_insert then
          Some
@@ -220,6 +235,7 @@ let of_chord_trie chord =
         Chord.broadcast chord ~origin ~pred:wrapped ~k:(fun r ->
             let items = List.filter_map decode_bucket_item r.Chord.items in
             k { (of_chord_result r) with items }));
+    scan_reduce = None;
     bulk_insert = None;
     multi_lookup = None;
     send_task = None;

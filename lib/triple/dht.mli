@@ -36,6 +36,22 @@ type t = {
           after [n] items, giving the n smallest matches *)
   prefix : origin:int -> prefix:string -> k:(result -> unit) -> unit;
   broadcast : origin:int -> pred:(Store.item -> bool) -> k:(result -> unit) -> unit;
+  scan_reduce :
+    (origin:int ->
+    lo:string ->
+    hi:string ->
+    pred:(Store.item -> bool) ->
+    reduce:(Store.item list -> Store.item list) ->
+    k:(result -> unit) ->
+    unit)
+    option;
+      (** clipped scan with leaf-side partial reduction (P-Grid only): a
+          probe shower over the key region \[[lo],[hi]) that runs
+          [reduce] at every leaf over its matched items before replying —
+          e.g. a local skyline, so dominated rows never cross the
+          network. [reduce] must be a pure filter (only drop items);
+          the origin re-runs the full operator over the survivors.
+          [None] when the substrate cannot ship closures. *)
   bulk_insert : (origin:int -> items:Store.item list -> k:(result -> unit) -> unit) option;
       (** batched insert: one splitting [InsertBatch] instead of one
           routed exchange per item; [None] when the substrate has no

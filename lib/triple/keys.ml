@@ -1,6 +1,8 @@
 let q = 3
 
 let oid_key oid = "O\000" ^ oid
+let oid_prefix = "O\000"
+let oid_region_end = "O\001"
 let attr_value_key attr v = "A\000" ^ attr ^ "\000" ^ Value.encode v
 let value_key v = "V\000" ^ Value.encode v
 let qgram_key gram = "Q\000" ^ gram

@@ -17,6 +17,15 @@
 (** [oid_key oid] *)
 val oid_key : string -> string
 
+(** Prefix covering the whole OID region — every triple of every logical
+    tuple lives in \[[oid_prefix],[oid_region_end]), and all triples of
+    one tuple share a single key (so they are collocated on one peer,
+    which is what makes leaf-local per-tuple reductions sound). *)
+val oid_prefix : string
+
+(** Exclusive upper bound of the OID region. *)
+val oid_region_end : string
+
 (** [attr_value_key attr v] *)
 val attr_value_key : string -> Value.t -> string
 

@@ -1,8 +1,22 @@
 module Store = Unistore_pgrid.Store
 module Sim = Unistore_sim.Sim
 module Strdist = Unistore_util.Strdist
+module Topk = Unistore_util.Topk
 
-type t = { dht : Dht.t; qgrams : bool }
+type rank_config = {
+  prune_grams : bool;
+  batch_grams : bool;
+  topn_budget : bool;
+  skyline_pushdown : bool;
+}
+
+let default_rank =
+  { prune_grams = true; batch_grams = true; topn_budget = true; skyline_pushdown = true }
+
+let no_rank =
+  { prune_grams = false; batch_grams = false; topn_budget = false; skyline_pushdown = false }
+
+type t = { dht : Dht.t; qgrams : bool; rank : rank_config }
 
 type meta = {
   hops : int;
@@ -17,9 +31,10 @@ let pp_meta fmt m =
   Format.fprintf fmt "hops=%d peers=%d complete=%b coverage=%.2f latency=%.1fms msgs=%d" m.hops
     m.peers_hit m.complete m.completeness m.latency m.messages
 
-let create ?(qgrams = true) dht = { dht; qgrams }
+let create ?(qgrams = true) ?(rank = default_rank) dht = { dht; qgrams; rank }
 let dht t = t.dht
 let qgrams_enabled t = t.qgrams
+let rank t = t.rank
 
 (* ------------------------------------------------------------------ *)
 (* Insertion                                                           *)
@@ -182,12 +197,10 @@ let top_n_by_attr t ~origin ~attr ~n ?lo ?hi ~k () =
   in
   let finish (r : Dht.result) =
     let triples = decode_items r.Dht.items in
-    let sorted =
-      List.sort (fun (a : Triple.t) b -> Value.compare a.Triple.value b.Triple.value) triples
-    in
-    k (List.filteri (fun i _ -> i < n) sorted, r)
+    let cmp (a : Triple.t) b = Value.compare a.Triple.value b.Triple.value in
+    k (Topk.smallest ~cmp n triples, r)
   in
-  match t.dht.Dht.range_topn with
+  match (if t.rank.topn_budget then t.dht.Dht.range_topn else None) with
   | Some range_topn -> range_topn ~origin ~lo:lo_key ~hi:hi_key ~n ~k:finish
   | None -> t.dht.Dht.range ~origin ~lo:lo_key ~hi:hi_key ~k:finish
 
@@ -201,6 +214,98 @@ let scan t ~origin ~pred ~k =
     match Triple.deserialize i.Store.payload with Some tr -> pred tr | None -> false
   in
   t.dht.Dht.broadcast ~origin ~pred:item_pred ~k:(decoded k)
+
+(* ------------------------------------------------------------------ *)
+(* Reduced OID-region scan (skyline pushdown)                          *)
+
+let skyline_scan_supported t = t.rank.skyline_pushdown && t.dht.Dht.scan_reduce <> None
+
+let oid_scan_reduce t ~origin ~pred ~reduce ~k =
+  let item_pred (i : Store.item) =
+    String.length i.Store.key >= 2
+    && i.Store.key.[0] = 'O'
+    && i.Store.key.[1] = '\000'
+    &&
+    match Triple.deserialize i.Store.payload with Some tr -> pred tr | None -> false
+  in
+  match (if t.rank.skyline_pushdown then t.dht.Dht.scan_reduce else None) with
+  | Some scan_reduce ->
+    (* Lift the triple-level reduction to items: decode, reduce, keep
+       exactly the items whose triples survived (reduce only drops, so
+       id membership is a faithful back-mapping). *)
+    let item_reduce items =
+      let decoded =
+        List.filter_map
+          (fun (i : Store.item) ->
+            match Triple.deserialize i.Store.payload with
+            | Some tr -> Some (i, tr)
+            | None -> None)
+          items
+      in
+      let survivors = reduce (List.map snd decoded) in
+      let keep = Hashtbl.create (max 1 (List.length survivors)) in
+      List.iter (fun tr -> Hashtbl.replace keep (Triple.id tr) ()) survivors;
+      List.filter_map
+        (fun (i, tr) -> if Hashtbl.mem keep (Triple.id tr) then Some i else None)
+        decoded
+    in
+    scan_reduce ~origin ~lo:Keys.oid_prefix ~hi:Keys.oid_region_end ~pred:item_pred
+      ~reduce:item_reduce ~k:(decoded k)
+  | None -> t.dht.Dht.broadcast ~origin ~pred:item_pred ~k:(decoded k)
+
+(* ------------------------------------------------------------------ *)
+(* q-gram candidate fetch (shared by similarity and substring search)  *)
+
+(* Fetch the union of items indexed under [grams]: one batched
+   [MultiLookup] when [batch] is on and the substrate has the bulk path,
+   otherwise one routed lookup per gram. The result record carries the
+   merged cost (worst hops/coverage, summed peers); items are returned
+   separately and [result.items] is left empty. *)
+let fetch_gram_items t ~origin ~batch grams ~k =
+  let keys = List.map Keys.qgram_key grams in
+  match keys with
+  | [] ->
+    k
+      ( [],
+        {
+          Dht.items = [];
+          hops = 0;
+          peers_hit = 0;
+          complete = true;
+          completeness = 1.0;
+          latency = 0.0;
+        } )
+  | _ -> (
+    match (batch, t.dht.Dht.multi_lookup) with
+    | true, Some multi_lookup ->
+      multi_lookup ~origin ~keys ~k:(fun (found, r) ->
+          k (List.concat_map snd found, { r with Dht.items = [] }))
+    | _ ->
+      let outstanding = ref (List.length keys) in
+      let acc = ref [] in
+      let hops = ref 0 and peers = ref 0 and complete = ref true and cov = ref 1.0 in
+      let started = Sim.now t.dht.Dht.sim in
+      List.iter
+        (fun key ->
+          t.dht.Dht.lookup ~origin ~key ~k:(fun r ->
+              acc := List.rev_append r.Dht.items !acc;
+              hops := max !hops r.Dht.hops;
+              peers := !peers + r.Dht.peers_hit;
+              if not r.Dht.complete then complete := false;
+              cov := Float.min !cov r.Dht.completeness;
+              decr outstanding;
+              if !outstanding = 0 then
+                k
+                  ( !acc,
+                    {
+                      Dht.items = [];
+                      hops = !hops;
+                      peers_hit = !peers;
+                      complete = !complete;
+                      completeness = !cov;
+                      latency = Sim.now t.dht.Dht.sim -. started;
+                    } )))
+        keys)
 
 (* ------------------------------------------------------------------ *)
 (* Similarity selection                                                *)
@@ -222,34 +327,17 @@ let similar t ~origin ~attr ~pattern ~d ~k =
   in
   if not (qgram_applicable t ~pattern ~d) then scan t ~origin ~pred:matches ~k
   else begin
-    let grams = Strdist.distinct_qgrams ~q:Keys.q pattern in
-    let outstanding = ref (List.length grams) in
-    let acc = ref [] in
-    let hops = ref 0 and peers = ref 0 and complete = ref true and cov = ref 1.0 in
-    let started = Sim.now t.dht.Dht.sim in
-    List.iter
-      (fun g ->
-        t.dht.Dht.lookup ~origin ~key:(Keys.qgram_key g) ~k:(fun r ->
-            acc := List.rev_append r.Dht.items !acc;
-            hops := max !hops r.Dht.hops;
-            peers := !peers + r.Dht.peers_hit;
-            if not r.Dht.complete then complete := false;
-            cov := Float.min !cov r.Dht.completeness;
-            decr outstanding;
-            if !outstanding = 0 then begin
-              let triples = decode_items !acc |> List.filter matches in
-              k
-                ( triples,
-                  {
-                    Dht.items = [];
-                    hops = !hops;
-                    peers_hit = !peers;
-                    complete = !complete;
-                    completeness = !cov;
-                    latency = Sim.now t.dht.Dht.sim -. started;
-                  } )
-            end))
-      grams
+    (* With pruning on, look up only a count-filter-covering prefix of
+       the pattern's grams (rarest first): any string within distance [d]
+       still shares at least one of them, so recall is unchanged while
+       the per-gram lookups shrink from |p|+q-1 to about d*q+1. *)
+    let grams =
+      if t.rank.prune_grams then Strdist.prefix_grams ~q:Keys.q ~d pattern
+      else Strdist.distinct_qgrams ~q:Keys.q pattern
+    in
+    fetch_gram_items t ~origin ~batch:t.rank.batch_grams grams ~k:(fun (items, r) ->
+        let triples = decode_items items |> List.filter matches in
+        k (triples, r))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -275,44 +363,24 @@ let containing t ~origin ~attr ~pattern ~k =
   in
   if not (substring_applicable t ~pattern) then scan t ~origin ~pred:matches ~k
   else begin
-    (* Look up only a few of the pattern's grams (every containing value
-       holds them all, so intersection pruning is free — candidates are
-       verified locally anyway; 3 grams balance recall pruning against
-       lookup cost). *)
+    (* A containing value holds every pattern gram, so any subset of the
+       grams is recall-complete — candidates are verified locally anyway.
+       With pruning on we fetch at most 3 grams spread across the
+       pattern (cheap intersection pruning without the full gram fan-out);
+       the unpruned arm fetches them all, the naive full intersection. *)
+    let all = Strdist.substring_qgrams ~q:Keys.q pattern in
     let grams =
-      match Strdist.substring_qgrams ~q:Keys.q pattern with
-      | g1 :: rest ->
-        let rest = List.filteri (fun i _ -> i < 2) rest in
-        g1 :: rest
-      | [] -> []
+      if not t.rank.prune_grams then all
+      else begin
+        let arr = Array.of_list all in
+        let n = Array.length arr in
+        if n <= 3 then all
+        else [ 0; n / 2; n - 1 ] |> List.sort_uniq Int.compare |> List.map (Array.get arr)
+      end
     in
-    let outstanding = ref (List.length grams) in
-    let acc = ref [] in
-    let hops = ref 0 and peers = ref 0 and complete = ref true and cov = ref 1.0 in
-    let started = Sim.now t.dht.Dht.sim in
-    List.iter
-      (fun g ->
-        t.dht.Dht.lookup ~origin ~key:(Keys.qgram_key g) ~k:(fun r ->
-            acc := List.rev_append r.Dht.items !acc;
-            hops := max !hops r.Dht.hops;
-            peers := !peers + r.Dht.peers_hit;
-            if not r.Dht.complete then complete := false;
-            cov := Float.min !cov r.Dht.completeness;
-            decr outstanding;
-            if !outstanding = 0 then begin
-              let triples = decode_items !acc |> List.filter matches in
-              k
-                ( triples,
-                  {
-                    Dht.items = [];
-                    hops = !hops;
-                    peers_hit = !peers;
-                    complete = !complete;
-                    completeness = !cov;
-                    latency = Sim.now t.dht.Dht.sim -. started;
-                  } )
-            end))
-      grams
+    fetch_gram_items t ~origin ~batch:t.rank.batch_grams grams ~k:(fun (items, r) ->
+        let triples = decode_items items |> List.filter matches in
+        k (triples, r))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -404,6 +472,9 @@ let by_value_sync t ~origin v = metered t (fun k -> by_value t ~origin v ~k)
 let top_n_by_attr_sync t ~origin ~attr ~n ?lo ?hi () =
   metered t (fun k -> top_n_by_attr t ~origin ~attr ~n ?lo ?hi ~k ())
 let scan_sync t ~origin ~pred = metered t (fun k -> scan t ~origin ~pred ~k)
+
+let oid_scan_reduce_sync t ~origin ~pred ~reduce =
+  metered t (fun k -> oid_scan_reduce t ~origin ~pred ~reduce ~k)
 
 let similar_sync t ~origin ?attr ~pattern ~d () =
   metered t (fun k -> similar t ~origin ~attr ~pattern ~d ~k)

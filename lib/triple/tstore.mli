@@ -23,12 +23,40 @@ type meta = {
 
 val pp_meta : Format.formatter -> meta -> unit
 
-(** [create ?qgrams dht] — [qgrams] (default true) controls the string
-    similarity index. *)
-val create : ?qgrams:bool -> Dht.t -> t
+(** Ranking/similarity fast-path knobs — each gates one optimization so
+    benchmarks can race optimized against naive arms on the same
+    deployment (the pattern of the cache/batching knobs in
+    {!Unistore_core.Unistore.config}). All default on. *)
+type rank_config = {
+  prune_grams : bool;
+      (** similarity: fetch only a count-filter-covering rarest-first
+          prefix of the pattern's q-grams ({!Unistore_util.Strdist.prefix_grams})
+          instead of all of them; substring: fetch at most 3 grams *)
+  batch_grams : bool;
+      (** ship the selected gram lookups as one batched [MultiLookup]
+          when the substrate has the bulk path *)
+  topn_budget : bool;
+      (** top-N: budgeted sequential traversal with early termination
+          ({!Dht.t.range_topn}) instead of fetching the whole region *)
+  skyline_pushdown : bool;
+      (** skyline: leaf-local partial skyline via {!Dht.t.scan_reduce},
+          so dominated rows never cross the network *)
+}
+
+(** All optimizations on. *)
+val default_rank : rank_config
+
+(** All optimizations off — the naive arm for A/B benchmarks. *)
+val no_rank : rank_config
+
+(** [create ?qgrams ?rank dht] — [qgrams] (default true) controls the
+    string similarity index; [rank] (default {!default_rank}) the
+    ranking/similarity fast paths. *)
+val create : ?qgrams:bool -> ?rank:rank_config -> Dht.t -> t
 
 val dht : t -> Dht.t
 val qgrams_enabled : t -> bool
+val rank : t -> rank_config
 
 (** {2 Insertion} *)
 
@@ -131,6 +159,29 @@ val top_n_by_attr_sync :
 (** Full network scan with an arbitrary predicate (flooding fallback). *)
 val scan : t -> origin:int -> pred:(Triple.t -> bool) -> k:(Triple.t list * Dht.result -> unit) -> unit
 
+(** Whether {!oid_scan_reduce} will actually reduce at the leaves
+    (substrate ships closures and the [skyline_pushdown] knob is on). *)
+val skyline_scan_supported : t -> bool
+
+(** [oid_scan_reduce t ~origin ~pred ~reduce ~k] scans the OID region
+    (where all triples of one logical tuple share a single key and are
+    therefore collocated on one peer), keeps triples matching [pred] and
+    runs [reduce] at {e each leaf} over its locally matched triples
+    before the reply travels back — the skyline-pushdown primitive: a
+    leaf-local partial skyline drops dominated tuples at the source.
+    [reduce] must only drop triples, never invent them; because tuples
+    are collocated, any per-tuple decision it makes (e.g. "this tuple is
+    incomplete" or "this tuple is dominated by a co-located one") is
+    globally sound. Falls back to an unreduced broadcast when
+    unsupported or the knob is off. *)
+val oid_scan_reduce :
+  t ->
+  origin:int ->
+  pred:(Triple.t -> bool) ->
+  reduce:(Triple.t list -> Triple.t list) ->
+  k:(Triple.t list * Dht.result -> unit) ->
+  unit
+
 (** [similar t ~origin ?attr ~pattern ~d]: triples whose string value is
     within edit distance [d] of [pattern] (restricted to [attr] when
     given). Uses the q-gram index when it can guarantee completeness
@@ -191,6 +242,13 @@ val by_attr_string_prefix_sync :
 
 val by_value_sync : t -> origin:int -> Value.t -> Triple.t list * meta
 val scan_sync : t -> origin:int -> pred:(Triple.t -> bool) -> Triple.t list * meta
+
+val oid_scan_reduce_sync :
+  t ->
+  origin:int ->
+  pred:(Triple.t -> bool) ->
+  reduce:(Triple.t list -> Triple.t list) ->
+  Triple.t list * meta
 val similar_sync : t -> origin:int -> ?attr:string -> pattern:string -> d:int -> unit -> Triple.t list * meta
 
 val containing_sync :

@@ -82,6 +82,38 @@ let substring_qgrams ~q s =
 
 let count_filter_threshold ~q ~len_a ~len_b d = max len_a len_b + q - 1 - (d * q)
 
+(* Rarity heuristic for rarest-gram-first ordering when no frequency
+   statistics are available: padding-anchored grams ("##k", "e$$") are
+   shared by every value with the same first/last characters, interior
+   grams only by values containing that exact substring — so fewer
+   padding characters first, then lexicographic for determinism. *)
+let pad_chars g = String.fold_left (fun n c -> if c = '#' || c = '$' then n + 1 else n) 0 g
+
+let prefix_grams ?freq ~q ~d pattern =
+  let grams = qgrams ~q pattern in
+  let mult = Hashtbl.create 16 in
+  List.iter
+    (fun g -> Hashtbl.replace mult g (1 + Option.value ~default:0 (Hashtbl.find_opt mult g)))
+    grams;
+  let distinct = List.sort_uniq String.compare grams in
+  let rarity g = match freq with Some f -> f g | None -> pad_chars g in
+  let ordered =
+    List.stable_sort (fun a b -> Int.compare (rarity a) (rarity b)) distinct
+  in
+  (* Count-filter lower bound: a string within edit distance [d] shares
+     at least |qgrams pattern| - d*q gram occurrences with the pattern,
+     so it can miss at most d*q of them. Selecting distinct grams until
+     their pattern-multiset multiplicity sums to d*q + 1 guarantees every
+     true match holds (hence is indexed under) at least one selected
+     gram. *)
+  let needed = (d * q) + 1 in
+  let rec take acc covered = function
+    | _ when covered >= needed -> List.rev acc
+    | [] -> List.rev acc (* whole gram set selected: bound not reachable *)
+    | g :: rest -> take (g :: acc) (covered + Hashtbl.find mult g) rest
+  in
+  take [] 0 ordered
+
 let common_gram_count ~q a b =
   let tbl = Hashtbl.create 32 in
   List.iter

@@ -42,3 +42,15 @@ val common_gram_count : q:int -> string -> string -> int
     [levenshtein a b <= d]; used to prune candidates before the exact
     verification. *)
 val passes_count_filter : q:int -> string -> string -> int -> bool
+
+(** [prefix_grams ?freq ~q ~d pattern]: the minimal rarest-first subset
+    of [pattern]'s distinct q-grams that must be probed for a complete
+    edit-distance-[d] candidate set — the count-filter lower bound says a
+    true match misses at most [d*q] of the pattern's gram occurrences, so
+    probing distinct grams whose multiplicities sum to [d*q + 1]
+    guarantees every match is indexed under at least one probed gram.
+    Grams are chosen rarest first: by [freq] when given (e.g. gossiped
+    posting sizes), else by a padding heuristic (interior grams before
+    padding-anchored ones). Returns all distinct grams when the bound is
+    not reachable (the caller should then fall back to scanning). *)
+val prefix_grams : ?freq:(string -> int) -> q:int -> d:int -> string -> string list

@@ -1,0 +1,89 @@
+(* Bounded top-k selection: a size-capped binary max-heap that keeps the
+   k smallest elements seen so far under a caller-supplied comparator.
+
+   Elements are tagged with their arrival index and ordered by
+   (cmp, arrival): the heap's contents and the sorted output are exactly
+   the first k elements of a stable full sort, so callers can swap
+   sort-then-truncate for this without changing a single result row.
+   Streaming R elements costs O(R log k) and O(k) space instead of the
+   O(R log R) / O(R) of the full sort. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  cap : int;
+  mutable heap : ('a * int) array;  (* max-heap on (cmp, arrival) *)
+  mutable size : int;
+  mutable arrivals : int;
+}
+
+let create ~cmp cap = { cmp; cap = max 0 cap; heap = [||]; size = 0; arrivals = 0 }
+let length t = t.size
+let capacity t = t.cap
+
+(* Lexicographic (cmp, arrival): later arrivals of equal elements rank
+   greater, so they are the first evicted — stable-sort semantics. *)
+let gt t (a, ia) (b, ib) =
+  let c = t.cmp a b in
+  if c <> 0 then c > 0 else ia > ib
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if gt t t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.size && gt t t.heap.(l) t.heap.(!largest) then largest := l;
+  if r < t.size && gt t t.heap.(r) t.heap.(!largest) then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let add t x =
+  if t.cap > 0 then begin
+    let tagged = (x, t.arrivals) in
+    t.arrivals <- t.arrivals + 1;
+    if t.size < t.cap then begin
+      if t.size = Array.length t.heap then begin
+        let grown = Array.make (max 4 (min t.cap (2 * max 1 t.size))) tagged in
+        Array.blit t.heap 0 grown 0 t.size;
+        t.heap <- grown
+      end;
+      t.heap.(t.size) <- tagged;
+      t.size <- t.size + 1;
+      sift_up t (t.size - 1)
+    end
+    else if gt t t.heap.(0) tagged then begin
+      (* Strictly smaller than the current worst (ties lose on arrival
+         order): evict the root. *)
+      t.heap.(0) <- tagged;
+      sift_down t 0
+    end
+  end
+  else t.arrivals <- t.arrivals + 1
+
+let add_list t xs = List.iter (add t) xs
+
+let to_sorted_list t =
+  let snapshot = Array.sub t.heap 0 t.size in
+  Array.sort (fun (a, ia) (b, ib) ->
+      let c = t.cmp a b in
+      if c <> 0 then c else Int.compare ia ib)
+    snapshot;
+  Array.to_list (Array.map fst snapshot)
+
+let smallest ~cmp n xs =
+  let t = create ~cmp n in
+  add_list t xs;
+  to_sorted_list t

@@ -1,0 +1,33 @@
+(** Bounded top-k selection.
+
+    A size-capped max-heap keeping the [k] smallest elements under a
+    caller-supplied comparator, in O(R log k) time and O(k) space for R
+    streamed elements. Ties rank by arrival order, so the result is
+    exactly the first [k] elements of a stable full sort — origin-side
+    ranking ({!Unistore_qproc.Ranking.top_n}) and in-network truncation
+    ({!Unistore_triple.Tstore.top_n_by_attr}) share this implementation
+    and agree with their sort-based references element for element. *)
+
+type 'a t
+
+(** [create ~cmp k]: an empty selector keeping the [k] smallest under
+    [cmp]. [k <= 0] keeps nothing. *)
+val create : cmp:('a -> 'a -> int) -> int -> 'a t
+
+(** Elements currently held (at most the capacity). *)
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+(** Offer one element: kept iff it ranks among the [k] smallest seen so
+    far (equal elements rank in arrival order). *)
+val add : 'a t -> 'a -> unit
+
+val add_list : 'a t -> 'a list -> unit
+
+(** The kept elements, ascending under [(cmp, arrival)] — identical to
+    [List.stable_sort cmp xs] truncated to the capacity. *)
+val to_sorted_list : 'a t -> 'a list
+
+(** One-shot convenience: [smallest ~cmp n xs]. *)
+val smallest : cmp:('a -> 'a -> int) -> int -> 'a list -> 'a list

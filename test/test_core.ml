@@ -85,10 +85,11 @@ let check_against_oracle name store dataset ?strategy ?expand_mappings src =
 (* ------------------------------------------------------------------ *)
 (* Shared deployment                                                   *)
 
-let make_store ?(peers = 32) ?(overlay = Unistore.Pgrid) ?(seed = 42) ?(typo_rate = 0.15) () =
+let make_store ?(peers = 32) ?(overlay = Unistore.Pgrid) ?(seed = 42) ?(typo_rate = 0.15)
+    ?(rank = Unistore.default_rank_config) () =
   let rng = Unistore_util.Rng.create 7 in
   let ds = Publications.generate rng { Publications.default_params with typo_rate } in
-  let config = { Unistore.default_config with peers; overlay; seed } in
+  let config = { Unistore.default_config with peers; overlay; seed; rank } in
   let store = Unistore.create ~sample_keys:(Publications.sample_keys ds) config in
   let stored = Unistore.load store ds.Publications.tuples in
   Alcotest.(check bool) "all triples stored" true (stored = List.length ds.Publications.triples);
@@ -250,6 +251,81 @@ let test_union_query () =
   match Unistore.explain store src with
   | Ok plan -> check Alcotest.int "one union branch" 1 (List.length plan.Physical.branches)
   | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Ranking/similarity fast paths: optimized and naive arms, and both
+   overlays, must produce identical result sets.                       *)
+
+let canonical_skyline_query =
+  "SELECT ?a,?age,?cnt WHERE { (?a,'age',?age) (?a,'num_of_pubs',?cnt) } \
+   ORDER BY SKYLINE OF ?age MIN, ?cnt MAX"
+
+let test_skyline_pushdown_agrees () =
+  (* The canonical-shape skyline runs as a leaf-reduced scan on P-Grid
+     with the fast paths on (single broadcast step — asserted, so the
+     pushdown actually engaged), and as a regular plan with them off or
+     on Chord; every arm must produce the reference rows. *)
+  let optimized, ds = make_store () in
+  let naive, _ = make_store ~rank:Unistore.no_rank_config () in
+  let chord, _ = make_store ~overlay:Unistore.Chord_trie () in
+  let r_opt = check_against_oracle "skyline pushdown" optimized ds canonical_skyline_query in
+  (match r_opt.Engine.plan.Physical.steps with
+  | [ s ] when s.Physical.access = Unistore_qproc.Cost.ABroadcast -> ()
+  | _ -> Alcotest.fail "expected the pushdown's single broadcast step");
+  let r_naive = check_against_oracle "skyline regular plan" naive ds canonical_skyline_query in
+  let r_chord = check_against_oracle "skyline on chord" chord ds canonical_skyline_query in
+  check
+    Alcotest.(list string)
+    "pushdown = regular plan"
+    (fingerprints r_naive.Engine.rows)
+    (fingerprints r_opt.Engine.rows);
+  check
+    Alcotest.(list string)
+    "pgrid = chord" (fingerprints r_chord.Engine.rows) (fingerprints r_opt.Engine.rows)
+
+let test_rank_paths_agree_across_overlays () =
+  (* Gram pruning and batching change which postings are fetched, never
+     which triples are returned — raced across both overlays. *)
+  let module Tstore = Unistore_triple.Tstore in
+  let optimized, ds = make_store () in
+  let naive, _ = make_store ~rank:Unistore.no_rank_config () in
+  let chord, _ = make_store ~overlay:Unistore.Chord_trie () in
+  let title =
+    List.find_map
+      (fun (tr : Triple.t) ->
+        if String.equal tr.Triple.attr "title" then Value.as_string tr.Triple.value else None)
+      ds.Publications.triples
+    |> Option.get
+  in
+  let sub = if String.length title >= 8 then String.sub title 1 7 else title in
+  let ids (found : Triple.t list) =
+    List.map
+      (fun (tr : Triple.t) -> tr.Triple.oid ^ "/" ^ Value.to_display tr.Triple.value)
+      found
+    |> List.sort_uniq compare
+  in
+  let sim store =
+    let found, (meta : Tstore.meta) =
+      Tstore.similar_sync (Unistore.tstore store) ~origin:3 ~attr:"title" ~pattern:title ~d:2 ()
+    in
+    Alcotest.(check bool) "similar complete" true meta.Tstore.complete;
+    ids found
+  in
+  let containing store =
+    let found, (meta : Tstore.meta) =
+      Tstore.containing_sync (Unistore.tstore store) ~origin:5 ~attr:"title" ~pattern:sub ()
+    in
+    Alcotest.(check bool) "containing complete" true meta.Tstore.complete;
+    ids found
+  in
+  let reference = sim optimized in
+  Alcotest.(check bool) "similarity query has matches" true (reference <> []);
+  check Alcotest.(list string) "sim: optimized = naive" (sim naive) reference;
+  check Alcotest.(list string) "sim: pgrid = chord" (sim chord) reference;
+  let sub_reference = containing optimized in
+  Alcotest.(check bool) "substring query has matches" true (sub_reference <> []);
+  check Alcotest.(list string) "substring: optimized = naive" (containing naive) sub_reference;
+  check Alcotest.(list string) "substring: pgrid = chord" (containing chord) sub_reference
 
 let test_strategies_agree () =
   let store, ds = make_store () in
@@ -579,6 +655,9 @@ let () =
         [
           Alcotest.test_case "centralized = mutant" `Quick test_strategies_agree;
           Alcotest.test_case "chord substrate" `Quick test_chord_substrate_agrees;
+          Alcotest.test_case "skyline pushdown agrees" `Quick test_skyline_pushdown_agrees;
+          Alcotest.test_case "rank paths agree across overlays" `Quick
+            test_rank_paths_agree_across_overlays;
         ] );
       ( "features",
         [

@@ -695,7 +695,7 @@ let message_witnesses =
     Message.MultiLookup { rid = 1; keys = [ "k1"; "k2" ]; origin = 0; hops = 0 };
     Message.MultiFound { rid = 1; found = [ ("k1", [ it ]) ]; region; hops = 0 };
     Message.Probe
-      { rid = 1; token = 2; clip_lo = ""; clip_hi = None; origin = 0; hops = 0; pred = (fun _ -> true) };
+      { rid = 1; token = 2; clip_lo = ""; clip_hi = None; origin = 0; hops = 0; pred = (fun _ -> true); reduce = None };
     Message.Task { bytes = 16; run = ignore };
     Message.SyncDigest { digest = [ ("k", "i", 1) ] };
     Message.SyncRequest { wanted = [ ("k", "i") ] };

@@ -158,6 +158,50 @@ let test_skyline_single_dim () =
   let sky = Ranking.skyline [ ("age", Ast.Min) ] rows in
   check Alcotest.(list int) "min only" [ 25 ] (ages sky)
 
+let test_skyline_matches_bnl () =
+  (* The presorted-window skyline must agree with the reference BNL
+     exactly — same rows, same order — including rows with a missing
+     goal dimension (which never dominate nor get dominated). *)
+  let rng = Unistore_util.Rng.create 91 in
+  for _ = 1 to 20 do
+    let rows =
+      List.init 60 (fun i ->
+          if i mod 7 = 3 then b_of_list [ ("age", Value.I (Unistore_util.Rng.int rng 15)) ]
+          else
+            b_of_list
+              [
+                ("age", Value.I (Unistore_util.Rng.int rng 15));
+                ("cnt", Value.I (Unistore_util.Rng.int rng 15));
+              ])
+    in
+    let opt = Ranking.skyline goals rows |> List.map Binding.fingerprint in
+    let reference = Ranking.skyline_bnl goals rows |> List.map Binding.fingerprint in
+    check Alcotest.(list string) "presorted skyline = reference BNL" reference opt
+  done
+
+let test_top_n_matches_sort () =
+  (* The bounded-heap top-N must equal a stable full sort truncated to
+     n, with heavy ties so stability is actually exercised. *)
+  let rng = Unistore_util.Rng.create 17 in
+  for _ = 1 to 20 do
+    let n = Unistore_util.Rng.int rng 12 in
+    let rows =
+      List.init 50 (fun _ ->
+          b_of_list
+            [
+              ("age", Value.I (Unistore_util.Rng.int rng 6));
+              ("cnt", Value.I (Unistore_util.Rng.int rng 6));
+            ])
+    in
+    let keys = [ ("age", Ast.Asc); ("cnt", Ast.Desc) ] in
+    let expect =
+      List.filteri (fun i _ -> i < n) (Ranking.order_by keys rows)
+      |> List.map Binding.fingerprint
+    in
+    let got = Ranking.top_n n keys rows |> List.map Binding.fingerprint in
+    check Alcotest.(list string) "heap top-n = sort then truncate" expect got
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Cost model + optimizer (synthetic stats) *)
 
@@ -179,7 +223,15 @@ let synthetic_stats =
   }
 
 let env =
-  { Cost.peers = 256; depth = 8; replication = 2; expected_latency = 50.0; batched_probes = false }
+  {
+    Cost.peers = 256;
+    depth = 8;
+    replication = 2;
+    expected_latency = 50.0;
+    batched_probes = false;
+    gram_pruning = true;
+    topn_budget = true;
+  }
 
 let test_cost_lookup_cheaper_than_scan () =
   let lookup = Cost.estimate_access env synthetic_stats (Cost.AAttrValue ("name", Value.S "Bob")) in
@@ -388,6 +440,8 @@ let () =
           Alcotest.test_case "skyline pareto" `Quick test_skyline_pareto;
           Alcotest.test_case "skyline = brute force" `Quick test_skyline_matches_bruteforce;
           Alcotest.test_case "skyline single dim" `Quick test_skyline_single_dim;
+          Alcotest.test_case "presorted skyline = reference bnl" `Quick test_skyline_matches_bnl;
+          Alcotest.test_case "heap top-n = sort" `Quick test_top_n_matches_sort;
         ] );
       ( "cost",
         [

@@ -317,6 +317,74 @@ let prop_count_filter_sound =
       QCheck2.assume (Strdist.levenshtein a b <= d);
       Strdist.passes_count_filter ~q:3 a b d)
 
+let prop_prefix_grams_sound =
+  (* The rarest-first count-filter prefix: whenever the similarity index
+     applies at all (the pattern has more than d*q gram occurrences, the
+     same guard the triple store uses), any string within edit distance d
+     of the pattern holds at least one selected gram — so fetching only
+     the prefix grams' postings cannot lose a true match. *)
+  qtest "prefix_grams never prunes a true match"
+    QCheck2.Gen.(triple str_gen str_gen (0 -- 2))
+    (fun (a, b, d) ->
+      QCheck2.assume (String.length a + 3 - 1 - (d * 3) >= 1);
+      QCheck2.assume (Strdist.levenshtein a b <= d);
+      let selected = Strdist.prefix_grams ~q:3 ~d a in
+      let b_grams = Strdist.distinct_qgrams ~q:3 b in
+      List.exists (fun g -> List.mem g b_grams) selected)
+
+let prop_prefix_grams_subset =
+  (* Selection only drops grams, and is non-empty for non-empty input. *)
+  qtest "prefix_grams is a non-empty subset of the distinct grams"
+    QCheck2.Gen.(pair str_gen (0 -- 2))
+    (fun (a, d) ->
+      let all = Strdist.distinct_qgrams ~q:3 a in
+      let sel = Strdist.prefix_grams ~q:3 ~d a in
+      sel <> [] && List.for_all (fun g -> List.mem g all) sel)
+
+let test_prefix_grams_rarest_first () =
+  (* With an explicit frequency oracle, rare grams are selected first. *)
+  let freq = function "#ab" -> 1 | "ab$" -> 2 | _ -> 1000 in
+  match Strdist.prefix_grams ~freq ~q:3 ~d:0 "ab" with
+  | "#ab" :: _ -> ()
+  | gs -> Alcotest.failf "expected rarest gram first, got [%s]" (String.concat ";" gs)
+
+(* ------------------------------------------------------------------ *)
+(* Topk *)
+
+let prop_topk_matches_stable_sort =
+  (* The bounded heap returns exactly the first k elements of a stable
+     full sort — ties tracked by tagging each element with its arrival
+     index and comparing on the value alone. *)
+  qtest "topk = stable sort truncated (ties by arrival)"
+    QCheck2.Gen.(pair (0 -- 8) (list_size (0 -- 40) (0 -- 4)))
+    (fun (k, vs) ->
+      let xs = List.mapi (fun i v -> (v, i)) vs in
+      let cmp (a, _) (b, _) = Int.compare a b in
+      let expect = List.filteri (fun i _ -> i < k) (List.stable_sort cmp xs) in
+      Topk.smallest ~cmp k xs = expect)
+
+let test_topk_capacity_zero () =
+  check Alcotest.(list int) "keeps nothing" [] (Topk.smallest ~cmp:Int.compare 0 [ 3; 1; 2 ]);
+  check
+    Alcotest.(list int)
+    "negative capacity" [] (Topk.smallest ~cmp:Int.compare (-2) [ 3; 1 ])
+
+let test_topk_capacity_exceeds_input () =
+  check
+    Alcotest.(list int)
+    "whole input sorted" [ 1; 2; 3 ]
+    (Topk.smallest ~cmp:Int.compare 10 [ 3; 1; 2 ])
+
+let test_topk_incremental () =
+  let t = Topk.create ~cmp:Int.compare 3 in
+  check Alcotest.int "empty" 0 (Topk.length t);
+  Topk.add_list t [ 9; 4; 7; 1; 8 ];
+  check Alcotest.int "bounded" 3 (Topk.length t);
+  check Alcotest.int "capacity" 3 (Topk.capacity t);
+  check Alcotest.(list int) "three smallest" [ 1; 4; 7 ] (Topk.to_sorted_list t);
+  Topk.add t 2;
+  check Alcotest.(list int) "displaces the largest" [ 1; 2; 4 ] (Topk.to_sorted_list t)
+
 (* ------------------------------------------------------------------ *)
 (* Zipf *)
 
@@ -439,8 +507,18 @@ let () =
           prop_levenshtein_triangle;
           prop_within_distance_agrees;
           prop_count_filter_sound;
+          prop_prefix_grams_sound;
+          prop_prefix_grams_subset;
+          Alcotest.test_case "prefix grams rarest first" `Quick test_prefix_grams_rarest_first;
           prop_substring_grams_indexed;
           Alcotest.test_case "substring qgrams" `Quick test_substring_qgrams;
+        ] );
+      ( "topk",
+        [
+          prop_topk_matches_stable_sort;
+          Alcotest.test_case "capacity zero" `Quick test_topk_capacity_zero;
+          Alcotest.test_case "capacity exceeds input" `Quick test_topk_capacity_exceeds_input;
+          Alcotest.test_case "incremental" `Quick test_topk_incremental;
         ] );
       ( "zipf",
         [
