@@ -1,7 +1,7 @@
 # Convenience entry points. Everything is plain dune underneath; these
 # targets just name the two workflows every PR runs.
 
-.PHONY: all check test test-faults lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-traffic bench-rank bench-smoke clean
+.PHONY: all check test test-faults test-store lint lint-src bench bench-baseline bench-bulk bench-churn bench-scale bench-traffic bench-rank bench-store bench-smoke clean
 
 all: check
 
@@ -20,6 +20,15 @@ test: check
 test-faults:
 	dune exec test/test_faults.exe
 	dune exec test/test_pgrid.exe -- test failover
+
+# Just the storage-backend suites: the differential harness replaying
+# every backend (hash/log/packed) against the list model, the log
+# torn-tail crash-restart tests, the 100k-triple packed-compression
+# assertion and the overlay-level crash/repair recall test. Log files
+# are written under the dune sandbox and removed by the tests
+# themselves, so the run stays hermetic.
+test-store:
+	dune exec test/test_store.exe
 
 # Static-analysis gate (lib/analysis): strict-warning build, then the
 # full analyzer suite against live deployments on both substrates —
@@ -104,6 +113,16 @@ bench-traffic:
 bench-rank:
 	dune exec bench/main.exe -- rank
 
+# Regenerate the committed storage-backend numbers (BENCH_store.json):
+# bytes/triple, insert/lookup/scan throughput and crash-restart recall
+# for the hash, log and packed backends on a 100k-triple Zipf dataset.
+# Run after any change to the store backends (lib/pgrid/store_intf,
+# backend_hash, backend_log, backend_packed, the Store facade) or the
+# memory-accounting model, and commit the diff. See EXPERIMENTS.md,
+# section "Storage".
+bench-store:
+	dune exec bench/main.exe -- store
+
 # CI bench gate: the small cached-vs-uncached, batched-vs-unbatched,
 # churn, kernel-scale and heavy-traffic runs. Fails if the caching subsystem or the
 # bulk-operation pipeline stops engaging or stops paying for itself
@@ -116,11 +135,14 @@ bench-rank:
 # both arms return byte-identical answers), or if the ranking/similarity
 # fast paths stop engaging (rank-smoke: fewer than two operators with a
 # 30% message-or-byte reduction on P-Grid, no leaf-dropped skyline
-# bytes, or gram pruning saving nothing). The committed full-size
-# numbers live in BENCH_cache.json, BENCH_bulk.json, BENCH_churn.json,
-# BENCH_scale.json, BENCH_traffic.json and BENCH_rank.json.
+# bytes, or gram pruning saving nothing), or if the storage backends
+# diverge (store-smoke: a backend losing triples, packed no longer
+# strictly below hash on bytes/triple, or the log failing to replay).
+# The committed full-size numbers live in BENCH_cache.json,
+# BENCH_bulk.json, BENCH_churn.json, BENCH_scale.json,
+# BENCH_traffic.json, BENCH_rank.json and BENCH_store.json.
 bench-smoke:
-	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke traffic-smoke rank-smoke
+	dune exec bench/main.exe -- cache-smoke bulk-smoke churn-smoke scale-smoke traffic-smoke rank-smoke store-smoke
 
 clean:
 	dune clean

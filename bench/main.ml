@@ -35,6 +35,8 @@ let experiments =
     ("traffic-smoke", "E-traffic smoke variant (CI gate, no file output)", Exp_traffic.run_smoke);
     ("rank", "E-rank: ranking/similarity fast paths, P-Grid vs Chord -> BENCH_rank.json", Exp_rank.run);
     ("rank-smoke", "E-rank smoke variant (CI gate, no file output)", Exp_rank.run_smoke);
+    ("store", "E-store: storage-backend shootout, hash vs log vs packed -> BENCH_store.json", Exp_store.run);
+    ("store-smoke", "E-store smoke variant (CI gate, no file output)", Exp_store.run_smoke);
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -35,6 +35,26 @@ let latency_t =
   let enumc = Arg.enum [ ("lan", Latency.Lan); ("planetlab", Latency.Planetlab) ] in
   Arg.(value & opt enumc Latency.Lan & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model: $(b,lan) or $(b,planetlab).")
 
+let backend_t =
+  let enumc = Arg.enum [ ("hash", `Hash); ("log", `Log); ("packed", `Packed) ] in
+  Arg.(value & opt enumc `Hash
+       & info [ "backend" ] ~docv:"KIND"
+           ~doc:"Per-peer storage backend (P-Grid only): $(b,hash) (in-memory ordered map, \
+                 the default), $(b,log) (file-backed log-structured, one append-only file \
+                 per peer under a temp directory, crash-restart capable) or $(b,packed) \
+                 (dictionary-compressed in-memory).")
+
+(* [log] keeps one append-only file per peer; key the directory by seed
+   so two concurrent invocations don't replay each other's segments. *)
+let resolve_backend ~seed = function
+  | `Hash -> Unistore_pgrid.Store_intf.Hash
+  | `Packed -> Unistore_pgrid.Store_intf.Packed
+  | `Log ->
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "unistore-log-%d" seed)
+    in
+    Unistore_pgrid.Store_intf.Log { dir }
+
 let authors_t =
   Arg.(value & opt int 20 & info [ "authors" ] ~docv:"N" ~doc:"Authors in the generated publications dataset.")
 
@@ -77,7 +97,8 @@ let fault_seed_t =
            ~doc:"Seed of the fault-injection scenario. The same seed against the same \
                  deployment replays the identical failure schedule.")
 
-let setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?(no_retry = false) () =
+let setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch
+    ?(no_retry = false) ?(store = Unistore_pgrid.Store_intf.Hash) () =
   let rng = Unistore_util.Rng.create (seed + 1) in
   let tuples, triples, sample =
     match dataset with
@@ -106,7 +127,7 @@ let setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_ba
   let retry = if no_retry then Unistore.no_retry else Unistore.default_retry_config in
   let store =
     Unistore.create ~sample_keys:sample
-      { Unistore.default_config with peers; seed; overlay; latency; cache; batch; retry }
+      { Unistore.default_config with peers; seed; overlay; latency; cache; batch; retry; store }
   in
   let n = Unistore.load store tuples in
   Unistore.set_stats_of_triples store triples;
@@ -123,9 +144,11 @@ let setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_ba
     n;
   (store, sample)
 
-let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ?(no_retry = false) () =
+let setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch
+    ?(no_retry = false) ?(store = Unistore_pgrid.Store_intf.Hash) () =
   fst
-    (setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ~no_retry ())
+    (setup_keys ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ~no_retry
+       ~store ())
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -155,10 +178,11 @@ let print_explain_analyze (report : Unistore.Report.report) =
     report.Unistore.Report.messages report.Unistore.Report.latency
     (List.length report.Unistore.Report.rows)
 
-let run_query peers seed overlay latency authors dataset strategy no_cache no_batch no_retry
-    churn fault_seed explain explain_only trace profile metrics check vql =
+let run_query peers seed overlay latency authors dataset backend strategy no_cache no_batch
+    no_retry churn fault_seed explain explain_only trace profile metrics check vql =
   let store =
-    setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ~no_retry ()
+    setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache ~no_batch ~no_retry
+      ~store:(resolve_backend ~seed backend) ()
   in
   let faults =
     if churn > 0.0 then begin
@@ -254,7 +278,7 @@ let query_cmd =
   let term =
     Term.(
       const run_query $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t
-      $ strategy_t $ no_cache_t $ no_batch_t $ no_retry_t $ churn_t $ fault_seed_t
+      $ backend_t $ strategy_t $ no_cache_t $ no_batch_t $ no_retry_t $ churn_t $ fault_seed_t
       $ explain_t $ explain_only_t $ trace_t $ profile_t $ metrics_t $ check_t $ vql_t)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run one VQL query over a freshly built deployment") term
@@ -515,8 +539,11 @@ let traffic_cmd =
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 
-let repl peers seed overlay latency authors dataset =
-  let store = setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false () in
+let repl peers seed overlay latency authors dataset backend =
+  let store =
+    setup ~peers ~seed ~overlay ~latency ~authors ~dataset ~no_cache:false ~no_batch:false
+      ~store:(resolve_backend ~seed backend) ()
+  in
   Format.printf
     "Interactive VQL. End with ';' on its own line. Commands: \\help \\stats \\peers \\quit@.";
   let buf = Buffer.create 256 in
@@ -563,7 +590,8 @@ let repl peers seed overlay latency authors dataset =
 
 let repl_cmd =
   let term =
-    Term.(const repl $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t)
+    Term.(
+      const repl $ peers_t $ seed_t $ overlay_t $ latency_t $ authors_t $ dataset_t $ backend_t)
   in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive VQL shell against a live simulated overlay") term
 

@@ -97,6 +97,7 @@ type config = {
   batch : batch_config;
   retry : retry_config;
   rank : Tstore.rank_config;
+  store : Unistore_pgrid.Store_intf.backend;
 }
 
 let default_rank_config = Tstore.default_rank
@@ -117,6 +118,7 @@ let default_config =
     batch = default_batch_config;
     retry = default_retry_config;
     rank = default_rank_config;
+    store = Unistore_pgrid.Store_intf.Hash;
   }
 
 type t = {
@@ -159,6 +161,7 @@ let create ?(sample_keys = []) config =
           retry_backoff = config.retry.backoff;
           retry_jitter = config.retry.jitter;
           failover = config.retry.failover;
+          store_backend = config.store;
         }
       in
       let ov =
@@ -431,6 +434,12 @@ let stop_trace t =
    creation — reading it is always safe. *)
 let metrics t = t.metrics
 let reset_metrics t = Metrics.clear t.metrics
+
+(* Publish [store.bytes]/[store.items]/[store.log_bytes] gauges from
+   the current per-peer stores (P-Grid only; the Chord baseline does
+   not carry pluggable storage). *)
+let refresh_store_gauges t =
+  match t.pgrid with Some ov -> Overlay.refresh_store_gauges ov | None -> ()
 let metrics_json t = Json.to_string (Metrics.to_json t.metrics)
 
 (* Per-operator query profiling (EXPLAIN ANALYZE). *)

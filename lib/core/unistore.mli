@@ -91,6 +91,11 @@ type config = {
   rank : Unistore_triple.Tstore.rank_config;
       (** ranking/similarity fast paths (gram pruning & batching,
           budgeted top-N traversal, skyline pushdown) *)
+  store : Unistore_pgrid.Store_intf.backend;
+      (** per-peer storage backend (P-Grid only; the Chord baseline
+          ignores it): [Hash] (default), [Packed] (dictionary-
+          compressed), or [Log { dir }] (file-backed, crash-restart
+          capable — see {!Unistore_pgrid.Overlay.crash}) *)
 }
 
 (** {!Unistore_triple.Tstore.default_rank}: every ranking fast path on. *)
@@ -264,6 +269,12 @@ val metrics : t -> Unistore_obs.Metrics.t
 (** Drop all recorded series (e.g. after bulk loading, before the
     measured phase). *)
 val reset_metrics : t -> unit
+
+(** Publish the storage gauges [store.bytes] / [store.items] /
+    [store.log_bytes] (summed over alive peers, deterministic
+    memory-model estimates) into the registry. No-op on the Chord
+    baseline. Call before snapshotting metrics. *)
+val refresh_store_gauges : t -> unit
 
 (** The registry as an indented JSON document (the machine-readable
     export; [BENCH_core.json] is built from these). *)

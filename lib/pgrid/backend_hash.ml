@@ -1,0 +1,117 @@
+(* The original per-peer store, ported unchanged onto {!Store_intf.S}:
+   an ordered string map from full encoded key to the (newest-first)
+   list of items stored under it. The reference backend of the
+   differential harness (test/test_store.ml), and the default. *)
+
+open Store_intf
+
+module SMap = Map.Make (String)
+
+type t = { mutable map : item list SMap.t; mutable count : int }
+
+let create () = { map = SMap.empty; count = 0 }
+
+let put t (item : item) =
+  let existing = Option.value ~default:[] (SMap.find_opt item.key t.map) in
+  let rec replace acc changed = function
+    | [] -> if changed then Some (List.rev acc) else Some (item :: List.rev acc)
+    | e :: rest when String.equal e.item_id item.item_id ->
+      if item.version >= e.version then replace (item :: acc) true rest else None
+    | e :: rest -> replace (e :: acc) changed rest
+  in
+  (* [replace] returns [None] when an entry with the same id has a strictly
+     newer version (stale update), [Some entries] otherwise. *)
+  match replace [] false existing with
+  | None -> false
+  | Some entries ->
+    let grew = List.length entries > List.length existing in
+    t.map <- SMap.add item.key entries t.map;
+    if grew then t.count <- t.count + 1;
+    true
+
+let remove t ~key ~item_id =
+  match SMap.find_opt key t.map with
+  | None -> ()
+  | Some entries ->
+    let entries' = List.filter (fun e -> not (String.equal e.item_id item_id)) entries in
+    let removed = List.length entries - List.length entries' in
+    t.count <- t.count - removed;
+    if entries' = [] then t.map <- SMap.remove key t.map
+    else t.map <- SMap.add key entries' t.map
+
+let find t key = Option.value ~default:[] (SMap.find_opt key t.map)
+
+let range t ~lo ~hi =
+  let seq = SMap.to_seq_from lo t.map in
+  let rec collect acc s =
+    match s () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons ((k, items), rest) ->
+      if String.compare k hi > 0 then List.rev acc
+      else collect (List.rev_append items acc) rest
+  in
+  collect [] seq
+
+let with_prefix t prefix =
+  let seq = SMap.to_seq_from prefix t.map in
+  let plen = String.length prefix in
+  let has_prefix k = String.length k >= plen && String.equal (String.sub k 0 plen) prefix in
+  let rec collect acc s =
+    match s () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons ((k, items), rest) ->
+      if has_prefix k then collect (List.rev_append items acc) rest else List.rev acc
+  in
+  collect [] seq
+
+let size t = t.count
+
+let iter t f = SMap.iter (fun _ items -> List.iter f items) t.map
+
+let to_list t =
+  SMap.fold (fun _ items acc -> List.rev_append items acc) t.map [] |> List.rev
+
+let filter_partition t pred =
+  (* Removed chunks are collected per key in map (ascending) order, so
+     the returned list is key-sorted like every scan. *)
+  let chunks = ref [] in
+  let map' =
+    SMap.filter_map
+      (fun _ items ->
+        let keep, out = List.partition pred items in
+        if out <> [] then chunks := out :: !chunks;
+        match keep with [] -> None | _ -> Some keep)
+      t.map
+  in
+  t.map <- map';
+  let removed = List.concat (List.rev !chunks) in
+  t.count <- t.count - List.length removed;
+  removed
+
+let digest t =
+  SMap.fold
+    (fun key items acc -> List.fold_left (fun acc i -> (key, i.item_id, i.version) :: acc) acc items)
+    t.map []
+
+let clear t =
+  t.map <- SMap.empty;
+  t.count <- 0
+
+(* Accounting model: one balanced-map node per distinct key (5 words),
+   one list cell per item (3 words), plus the item record and its three
+   strings. The map binding's key string is shared with the first
+   item's [key] field often enough that we charge key strings on the
+   items only. *)
+let stats t =
+  let bytes = ref 0 in
+  SMap.iter
+    (fun _ items ->
+      bytes := !bytes + 48;
+      List.iter
+        (fun (i : item) ->
+          bytes :=
+            !bytes + item_record_bytes + 24 + string_bytes i.key + string_bytes i.item_id
+            + string_bytes i.payload)
+        items)
+    t.map;
+  { bytes = !bytes; triples = t.count }

@@ -23,6 +23,7 @@ type t = {
   hot_min_load : int;
   hot_max_boosts : int;
   spread_load : bool;
+  store_backend : Store_intf.backend;
 }
 
 let default =
@@ -51,4 +52,5 @@ let default =
     hot_min_load = 32;
     hot_max_boosts = 3;
     spread_load = false;
+    store_backend = Store_intf.Hash;
   }

@@ -73,6 +73,11 @@ type t = {
       (** let shortcut caches hold several peers per region and rotate
           between them, so origins spread traffic across an owner's
           replicas and boosts instead of pinning the first responder *)
+  store_backend : Store_intf.backend;
+      (** per-peer store implementation (see {!Store}): [Hash] (default)
+          and [Packed] are in-memory; [Log { dir }] persists each peer's
+          store as an append-only file under [dir], enabling
+          crash-restart with log replay ({!Overlay.crash}) *)
 }
 
 val default : t

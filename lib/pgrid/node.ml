@@ -34,14 +34,16 @@ type t = {
   mutable region_cache : (string * string option) option;
 }
 
-let create id =
+let create ?(backend = Store_intf.Hash) id =
   {
     id;
     path = Bitkey.empty;
     splits = [||];
     refs = [||];
     replicas = [];
-    store = Store.create ();
+    (* [name] keys the log backend's per-peer file; the hot-store copy
+       is cache-like and always stays in memory. *)
+    store = Store.create ~backend ~name:(Printf.sprintf "peer-%d" id) ();
     write_epoch = 0;
     shortcuts = Shortcuts.create ~capacity:128;
     stat_cache = Statcache.create ();

@@ -49,7 +49,10 @@ type t = {
           [path]/[splits] directly (tests) must reset it to [None]. *)
 }
 
-val create : int -> t
+(** [create ?backend id] — [backend] (default [Hash]) selects the main
+    store's implementation; the log backend names its file after [id].
+    [hot_store] always stays in-memory (it is a soft replica copy). *)
+val create : ?backend:Store_intf.backend -> int -> t
 
 (** [bump_epoch t] records one local store change. *)
 val bump_epoch : t -> unit

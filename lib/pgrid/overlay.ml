@@ -254,6 +254,46 @@ let mark_partial t ~rid ~origin =
   | Some tr -> Trace.mark tr ~corr:rid ~time:(Sim.now t.sim) ~src:origin ~kind:"fault.partial" ()
   | None -> ()
 
+(* Crash a peer: unlike {!kill} (which merely stops message delivery
+   and keeps state intact for {!revive}), a crash also loses the
+   peer's volatile state — the whole store for in-memory backends, the
+   torn log tail (a [keep_frac] fraction of log bytes survives) for the
+   log backend, and any boost-replica copy. The peer stays dead until
+   {!revive}; on revival, anti-entropy/{!Repair.round} reconcile the
+   lost delta from the replica group. Returns the number of items that
+   survived locally (log replay). *)
+let crash t ?keep_frac id =
+  let n = node t id in
+  Net.kill t.net id;
+  Node.clear_hot n;
+  let recovered = Store.crash_restart ?keep_frac n.Node.store in
+  Node.bump_epoch n;
+  cache_incr t "fault.crash";
+  recovered
+
+(* Export per-backend storage footprint as gauges, summed over alive
+   peers: [store.bytes] (the deterministic memory-model estimate, same
+   counter the compression tests assert on), [store.items], and
+   [store.log_bytes] (on-disk segment bytes; 0 unless the log backend
+   is active). Called by benchmarks before snapshotting metrics. *)
+let refresh_store_gauges t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    let bytes = ref 0 and items = ref 0 and log_bytes = ref 0 in
+    List.iter
+      (fun n ->
+        if Net.is_alive t.net n.Node.id then begin
+          let s = Store.stats n.Node.store in
+          bytes := !bytes + s.Store.bytes;
+          items := !items + s.Store.triples;
+          log_bytes := !log_bytes + Store.log_bytes n.Node.store
+        end)
+      (nodes t);
+    Metrics.set_gauge m "store.bytes" (float_of_int !bytes);
+    Metrics.set_gauge m "store.items" (float_of_int !items);
+    Metrics.set_gauge m "store.log_bytes" (float_of_int !log_bytes)
+
 let finish_single t rid ~items ~hops ~complete =
   match Hashtbl.find_opt t.pending rid with
   | Some (Psingle p) ->
@@ -1225,7 +1265,7 @@ let add_node t id =
     Array.blit t.node_arena 0 arena 0 cap;
     t.node_arena <- arena
   end;
-  let n = Node.create id in
+  let n = Node.create ~backend:t.config.Config.store_backend id in
   Shortcuts.set_capacity n.Node.shortcuts t.config.shortcut_capacity;
   Shortcuts.set_spread n.Node.shortcuts t.config.spread_load;
   t.node_arena.(id) <- Some n;

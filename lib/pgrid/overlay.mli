@@ -93,6 +93,23 @@ val kill : t -> int -> unit
 val revive : t -> int -> unit
 val alive : t -> int -> bool
 
+(** [crash t ?keep_frac id] kills [id] {e and} loses its volatile
+    state, unlike {!kill} (which keeps state intact for {!revive}):
+    in-memory stores restart empty; the log backend replays its file,
+    truncated to [keep_frac] of its bytes first when given (the torn
+    tail — the cut may fall mid-record). Also drops any boost-replica
+    copy. Counts [fault.crash]; returns the locally recovered item
+    count. The peer stays dead until {!revive}; repair/anti-entropy
+    then reconcile the lost delta from the replica group. *)
+val crash : t -> ?keep_frac:float -> int -> int
+
+(** Publish storage gauges summed over alive peers — [store.bytes]
+    (deterministic memory-model estimate), [store.items] and
+    [store.log_bytes] — into the attached metrics registry (no-op
+    without one). The same counters the storage tests assert on, so
+    BENCH_store.json numbers and test expectations share one source. *)
+val refresh_store_gauges : t -> unit
+
 (** Peers currently holding an unflushed in-network aggregation buffer
     (interior nodes of in-flight shower ranges). Exposed so fault tests
     can kill an aggregator mid-query deterministically. *)

@@ -1,95 +1,142 @@
-type item = { key : string; item_id : string; payload : string; version : int }
+(* Facade over the pluggable storage backends (see {!Store_intf} for
+   the contract and {!Backend_hash}/{!Backend_log}/{!Backend_packed}
+   for the implementations). Call sites are backend-agnostic; the
+   variant dispatch below is the whole cost of pluggability. *)
 
-let pp_item fmt i =
+type item = Store_intf.item = {
+  key : string;
+  item_id : string;
+  payload : string;
+  version : int;
+}
+
+type stats = Store_intf.stats = { bytes : int; triples : int }
+type backend = Store_intf.backend = Hash | Log of { dir : string } | Packed
+
+let backend_label = Store_intf.backend_label
+
+let pp_item fmt (i : item) =
   Format.fprintf fmt "{key=%S id=%s v=%d payload=%S}" i.key i.item_id i.version i.payload
 
-let item_bytes i = 24 + String.length i.key + String.length i.item_id + String.length i.payload
+let item_bytes (i : item) =
+  24 + String.length i.key + String.length i.item_id + String.length i.payload
 
-module SMap = Map.Make (String)
+type t =
+  | H of Backend_hash.t
+  | L of Backend_log.t
+  | P of Backend_packed.t
 
-type t = { mutable map : item list SMap.t; mutable count : int }
+(* Distinguishes log files when several stores share a dir and the
+   caller gives no [name] (tests, ad-hoc stores). Deterministic: resets
+   with the process, and named stores (one per peer id) don't use it. *)
+let anon_counter = ref 0
 
-let create () = { map = SMap.empty; count = 0 }
+let create ?(backend = Hash) ?name () =
+  match backend with
+  | Hash -> H (Backend_hash.create ())
+  | Packed -> P (Backend_packed.create ())
+  | Log { dir } ->
+    let base =
+      match name with
+      | Some n -> n
+      | None ->
+        incr anon_counter;
+        Printf.sprintf "store-%d" !anon_counter
+    in
+    L (Backend_log.create ~path:(Filename.concat dir (base ^ ".log")))
 
-let put t item =
-  let existing = Option.value ~default:[] (SMap.find_opt item.key t.map) in
-  let rec replace acc changed = function
-    | [] -> if changed then Some (List.rev acc) else Some (item :: List.rev acc)
-    | e :: rest when String.equal e.item_id item.item_id ->
-      if item.version >= e.version then replace (item :: acc) true rest else None
-    | e :: rest -> replace (e :: acc) changed rest
-  in
-  (* [replace] returns [None] when an entry with the same id has a strictly
-     newer version (stale update), [Some entries] otherwise. *)
-  match replace [] false existing with
-  | None -> false
-  | Some entries ->
-    let grew = List.length entries > List.length existing in
-    t.map <- SMap.add item.key entries t.map;
-    if grew then t.count <- t.count + 1;
-    true
+let kind = function H _ -> Hash | L l -> Log { dir = Filename.dirname (Backend_log.path l) } | P _ -> Packed
+
+let put t i =
+  match t with
+  | H b -> Backend_hash.put b i
+  | L b -> Backend_log.put b i
+  | P b -> Backend_packed.put b i
 
 let remove t ~key ~item_id =
-  match SMap.find_opt key t.map with
-  | None -> ()
-  | Some entries ->
-    let entries' = List.filter (fun e -> not (String.equal e.item_id item_id)) entries in
-    let removed = List.length entries - List.length entries' in
-    t.count <- t.count - removed;
-    if entries' = [] then t.map <- SMap.remove key t.map
-    else t.map <- SMap.add key entries' t.map
+  match t with
+  | H b -> Backend_hash.remove b ~key ~item_id
+  | L b -> Backend_log.remove b ~key ~item_id
+  | P b -> Backend_packed.remove b ~key ~item_id
 
-let find t key = Option.value ~default:[] (SMap.find_opt key t.map)
+let find t key =
+  match t with
+  | H b -> Backend_hash.find b key
+  | L b -> Backend_log.find b key
+  | P b -> Backend_packed.find b key
 
 let range t ~lo ~hi =
-  let seq = SMap.to_seq_from lo t.map in
-  let rec collect acc s =
-    match s () with
-    | Seq.Nil -> List.rev acc
-    | Seq.Cons ((k, items), rest) ->
-      if String.compare k hi > 0 then List.rev acc
-      else collect (List.rev_append items acc) rest
-  in
-  collect [] seq
+  match t with
+  | H b -> Backend_hash.range b ~lo ~hi
+  | L b -> Backend_log.range b ~lo ~hi
+  | P b -> Backend_packed.range b ~lo ~hi
 
 let with_prefix t prefix =
-  let seq = SMap.to_seq_from prefix t.map in
-  let plen = String.length prefix in
-  let has_prefix k = String.length k >= plen && String.equal (String.sub k 0 plen) prefix in
-  let rec collect acc s =
-    match s () with
-    | Seq.Nil -> List.rev acc
-    | Seq.Cons ((k, items), rest) ->
-      if has_prefix k then collect (List.rev_append items acc) rest else List.rev acc
-  in
-  collect [] seq
+  match t with
+  | H b -> Backend_hash.with_prefix b prefix
+  | L b -> Backend_log.with_prefix b prefix
+  | P b -> Backend_packed.with_prefix b prefix
 
-let size t = t.count
+let size = function
+  | H b -> Backend_hash.size b
+  | L b -> Backend_log.size b
+  | P b -> Backend_packed.size b
 
-let iter t f = SMap.iter (fun _ items -> List.iter f items) t.map
+let iter t f =
+  match t with
+  | H b -> Backend_hash.iter b f
+  | L b -> Backend_log.iter b f
+  | P b -> Backend_packed.iter b f
 
-let to_list t =
-  SMap.fold (fun _ items acc -> List.rev_append items acc) t.map [] |> List.rev
+let to_list = function
+  | H b -> Backend_hash.to_list b
+  | L b -> Backend_log.to_list b
+  | P b -> Backend_packed.to_list b
 
 let filter_partition t pred =
-  let removed = ref [] in
-  let map' =
-    SMap.filter_map
-      (fun _ items ->
-        let keep, out = List.partition pred items in
-        removed := List.rev_append out !removed;
-        match keep with [] -> None | _ -> Some keep)
-      t.map
-  in
-  t.map <- map';
-  t.count <- t.count - List.length !removed;
-  !removed
+  match t with
+  | H b -> Backend_hash.filter_partition b pred
+  | L b -> Backend_log.filter_partition b pred
+  | P b -> Backend_packed.filter_partition b pred
 
-let digest t =
-  SMap.fold
-    (fun key items acc -> List.fold_left (fun acc i -> (key, i.item_id, i.version) :: acc) acc items)
-    t.map []
+let digest = function
+  | H b -> Backend_hash.digest b
+  | L b -> Backend_log.digest b
+  | P b -> Backend_packed.digest b
 
-let clear t =
-  t.map <- SMap.empty;
-  t.count <- 0
+let clear = function
+  | H b -> Backend_hash.clear b
+  | L b -> Backend_log.clear b
+  | P b -> Backend_packed.clear b
+
+let stats = function
+  | H b -> Backend_hash.stats b
+  | L b -> Backend_log.stats b
+  | P b -> Backend_packed.stats b
+
+let log_path = function L b -> Some (Backend_log.path b) | H _ | P _ -> None
+let log_bytes = function L b -> Backend_log.log_bytes b | H _ | P _ -> 0
+let sync = function L b -> Backend_log.sync b | H _ | P _ -> ()
+
+(* Crash + restart in one step. In-memory backends lose everything (a
+   crashed peer restarts cold). The log backend replays its file:
+   [keep_frac] injects the torn tail first — the fraction of log bytes
+   that survived the crash, cut at an arbitrary byte offset — and the
+   replay recovers every record fully contained in the surviving
+   prefix. Returns the number of recovered items. *)
+let crash_restart ?keep_frac t =
+  match t with
+  | H b ->
+    Backend_hash.clear b;
+    0
+  | P b ->
+    Backend_packed.clear b;
+    0
+  | L b ->
+    Backend_log.crash b;
+    (match keep_frac with
+    | Some f ->
+      let keep = int_of_float (f *. float_of_int (Backend_log.log_bytes b)) in
+      Backend_log.truncate_tail b ~keep_bytes:keep
+    | None -> ());
+    Backend_log.reopen b

@@ -1,18 +1,34 @@
-(** Per-peer local data store.
+(** Per-peer local data store — a facade over pluggable backends.
 
     Items are keyed by their full order-preserving encoding (a byte
     string), so local range/prefix filtering is exact even though routing
     uses only the first {!Unistore_util.Ophash.routing_bits} bits. An
     [item_id] distinguishes distinct items that share a key (e.g. two
     triples with the same attribute/value); versions give last-writer-wins
-    semantics for the update/replication protocol. *)
+    semantics for the update/replication protocol.
 
-type item = {
+    Three backends implement the same {!Store_intf.S} contract (scans in
+    ascending key order, newest-first within a key — see the ordering
+    contract in {!Store_intf}): [Hash] (the default ordered-map store),
+    [Log] (file-backed log-structured, survives {!crash_restart}) and
+    [Packed] (dictionary-compressed in-memory). test/test_store.ml
+    replays all three differentially against a reference model. *)
+
+type item = Store_intf.item = {
   key : string;  (** full order-preserving encoding; routing uses its prefix *)
   item_id : string;  (** identity for updates; unique per logical datum *)
   payload : string;  (** opaque application payload (a serialized triple) *)
   version : int;  (** LWW version; inserts start at 0 *)
 }
+
+(** Deterministic memory-model estimate of resident bytes, and the live
+    item count. Comparable across backends; not a GC measurement. *)
+type stats = Store_intf.stats = { bytes : int; triples : int }
+
+type backend = Store_intf.backend = Hash | Log of { dir : string } | Packed
+
+(** ["hash"], ["log"] or ["packed"]. *)
+val backend_label : backend -> string
 
 val pp_item : Format.formatter -> item -> unit
 
@@ -21,7 +37,13 @@ val item_bytes : item -> int
 
 type t
 
-val create : unit -> t
+(** [create ?backend ?name ()] — defaults to [Hash]. For [Log], the
+    segment file is [dir/name.log] ([name] defaults to a unique
+    generated one). *)
+val create : ?backend:backend -> ?name:string -> unit -> t
+
+(** The backend this store was created with. *)
+val kind : t -> backend
 
 (** [put t item] inserts or updates. An existing entry with the same
     [(key, item_id)] is replaced iff the new version is greater or equal.
@@ -54,3 +76,24 @@ val filter_partition : t -> (item -> bool) -> item list
 val digest : t -> (string * string * int) list
 
 val clear : t -> unit
+
+(** Memory-model estimate for this store's current contents. *)
+val stats : t -> stats
+
+(** Simulate a crash followed by a restart. In-memory backends come
+    back empty (return [0]); the log backend replays its file and
+    returns the number of recovered items. [keep_frac] (log only)
+    first truncates the log to that fraction of its bytes — the "torn
+    tail" a real crash leaves when buffered writes never hit the disk;
+    the cut may fall mid-record, and replay keeps exactly the records
+    fully contained in the surviving prefix. *)
+val crash_restart : ?keep_frac:float -> t -> int
+
+(** The log backend's segment path ([None] for in-memory backends). *)
+val log_path : t -> string option
+
+(** Logical size of the log file in bytes (0 for in-memory backends). *)
+val log_bytes : t -> int
+
+(** Flush buffered log appends to the OS (no-op for in-memory backends). *)
+val sync : t -> unit

@@ -143,6 +143,15 @@ let insert_bulk_sync t ~origin triples =
 (* ------------------------------------------------------------------ *)
 (* Result decoding                                                     *)
 
+(* First-seen dedup: when two replicas answer with different versions
+   of a triple, the one earlier in the reply list wins. That is only
+   deterministic because store scans are — every backend yields items
+   in ascending key order, newest-first within a key (the ordering
+   contract of {!Unistore_pgrid.Store_intf}, checked differentially by
+   test/test_store.ml), and the overlay sorts merged multi-peer replies
+   ([Overlay.dedupe_items]) before they reach us. If backends disagreed
+   on scan order, same-seed runs with different [--backend] settings
+   would return different triples here. *)
 let decode_items items =
   let seen = Hashtbl.create (List.length items) in
   List.filter_map
